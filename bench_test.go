@@ -1,0 +1,270 @@
+// Benchmarks: one target per evaluation table/figure (regenerating it at a
+// reduced scale through the same code path the experiments CLI uses), plus
+// micro-benchmarks for the hot kernels (matching generation, state merging,
+// engine rounds, eigensolver, assignment).
+//
+// Run everything:    go test -bench=. -benchmem
+// One experiment:    go test -bench=BenchmarkT1 -benchtime=1x
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph/gen"
+	"repro/internal/linalg"
+	"repro/internal/loadbalance"
+	"repro/internal/matching"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+)
+
+// benchExperiment runs one experiment end to end at a reduced scale.
+func benchExperiment(b *testing.B, id string, scale float64) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := experiments.Config{Scale: scale, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1AccuracyVsGap(b *testing.B)     { benchExperiment(b, "T1", 0.2) }
+func BenchmarkT2RoundScaling(b *testing.B)      { benchExperiment(b, "T2", 0.2) }
+func BenchmarkT3MessageComplexity(b *testing.B) { benchExperiment(b, "T3", 0.1) }
+func BenchmarkT4Baselines(b *testing.B)         { benchExperiment(b, "T4", 0.2) }
+func BenchmarkT5Seeding(b *testing.B)           { benchExperiment(b, "T5", 0.2) }
+func BenchmarkT6Runtime(b *testing.B)           { benchExperiment(b, "T6", 0.1) }
+func BenchmarkF1LoadConvergence(b *testing.B)   { benchExperiment(b, "F1", 0.2) }
+func BenchmarkF2AccuracyVsRounds(b *testing.B)  { benchExperiment(b, "F2", 0.2) }
+func BenchmarkF3AccuracyVsK(b *testing.B)       { benchExperiment(b, "F3", 0.2) }
+func BenchmarkF4AlmostRegular(b *testing.B)     { benchExperiment(b, "F4", 0.2) }
+func BenchmarkF5MatchingLaw(b *testing.B)       { benchExperiment(b, "F5", 0.05) }
+func BenchmarkF6Ablations(b *testing.B)         { benchExperiment(b, "F6", 0.2) }
+func BenchmarkF7BalancingModels(b *testing.B)   { benchExperiment(b, "F7", 0.2) }
+func BenchmarkF8EarlyBehaviour(b *testing.B)    { benchExperiment(b, "F8", 0.2) }
+func BenchmarkF9AsyncGossip(b *testing.B)       { benchExperiment(b, "F9", 0.2) }
+
+// --- micro-benchmarks -----------------------------------------------------
+
+func benchRing(b *testing.B, k, size, dIn, c int) *gen.Planted {
+	b.Helper()
+	p, err := gen.ClusteredRing(k, size, dIn, c, rng.New(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkMatchingGenerate(b *testing.B) {
+	p := benchRing(b, 2, 500, 16, 1)
+	rngs := matching.NodeRNGs(p.G.N(), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matching.Generate(p.G, p.G.MaxDegree(), rngs)
+	}
+}
+
+func BenchmarkMergeStates(b *testing.B) {
+	mk := func(seed uint64) core.State {
+		r := rng.New(seed)
+		s := make(core.State, 0, 16)
+		id := uint64(0)
+		for j := 0; j < 16; j++ {
+			id += 1 + uint64(r.Intn(3))
+			s = append(s, core.Entry{ID: id, Val: r.Float64()})
+		}
+		return s
+	}
+	a, c := mk(1), mk(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MergeStates(a, c)
+	}
+}
+
+func BenchmarkEngineRound(b *testing.B) {
+	p := benchRing(b, 3, 300, 20, 1)
+	eng, err := core.NewEngine(p.G, core.Params{Beta: 1.0 / 3, Rounds: 1, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func BenchmarkEngineQuery(b *testing.B) {
+	p := benchRing(b, 3, 300, 20, 1)
+	eng, err := core.NewEngine(p.G, core.Params{Beta: 1.0 / 3, Rounds: 1, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Run(60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Query()
+	}
+}
+
+func BenchmarkClusterEndToEnd(b *testing.B) {
+	p := benchRing(b, 2, 250, 40, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Cluster(p.G, core.Params{Beta: 0.5, Rounds: 80, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterDistributed(b *testing.B) {
+	p := benchRing(b, 2, 150, 20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ClusterDistributed(p.G,
+			core.Params{Beta: 0.5, Rounds: 60, Seed: uint64(i)},
+			core.DistOptions{Workers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLanczosTopEigen(b *testing.B) {
+	p := benchRing(b, 3, 300, 20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := spectral.TopEigen(p.G, 4, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiffusionRound(b *testing.B) {
+	p := benchRing(b, 2, 500, 16, 1)
+	y0 := make([]float64, p.G.N())
+	y0[0] = 1
+	d, err := loadbalance.NewDiffusion(p.G, p.G.MaxDegree(), y0, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Step()
+	}
+}
+
+func BenchmarkHungarian(b *testing.B) {
+	r := rng.New(11)
+	const k = 64
+	cost := make([][]float64, k)
+	for i := range cost {
+		cost[i] = make([]float64, k)
+		for j := range cost[i] {
+			cost[i][j] = r.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := metrics.Hungarian(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	r := rng.New(13)
+	points := make([][]float64, 600)
+	for i := range points {
+		points[i] = []float64{r.NormFloat64() + float64(i%3)*5, r.NormFloat64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baselines.KMeans(points, 3, uint64(i)+1, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultilevelBisect(b *testing.B) {
+	p := benchRing(b, 2, 400, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baselines.MultilevelBisect(p.G, 0.5, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLabelPropagation(b *testing.B) {
+	p := gen.Caveman(8, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baselines.LabelPropagation(p.G, 50, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMisclassified(b *testing.B) {
+	r := rng.New(17)
+	n := 10000
+	truth := make([]int, n)
+	pred := make([]int, n)
+	for i := range truth {
+		truth[i] = r.Intn(8)
+		pred[i] = r.Intn(8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.Misclassified(truth, pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGramSchmidt(b *testing.B) {
+	r := rng.New(19)
+	mk := func() [][]float64 {
+		vecs := make([][]float64, 8)
+		for i := range vecs {
+			vecs[i] = make([]float64, 512)
+			for j := range vecs[i] {
+				vecs[i][j] = r.NormFloat64()
+			}
+		}
+		return vecs
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		vecs := mk()
+		b.StartTimer()
+		linalg.GramSchmidt(vecs, 1e-10)
+	}
+}
+
+func BenchmarkClusteredRingGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.ClusteredRing(3, 200, 16, 1, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSBMGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.SBMBalanced(3, 300, 20, 2, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command experiments regenerates the evaluation tables and figures defined
+// in DESIGN.md (the paper is purely theoretical; each experiment validates
+// one of its quantitative claims — see EXPERIMENTS.md for the recorded
+// full-scale results).
+//
+// Usage:
+//
+//	experiments [-run T1,F2,... | -run all] [-scale 1.0] [-seed 1] [-out results/]
+//
+// Markdown is printed to stdout; with -out, per-experiment CSV and markdown
+// files are also written to the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (T1..T6, F1..F6) or 'all'")
+	scale := flag.Float64("scale", 1.0, "instance scale factor (1.0 = reference size)")
+	seed := flag.Uint64("seed", 1, "master random seed")
+	out := flag.String("out", "", "directory to write per-experiment .md and .csv files")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	var selected []experiments.Experiment
+	if strings.EqualFold(*runFlag, "all") {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (known: %s)\n",
+					id, strings.Join(experiments.IDs(), ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(table.Markdown())
+		fmt.Printf("_(%s generated in %.1fs at scale %.2f)_\n\n", e.ID, time.Since(start).Seconds(), cfg.Scale)
+		if *out != "" {
+			base := filepath.Join(*out, strings.ToLower(e.ID))
+			if err := os.WriteFile(base+".md", []byte(table.Markdown()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", base+".md", err)
+				failed++
+			}
+			if err := os.WriteFile(base+".csv", []byte(table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", base+".csv", err)
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

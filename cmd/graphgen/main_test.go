@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateRing(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.txt")
+	truth := filepath.Join(dir, "t.txt")
+	if err := run("ring", 3, 30, 0, 8, 0, 1, 1, out, truth); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 90 || !g.IsRegular() {
+		t.Errorf("ring graph wrong: %v", g)
+	}
+	if _, err := os.Stat(truth); err != nil {
+		t.Error("truth file missing")
+	}
+}
+
+func TestGenerateFamilies(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		family  string
+		k, size int
+		n, din  int
+	}{
+		{"sbm", 2, 50, 0, 10},
+		{"caveman", 3, 6, 0, 0},
+		{"regular", 0, 0, 40, 4},
+		{"barbell", 0, 10, 0, 0},
+	}
+	for _, c := range cases {
+		out := filepath.Join(dir, c.family+".txt")
+		if err := run(c.family, c.k, c.size, c.n, c.din, 2, 1, 1, out, ""); err != nil {
+			t.Errorf("%s: %v", c.family, err)
+			continue
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.ReadEdgeList(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: reading back: %v", c.family, err)
+			continue
+		}
+		if g.N() == 0 {
+			t.Errorf("%s: empty graph", c.family)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("unknown", 2, 10, 0, 4, 0, 1, 1, filepath.Join(dir, "x"), ""); err == nil {
+		t.Error("unknown family should fail")
+	}
+	// regular has no planted truth.
+	if err := run("regular", 0, 0, 10, 3, 0, 1, 1, filepath.Join(dir, "y"), filepath.Join(dir, "t")); err == nil {
+		t.Error("truth for regular should fail")
+	}
+	// bad parameters propagate.
+	if err := run("ring", 1, 10, 0, 4, 0, 1, 1, filepath.Join(dir, "z"), ""); err == nil {
+		t.Error("k=1 ring should fail")
+	}
+}

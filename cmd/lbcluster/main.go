@@ -1,0 +1,104 @@
+// Command lbcluster clusters a graph with the load-balancing algorithm of
+// Sun & Zanetti (SPAA'17).
+//
+// Usage:
+//
+//	lbcluster -in graph.txt -beta 0.25 [-rounds 0 -k 4] [-seed 1] [-out labels.txt]
+//
+// The input is an edge list with an "n m" header (see internal/graph).
+// With -rounds 0 the round budget T = Θ(log n/(1−λ_{k+1})) is estimated
+// from the spectrum, which requires -k. Labels are written one per line in
+// node order; run statistics go to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/spectral"
+)
+
+func main() {
+	in := flag.String("in", "-", "input edge-list file ('-' = stdin)")
+	out := flag.String("out", "-", "output label file ('-' = stdout)")
+	beta := flag.Float64("beta", 0.1, "lower bound on the minimum cluster size fraction")
+	rounds := flag.Int("rounds", 0, "averaging rounds T (0 = estimate from the spectral gap, needs -k)")
+	k := flag.Int("k", 0, "number of clusters (only used to estimate T when -rounds 0)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	thresholdScale := flag.Float64("threshold-scale", 1, "multiplier on the query threshold 1/(sqrt(2β)n)")
+	distributed := flag.Bool("distributed", false, "run on the message-passing engine and report network traffic")
+	flag.Parse()
+
+	if err := run(*in, *out, *beta, *rounds, *k, *seed, *thresholdScale, *distributed); err != nil {
+		fmt.Fprintf(os.Stderr, "lbcluster: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, beta float64, rounds, k int, seed uint64, thresholdScale float64, distributed bool) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %v\n", g)
+
+	if rounds == 0 {
+		if k < 1 {
+			return fmt.Errorf("-rounds 0 requires -k to estimate the budget")
+		}
+		vals, _, err := spectral.TopEigen(g, k+1, seed)
+		if err != nil {
+			return fmt.Errorf("estimating rounds: %w", err)
+		}
+		rounds = spectral.EstimateRoundsMatching(g.N(), vals[k], g.MaxDegree(), 1.5)
+		fmt.Fprintf(os.Stderr, "estimated T = %d (lambda_{k+1} = %.4f)\n", rounds, vals[k])
+	}
+	params := core.Params{
+		Beta:           beta,
+		Rounds:         rounds,
+		Seed:           seed,
+		ThresholdScale: thresholdScale,
+	}
+	var labels []int
+	if distributed {
+		res, err := core.ClusterDistributed(g, params, core.DistOptions{})
+		if err != nil {
+			return err
+		}
+		labels = res.Labels
+		fmt.Fprintf(os.Stderr, "seeds=%d labels=%d rounds=%d network: %d messages, %d words\n",
+			len(res.Seeds), res.NumLabels, res.Stats.Rounds, res.NetworkMessages, res.NetworkWords)
+	} else {
+		res, err := core.Cluster(g, params)
+		if err != nil {
+			return err
+		}
+		labels = res.Labels
+		fmt.Fprintf(os.Stderr, "seeds=%d labels=%d rounds=%d matches=%d words=%d (threshold %.3g)\n",
+			len(res.Seeds), res.NumLabels, res.Stats.Rounds, res.Stats.Matches,
+			res.Stats.TotalWords(), res.Threshold)
+	}
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return graph.WriteLabels(w, labels)
+}

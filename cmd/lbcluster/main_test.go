@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/rng"
+)
+
+func writeTestGraph(t *testing.T, dir string) (string, *gen.Planted) {
+	t.Helper()
+	p, err := gen.ClusteredRing(2, 60, 16, 1, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graph.WriteEdgeList(f, p.G); err != nil {
+		t.Fatal(err)
+	}
+	return path, p
+}
+
+func readLabels(t *testing.T, path string, n int) []int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var labels []int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		v, err := strconv.Atoi(sc.Text())
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels = append(labels, v)
+	}
+	if len(labels) != n {
+		t.Fatalf("got %d labels, want %d", len(labels), n)
+	}
+	return labels
+}
+
+func TestRunFixedRounds(t *testing.T) {
+	dir := t.TempDir()
+	in, p := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "labels.txt")
+	if err := run(in, out, 0.5, 80, 0, 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	labels := readLabels(t, out, p.G.N())
+	for _, l := range labels {
+		if l < 0 {
+			t.Fatal("negative label")
+		}
+	}
+}
+
+func TestRunAutoRounds(t *testing.T) {
+	dir := t.TempDir()
+	in, p := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "labels.txt")
+	if err := run(in, out, 0.5, 0, 2, 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	readLabels(t, out, p.G.N())
+}
+
+func TestRunDistributed(t *testing.T) {
+	dir := t.TempDir()
+	in, p := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "labels.txt")
+	if err := run(in, out, 0.5, 60, 0, 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	readLabels(t, out, p.G.N())
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeTestGraph(t, dir)
+	// Auto rounds without k.
+	if err := run(in, filepath.Join(dir, "x"), 0.5, 0, 0, 1, 1, false); err == nil {
+		t.Error("auto rounds without -k should fail")
+	}
+	// Missing input file.
+	if err := run(filepath.Join(dir, "nope.txt"), "-", 0.5, 10, 0, 1, 1, false); err == nil {
+		t.Error("missing input should fail")
+	}
+	// Invalid beta propagates from core.
+	if err := run(in, filepath.Join(dir, "y"), 0, 10, 0, 1, 1, false); err == nil {
+		t.Error("beta=0 should fail")
+	}
+}

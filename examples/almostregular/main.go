@@ -1,0 +1,70 @@
+// Almost-regular and heavy-tailed graphs (§4.5): the algorithm pads every
+// node to a common degree bound D with virtual self-loops (the G* view).
+// This example runs the protocol on a two-block SBM with a 2:1 degree ratio
+// and on a power-law Chung–Lu community graph, showing where the
+// almost-regular assumption carries and where it strains.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph/gen"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+)
+
+func main() {
+	// Case 1: two-block SBM, block degrees ~40 and ~80 (ratio 2 — inside
+	// the §4.5 regime).
+	size := 300
+	p1, err := gen.SBMHetero(
+		[]int{size, size},
+		[]float64{40.0 / float64(size-1), 80.0 / float64(size-1)},
+		1.5/float64(size),
+		rng.New(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p1 = gen.GiantComponent(p1)
+	report("SBM, degree ratio ~2", p1)
+
+	// Case 2: power-law communities (heavy tail: Δ/δ far beyond a constant;
+	// outside the paper's assumption — expect visible degradation).
+	p2, err := gen.PowerLawCluster(2, 300, 2.3, 8, 120, 1.5, rng.New(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2 = gen.GiantComponent(p2)
+	report("power-law communities", p2)
+
+	fmt.Println("\nshape: the G* protocol tolerates constant degree ratios (§4.5);")
+	fmt.Println("heavy-tailed degrees dilute the gap and accuracy degrades — exactly")
+	fmt.Println("the boundary the paper's almost-regular assumption draws.")
+}
+
+func report(name string, p *gen.Planted) {
+	g := p.G
+	st, err := spectral.Analyze(g, p.Truth, p.K, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	T := spectral.EstimateRoundsMatching(g.N(), st.LambdaK1, g.MaxDegree(), 1.5)
+	res, err := core.Cluster(g, core.Params{
+		Beta:   p.MinClusterFraction(),
+		Rounds: T,
+		Seed:   7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mis, err := metrics.MisclassificationRate(p.Truth, res.Labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-26s n=%-5d deg∈[%d,%d] (ratio %.1f)  Upsilon=%-6.1f T=%-4d misclassified %.2f%%\n",
+		name, g.N(), g.MinDegree(), g.MaxDegree(), g.DegreeRatio(), st.Upsilon, T, 100*mis)
+}

@@ -1,0 +1,59 @@
+// The headline separation (§1.3): on a graph made of expanders connected by
+// few edges, the load-balancing algorithm needs polylog(n) rounds, while a
+// decentralised spectral method (Kempe–McSherry orthogonal iteration) pays
+// the global mixing time in its gossip phases — polynomially many rounds as
+// the cut shrinks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/graph/gen"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+)
+
+func main() {
+	fmt.Println("ring of 2 expanders, shrinking cut (cross matchings c):")
+	fmt.Printf("%-4s %-10s %-8s %-8s %-14s %-14s %-12s\n",
+		"c", "lambda_2", "Upsilon", "LB T", "LB words", "KM rounds", "KM words")
+	for _, c := range []int{8, 4, 2, 1} {
+		p, err := gen.ClusteredRing(2, 200, 48, c, rng.New(uint64(31+c)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := p.G
+		st, err := spectral.Analyze(g, p.Truth, 2, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		T := spectral.EstimateRoundsMatching(g.N(), st.LambdaK1, g.MaxDegree(), 1.5)
+		res, err := core.Cluster(g, core.Params{Beta: 0.5, Rounds: T, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mis, err := metrics.MisclassificationRate(p.Truth, res.Labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		km, err := baselines.KempeMcSherry(g, 2, 4000, 1e-7, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kmMis, err := metrics.MisclassificationRate(p.Truth, km.Labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4d %-10.4f %-8.1f %-8d %-14d %-14d %-12d  (LB err %.1f%%, KM err %.1f%%)\n",
+			c, st.Eigvals[1], st.Upsilon, T, res.Stats.TotalWords(), km.TotalRounds, km.Words,
+			100*mis, 100*kmMis)
+	}
+	fmt.Println("\nshape: as the cut shrinks (c -> 1), lambda_2 -> 1 and the KM round")
+	fmt.Println("count explodes with the mixing time, while the LB budget stays polylog.")
+	fmt.Println("(rows with small Upsilon are outside the well-clustered regime, so the")
+	fmt.Println("LB error there is expectedly high — the gap condition (2) is the point.)")
+}

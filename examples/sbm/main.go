@@ -1,0 +1,72 @@
+// Community detection on a stochastic block model: the graph is only
+// almost-regular, so the algorithm runs the G* self-loop protocol of §4.5
+// with the degree bound D = max degree. The run is compared against
+// centralised spectral clustering and label propagation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/graph/gen"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+)
+
+func main() {
+	// 3 communities of 250 nodes; expected internal degree 60, external 2.
+	// (The algorithm analyses the G* self-loop view, so the effective gap
+	// shrinks with the degree spread; a solid internal degree keeps the
+	// instance inside the well-clustered regime.)
+	p, err := gen.SBMBalanced(3, 250, 60, 2, rng.New(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p = gen.GiantComponent(p)
+	g := p.G
+	fmt.Printf("SBM: %v (degree ratio %.2f — almost-regular)\n", g, g.DegreeRatio())
+
+	st, err := spectral.Analyze(g, p.Truth, p.K, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	T := spectral.EstimateRoundsMatching(g.N(), st.LambdaK1, g.MaxDegree(), 1.5)
+	fmt.Printf("Upsilon = %.1f, T = %d\n", st.Upsilon, T)
+
+	score := func(name string, labels []int) {
+		mis, err := metrics.MisclassificationRate(p.Truth, labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ari, err := metrics.ARI(p.Truth, labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nmi, err := metrics.NMI(p.Truth, labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s misclassified %6.2f%%  ARI %.3f  NMI %.3f\n", name, 100*mis, ari, nmi)
+	}
+
+	res, err := core.Cluster(g, core.Params{Beta: p.MinClusterFraction(), Rounds: T, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	score("load-balancing", res.Labels)
+
+	sc, err := baselines.SpectralCluster(g, p.K, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	score("spectral+kmeans", sc.Labels)
+
+	lp, err := baselines.LabelPropagation(g, 100, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	score("label propagation", lp.Labels)
+}

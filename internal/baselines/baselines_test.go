@@ -1,0 +1,406 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+func TestKMeansWellSeparated(t *testing.T) {
+	// Three tight blobs on a line.
+	var points [][]float64
+	r := rng.New(1)
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 20; i++ {
+			points = append(points, []float64{float64(10 * c), r.NormFloat64() * 0.1})
+		}
+	}
+	truth := make([]int, 60)
+	for i := range truth {
+		truth[i] = i / 20
+	}
+	km, err := KMeans(points, 3, 7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := metrics.Misclassified(truth, km.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis != 0 {
+		t.Errorf("kmeans misclassified %d well-separated points", mis)
+	}
+	if km.Inertia > 5 {
+		t.Errorf("inertia %v too large", km.Inertia)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, 0, 1, 10); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := KMeans(pts, 3, 1, 10); err == nil {
+		t.Error("n<k should fail")
+	}
+	if _, err := KMeans([][]float64{{1}, {2, 3}}, 2, 1, 10); err == nil {
+		t.Error("ragged should fail")
+	}
+}
+
+func TestKMeansDeterminism(t *testing.T) {
+	r := rng.New(2)
+	points := make([][]float64, 50)
+	for i := range points {
+		points[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+	}
+	a, err := KMeans(points, 4, 9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, 4, 9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("kmeans not deterministic")
+		}
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	km, err := KMeans(points, 2, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.Inertia != 0 {
+		t.Errorf("inertia %v for identical points", km.Inertia)
+	}
+}
+
+func TestEmbedRows(t *testing.T) {
+	vecs := [][]float64{{3, 0}, {4, 1}}
+	pts := EmbedRows(vecs, false)
+	if len(pts) != 2 || pts[0][0] != 3 || pts[0][1] != 4 || pts[1][1] != 1 {
+		t.Errorf("embed: %v", pts)
+	}
+	norm := EmbedRows(vecs, true)
+	if math.Abs(norm[0][0]-0.6) > 1e-12 || math.Abs(norm[0][1]-0.8) > 1e-12 {
+		t.Errorf("normalised: %v", norm)
+	}
+	// Zero row survives normalisation.
+	z := EmbedRows([][]float64{{0, 1}, {0, 2}}, true)
+	if z[0][0] != 0 || z[0][1] != 0 {
+		t.Errorf("zero row: %v", z)
+	}
+	if EmbedRows(nil, true) != nil {
+		t.Error("empty input")
+	}
+}
+
+func TestSpectralClusterRecoversPlanted(t *testing.T) {
+	r := rng.New(3)
+	p, err := gen.ClusteredRing(3, 60, 20, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SpectralCluster(p.G, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := metrics.MisclassificationRate(p.Truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis > 0.02 {
+		t.Errorf("spectral clustering misclassification %v", mis)
+	}
+	if len(res.Eigenvalues) != 3 {
+		t.Error("eigenvalues missing")
+	}
+}
+
+func TestSpectralClusterValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := SpectralCluster(g, 0, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := SpectralCluster(g, 6, 1); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+func TestLabelPropagationCaveman(t *testing.T) {
+	p := gen.Caveman(4, 8)
+	res, err := LabelPropagation(p.G, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := metrics.ARI(p.Truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.8 {
+		t.Errorf("LPA ARI %v on caveman graph", ari)
+	}
+	if res.Words <= 0 || res.Rounds <= 0 {
+		t.Error("accounting missing")
+	}
+}
+
+func TestLabelPropagationValidation(t *testing.T) {
+	if _, err := LabelPropagation(gen.Cycle(4), 0, 1); err == nil {
+		t.Error("maxRounds=0 should fail")
+	}
+}
+
+func TestLabelPropagationIsolatedNodes(t *testing.T) {
+	// Graph with no edges: everyone keeps their own label.
+	b := gen.Cycle(3) // connected baseline sanity
+	_ = b
+	g, err := gen.RandomRegular(6, 0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LabelPropagation(g, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("isolated nodes should keep unique labels, got %d", len(seen))
+	}
+}
+
+func TestAveragingDynamicsTwoClusters(t *testing.T) {
+	r := rng.New(11)
+	p, err := gen.ClusteredRing(2, 80, 30, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AveragingDynamics(p.G, 2, 30, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := metrics.MisclassificationRate(p.Truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis > 0.1 {
+		t.Errorf("averaging dynamics misclassification %v", mis)
+	}
+	if res.Words != int64(30*2*p.G.M()) {
+		t.Errorf("word count %d", res.Words)
+	}
+}
+
+func TestAveragingDynamicsMultiCluster(t *testing.T) {
+	r := rng.New(13)
+	p, err := gen.ClusteredRing(3, 60, 24, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AveragingDynamics(p.G, 3, 40, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := metrics.MisclassificationRate(p.Truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis > 0.15 {
+		t.Errorf("averaging dynamics k=3 misclassification %v", mis)
+	}
+}
+
+func TestAveragingDynamicsValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := AveragingDynamics(g, 1, 5, 1, 1); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := AveragingDynamics(g, 2, 0, 1, 1); err == nil {
+		t.Error("rounds=0 should fail")
+	}
+	if _, err := AveragingDynamics(g, 6, 5, 1, 1); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+func TestKempeMcSherryRecoversPlanted(t *testing.T) {
+	r := rng.New(17)
+	p, err := gen.ClusteredRing(3, 60, 20, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := KempeMcSherry(p.G, 3, 2000, 1e-9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := metrics.MisclassificationRate(p.Truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis > 0.05 {
+		t.Errorf("KM misclassification %v after %d rounds", mis, res.Rounds)
+	}
+	if res.Words <= 0 {
+		t.Error("missing word accounting")
+	}
+}
+
+func TestKempeMcSherryRoundsGrowWithMixing(t *testing.T) {
+	// Tighter cluster coupling (smaller cut) → slower global mixing → more
+	// rounds to converge. This is the qualitative separation the paper
+	// claims against [21].
+	r := rng.New(19)
+	loose, err := gen.ClusteredRing(2, 50, 12, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := gen.ClusteredRing(2, 50, 18, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := KempeMcSherry(loose.G, 2, 5000, 1e-8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := KempeMcSherry(tight.G, 2, 5000, 1e-8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.TotalRounds <= rl.TotalRounds {
+		t.Errorf("expected more total rounds on tight clusters: %d vs %d", rt.TotalRounds, rl.TotalRounds)
+	}
+	if rt.GossipRounds <= rl.GossipRounds {
+		t.Errorf("gossip rounds should grow with mixing time: %d vs %d", rt.GossipRounds, rl.GossipRounds)
+	}
+}
+
+func TestKempeMcSherryValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := KempeMcSherry(g, 0, 10, 1e-6, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := KempeMcSherry(g, 2, 0, 1e-6, 1); err == nil {
+		t.Error("maxRounds=0 should fail")
+	}
+}
+
+func TestMultilevelBisectBarbell(t *testing.T) {
+	p := gen.Barbell(10)
+	res, err := MultilevelBisect(p.G, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutSize != 1 {
+		t.Errorf("barbell cut %d want 1", res.CutSize)
+	}
+	mis, err := metrics.Misclassified(p.Truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis != 0 {
+		t.Errorf("barbell misclassified %d", mis)
+	}
+}
+
+func TestMultilevelBisectClusteredRing(t *testing.T) {
+	r := rng.New(23)
+	p, err := gen.ClusteredRing(2, 100, 16, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MultilevelBisect(p.G, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal cut is the cross matching: 100 edges.
+	if res.CutSize > 130 {
+		t.Errorf("cut %d far from optimal 100", res.CutSize)
+	}
+	mis, err := metrics.MisclassificationRate(p.Truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis > 0.05 {
+		t.Errorf("bisect misclassification %v", mis)
+	}
+}
+
+func TestMultilevelKWay(t *testing.T) {
+	r := rng.New(29)
+	p, err := gen.ClusteredRing(4, 50, 16, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MultilevelKWay(p.G, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := metrics.MisclassificationRate(p.Truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis > 0.1 {
+		t.Errorf("k-way misclassification %v (cut %d)", mis, res.CutSize)
+	}
+	// Exactly 4 labels used.
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("labels used: %d", len(seen))
+	}
+}
+
+func TestMultilevelValidation(t *testing.T) {
+	g := gen.Cycle(6)
+	if _, err := MultilevelBisect(g, 0, 1); err == nil {
+		t.Error("target 0 should fail")
+	}
+	if _, err := MultilevelBisect(g, 1, 1); err == nil {
+		t.Error("target 1 should fail")
+	}
+	if _, err := MultilevelKWay(g, 0, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := MultilevelKWay(g, 7, 1); err == nil {
+		t.Error("k>n should fail")
+	}
+	if res, err := MultilevelKWay(g, 1, 1); err != nil || res.CutSize != 0 {
+		t.Error("k=1 should be the trivial partition")
+	}
+}
+
+func TestMultilevelLargeInstance(t *testing.T) {
+	// Exercise at least two coarsening levels.
+	r := rng.New(31)
+	p, err := gen.ClusteredRing(2, 400, 10, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MultilevelBisect(p.G, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels < 3 {
+		t.Errorf("expected a deeper hierarchy, levels=%d", res.Levels)
+	}
+	mis, err := metrics.MisclassificationRate(p.Truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis > 0.05 {
+		t.Errorf("large bisect misclassification %v", mis)
+	}
+}

@@ -1,0 +1,175 @@
+// Package baselines implements the comparison algorithms the paper's related
+// work discusses, all from scratch on the same substrates as the main
+// algorithm:
+//
+//   - spectral clustering (Lanczos embedding + k-means), the centralised
+//     gold standard the theory is benchmarked against;
+//   - label propagation, the cheap practical baseline;
+//   - Becchetti et al.-style averaging dynamics (SODA'17), which exchange
+//     messages with *all* neighbours every round;
+//   - Kempe–McSherry decentralised orthogonal iteration (STOC'04), whose
+//     round count is governed by the global mixing time;
+//   - a METIS-style multilevel partitioner (heavy-edge matching coarsening,
+//     greedy growing, Fiduccia–Mattheyses refinement), the tool that
+//     dominates practice.
+//
+// Each distributed baseline reports its message complexity in words so the
+// T3 experiment can compare against Theorem 1.1(2).
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// KMeansResult carries the clustering produced by KMeans.
+type KMeansResult struct {
+	Labels     []int
+	Centers    [][]float64
+	Inertia    float64 // sum of squared distances to assigned centers
+	Iterations int
+}
+
+// KMeans clusters the rows of points into k clusters using k-means++
+// seeding and Lloyd iterations. It is deterministic for a fixed seed.
+func KMeans(points [][]float64, k int, seed uint64, maxIter int) (*KMeansResult, error) {
+	n := len(points)
+	if k <= 0 {
+		return nil, fmt.Errorf("baselines: k must be positive")
+	}
+	if n < k {
+		return nil, fmt.Errorf("baselines: %d points for k=%d", n, k)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("baselines: ragged points")
+		}
+	}
+	r := rng.New(seed)
+	centers := kmeansPlusPlus(points, k, r)
+	labels := make([]int, n)
+	counts := make([]int, k)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := 0
+		inertia := 0.0
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				d := sqDist(p, centers[c])
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed++
+			}
+			inertia += bestD
+		}
+		// Recompute centers.
+		for c := range centers {
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for j, x := range p {
+				centers[c][j] += x
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// center to keep exactly k clusters.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					d := sqDist(p, centers[labels[i]])
+					if d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centers[c], points[far])
+				labels[far] = c
+				counts[c] = 1
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range centers[c] {
+				centers[c][j] *= inv
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	// Final inertia with settled centers.
+	inertia := 0.0
+	for i, p := range points {
+		inertia += sqDist(p, centers[labels[i]])
+	}
+	return &KMeansResult{Labels: labels, Centers: centers, Inertia: inertia, Iterations: iter}, nil
+}
+
+// kmeansPlusPlus chooses k initial centers with the k-means++ D² weighting.
+func kmeansPlusPlus(points [][]float64, k int, r *rng.RNG) [][]float64 {
+	n := len(points)
+	dim := len(points[0])
+	centers := make([][]float64, 0, k)
+	first := r.Intn(n)
+	c0 := make([]float64, dim)
+	copy(c0, points[first])
+	centers = append(centers, c0)
+	d2 := make([]float64, n)
+	for i, p := range points {
+		d2[i] = sqDist(p, c0)
+	}
+	for len(centers) < k {
+		total := 0.0
+		for _, d := range d2 {
+			total += d
+		}
+		var idx int
+		if total <= 0 {
+			idx = r.Intn(n) // all points coincide with centers
+		} else {
+			target := r.Float64() * total
+			acc := 0.0
+			idx = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		c := make([]float64, dim)
+		copy(c, points[idx])
+		centers = append(centers, c)
+		for i, p := range points {
+			if d := sqDist(p, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

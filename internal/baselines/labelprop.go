@@ -1,0 +1,87 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// LabelPropResult carries the output of label propagation.
+type LabelPropResult struct {
+	Labels []int
+	Rounds int
+	// Words is the message complexity: every node sends its current label
+	// to every neighbour each round (2m words per round).
+	Words int64
+}
+
+// LabelPropagation runs synchronous label propagation: every node starts
+// with a unique label and repeatedly adopts the most frequent label among
+// its neighbours (ties broken uniformly at random) until no label changes
+// or maxRounds is reached. A simple, widely deployed community-detection
+// baseline; the number of clusters is not controlled.
+func LabelPropagation(g *graph.Graph, maxRounds int, seed uint64) (*LabelPropResult, error) {
+	if maxRounds <= 0 {
+		return nil, fmt.Errorf("baselines: maxRounds must be positive")
+	}
+	n := g.N()
+	r := rng.New(seed)
+	labels := make([]int, n)
+	for v := range labels {
+		labels[v] = v
+	}
+	next := make([]int, n)
+	counts := map[int]int{}
+	var words int64
+	rounds := 0
+	for ; rounds < maxRounds; rounds++ {
+		words += int64(2 * g.M())
+		changed := 0
+		for v := 0; v < n; v++ {
+			nb := g.Neighbors(v)
+			if len(nb) == 0 {
+				next[v] = labels[v]
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			bestCount := 0
+			for _, u := range nb {
+				l := labels[u]
+				counts[l]++
+				if counts[l] > bestCount {
+					bestCount = counts[l]
+				}
+			}
+			// Collect all maximal labels and break ties randomly but
+			// deterministically under the seed.
+			var tied []int
+			for l, c := range counts {
+				if c == bestCount {
+					tied = append(tied, l)
+				}
+			}
+			best := tied[0]
+			if len(tied) > 1 {
+				// Sort for determinism before drawing.
+				for i := 1; i < len(tied); i++ {
+					for j := i; j > 0 && tied[j] < tied[j-1]; j-- {
+						tied[j], tied[j-1] = tied[j-1], tied[j]
+					}
+				}
+				best = tied[r.Intn(len(tied))]
+			}
+			next[v] = best
+			if best != labels[v] {
+				changed++
+			}
+		}
+		labels, next = next, labels
+		if changed == 0 {
+			break
+		}
+	}
+	return &LabelPropResult{Labels: append([]int(nil), labels...), Rounds: rounds, Words: words}, nil
+}

@@ -1,0 +1,408 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// MultilevelResult carries the output of the multilevel partitioner.
+type MultilevelResult struct {
+	Labels  []int
+	CutSize int
+	Levels  int
+}
+
+// wgraph is the weighted working graph of the multilevel hierarchy: node
+// weights count contracted original vertices and edge weights count
+// contracted original edges.
+type wgraph struct {
+	nodeW []int
+	adj   [][]wedge
+}
+
+type wedge struct {
+	to int
+	w  int
+}
+
+func (wg *wgraph) n() int { return len(wg.nodeW) }
+
+func (wg *wgraph) totalW() int {
+	t := 0
+	for _, w := range wg.nodeW {
+		t += w
+	}
+	return t
+}
+
+// fromGraph lifts an unweighted graph into the weighted representation.
+func fromGraph(g *graph.Graph) *wgraph {
+	wg := &wgraph{nodeW: make([]int, g.N()), adj: make([][]wedge, g.N())}
+	for v := 0; v < g.N(); v++ {
+		wg.nodeW[v] = 1
+		nb := g.Neighbors(v)
+		wg.adj[v] = make([]wedge, len(nb))
+		for i, u := range nb {
+			wg.adj[v][i] = wedge{to: int(u), w: 1}
+		}
+	}
+	return wg
+}
+
+// MultilevelBisect splits the graph into two parts of roughly targetFrac and
+// 1−targetFrac of the total node weight, using heavy-edge-matching
+// coarsening, greedy growing on the coarsest graph and
+// Fiduccia–Mattheyses-style boundary refinement on every level. It returns
+// 0/1 labels and the achieved cut size.
+func MultilevelBisect(g *graph.Graph, targetFrac float64, seed uint64) (*MultilevelResult, error) {
+	if targetFrac <= 0 || targetFrac >= 1 {
+		return nil, fmt.Errorf("baselines: target fraction %v out of (0,1)", targetFrac)
+	}
+	if g.N() == 0 {
+		return &MultilevelResult{Labels: []int{}}, nil
+	}
+	r := rng.New(seed)
+	labels, levels := bisect(fromGraph(g), targetFrac, r)
+	cut := 0
+	g.Edges(func(u, v int) {
+		if labels[u] != labels[v] {
+			cut++
+		}
+	})
+	return &MultilevelResult{Labels: labels, CutSize: cut, Levels: levels}, nil
+}
+
+// bisect runs the multilevel V-cycle on a weighted graph.
+func bisect(wg *wgraph, targetFrac float64, r *rng.RNG) ([]int, int) {
+	const coarsestSize = 48
+	if wg.n() <= coarsestSize {
+		part := greedyGrow(wg, targetFrac, r)
+		refine(wg, part, targetFrac, 8)
+		return part, 1
+	}
+	coarse, mapping := coarsen(wg, r)
+	if coarse.n() >= wg.n() {
+		// No progress (e.g. star-like level); stop the hierarchy here.
+		part := greedyGrow(wg, targetFrac, r)
+		refine(wg, part, targetFrac, 8)
+		return part, 1
+	}
+	coarsePart, levels := bisect(coarse, targetFrac, r)
+	part := make([]int, wg.n())
+	for v := range part {
+		part[v] = coarsePart[mapping[v]]
+	}
+	refine(wg, part, targetFrac, 4)
+	return part, levels + 1
+}
+
+// coarsen contracts a heavy-edge matching and returns the coarse graph plus
+// the fine→coarse mapping.
+func coarsen(wg *wgraph, r *rng.RNG) (*wgraph, []int) {
+	n := wg.n()
+	order := r.Perm(n)
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		bestU, bestW := -1, -1
+		for _, e := range wg.adj[v] {
+			if match[e.to] == -1 && e.to != v && e.w > bestW {
+				bestU, bestW = e.to, e.w
+			}
+		}
+		if bestU >= 0 {
+			match[v] = bestU
+			match[bestU] = v
+		} else {
+			match[v] = v
+		}
+	}
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	next := 0
+	for v := 0; v < n; v++ {
+		if mapping[v] != -1 {
+			continue
+		}
+		mapping[v] = next
+		if match[v] != v && match[v] >= 0 {
+			mapping[match[v]] = next
+		}
+		next++
+	}
+	coarse := &wgraph{nodeW: make([]int, next), adj: make([][]wedge, next)}
+	acc := map[int]int{}
+	// Build coarse adjacency by accumulating per coarse node.
+	byCoarse := make([][]int, next)
+	for v := 0; v < n; v++ {
+		c := mapping[v]
+		coarse.nodeW[c] += wg.nodeW[v]
+		byCoarse[c] = append(byCoarse[c], v)
+	}
+	for c := 0; c < next; c++ {
+		for k := range acc {
+			delete(acc, k)
+		}
+		for _, v := range byCoarse[c] {
+			for _, e := range wg.adj[v] {
+				tc := mapping[e.to]
+				if tc != c {
+					acc[tc] += e.w
+				}
+			}
+		}
+		edges := make([]wedge, 0, len(acc))
+		for to, w := range acc {
+			edges = append(edges, wedge{to: to, w: w})
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i].to < edges[j].to })
+		coarse.adj[c] = edges
+	}
+	return coarse, mapping
+}
+
+// greedyGrow seeds a region at a random node and grows it along maximal
+// internal connectivity until it reaches the target weight; repeated from a
+// few starts, keeping the best cut.
+func greedyGrow(wg *wgraph, targetFrac float64, r *rng.RNG) []int {
+	n := wg.n()
+	target := int(float64(wg.totalW()) * targetFrac)
+	if target < 1 {
+		target = 1
+	}
+	bestPart := make([]int, n)
+	bestCut := -1
+	tries := 4
+	if n < tries {
+		tries = n
+	}
+	for t := 0; t < tries; t++ {
+		part := make([]int, n)
+		for i := range part {
+			part[i] = 1
+		}
+		start := r.Intn(n)
+		part[start] = 0
+		weight := wg.nodeW[start]
+		gain := make(map[int]int)
+		for _, e := range wg.adj[start] {
+			gain[e.to] += e.w
+		}
+		for weight < target && len(gain) > 0 {
+			bestV, bestG := -1, -1
+			for v, gn := range gain {
+				if part[v] == 0 {
+					continue
+				}
+				if gn > bestG || (gn == bestG && v < bestV) {
+					bestV, bestG = v, gn
+				}
+			}
+			if bestV < 0 {
+				break
+			}
+			part[bestV] = 0
+			weight += wg.nodeW[bestV]
+			delete(gain, bestV)
+			for _, e := range wg.adj[bestV] {
+				if part[e.to] == 1 {
+					gain[e.to] += e.w
+				}
+			}
+		}
+		cut := cutWeight(wg, part)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			copy(bestPart, part)
+		}
+	}
+	return bestPart
+}
+
+func cutWeight(wg *wgraph, part []int) int {
+	cut := 0
+	for v := range wg.adj {
+		for _, e := range wg.adj[v] {
+			if e.to > v && part[e.to] != part[v] {
+				cut += e.w
+			}
+		}
+	}
+	return cut
+}
+
+// refine runs FM-style passes: repeatedly move the boundary node with the
+// best gain subject to a balance constraint, accepting the best prefix of
+// moves in each pass.
+func refine(wg *wgraph, part []int, targetFrac float64, passes int) {
+	n := wg.n()
+	total := wg.totalW()
+	target0 := float64(total) * targetFrac
+	slack := float64(total) * 0.05
+	if slack < 1 {
+		slack = 1
+	}
+	w0 := 0
+	for v := 0; v < n; v++ {
+		if part[v] == 0 {
+			w0 += wg.nodeW[v]
+		}
+	}
+	gainOf := func(v int) int {
+		g := 0
+		for _, e := range wg.adj[v] {
+			if part[e.to] == part[v] {
+				g -= e.w
+			} else {
+				g += e.w
+			}
+		}
+		return g
+	}
+	for pass := 0; pass < passes; pass++ {
+		locked := make([]bool, n)
+		type move struct {
+			v    int
+			gain int
+		}
+		var moves []move
+		cumGain, bestPrefixGain, bestPrefix := 0, 0, 0
+		for step := 0; step < n; step++ {
+			bestV, bestG := -1, 0
+			for v := 0; v < n; v++ {
+				if locked[v] {
+					continue
+				}
+				// Balance: moving v must keep side 0 within slack of target.
+				nw0 := w0
+				if part[v] == 0 {
+					nw0 -= wg.nodeW[v]
+				} else {
+					nw0 += wg.nodeW[v]
+				}
+				if float64(nw0) < target0-slack || float64(nw0) > target0+slack {
+					continue
+				}
+				g := gainOf(v)
+				if bestV == -1 || g > bestG {
+					bestV, bestG = v, g
+				}
+			}
+			if bestV == -1 {
+				break
+			}
+			// Apply tentatively.
+			if part[bestV] == 0 {
+				w0 -= wg.nodeW[bestV]
+				part[bestV] = 1
+			} else {
+				w0 += wg.nodeW[bestV]
+				part[bestV] = 0
+			}
+			locked[bestV] = true
+			cumGain += bestG
+			moves = append(moves, move{bestV, bestG})
+			if cumGain > bestPrefixGain {
+				bestPrefixGain = cumGain
+				bestPrefix = len(moves)
+			}
+			if len(moves) > 2*n/3 && cumGain < bestPrefixGain-total {
+				break // hopeless tail
+			}
+		}
+		// Roll back past the best prefix.
+		for i := len(moves) - 1; i >= bestPrefix; i-- {
+			v := moves[i].v
+			if part[v] == 0 {
+				w0 -= wg.nodeW[v]
+				part[v] = 1
+			} else {
+				w0 += wg.nodeW[v]
+				part[v] = 0
+			}
+		}
+		if bestPrefixGain == 0 {
+			break
+		}
+	}
+}
+
+// MultilevelKWay partitions into k parts by recursive bisection with
+// balanced targets, the standard METIS strategy.
+func MultilevelKWay(g *graph.Graph, k int, seed uint64) (*MultilevelResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baselines: k must be positive")
+	}
+	if k > g.N() && g.N() > 0 {
+		return nil, fmt.Errorf("baselines: k=%d exceeds n=%d", k, g.N())
+	}
+	labels := make([]int, g.N())
+	if err := kwayRec(g, identity(g.N()), k, 0, seed, labels); err != nil {
+		return nil, err
+	}
+	cut := 0
+	g.Edges(func(u, v int) {
+		if labels[u] != labels[v] {
+			cut++
+		}
+	})
+	return &MultilevelResult{Labels: labels, CutSize: cut}, nil
+}
+
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// kwayRec bisects the subgraph induced by nodes into k1|k2 shares and
+// recurses, writing final labels starting at labelBase.
+func kwayRec(g *graph.Graph, nodes []int, k, labelBase int, seed uint64, out []int) error {
+	if k == 1 {
+		for _, v := range nodes {
+			out[v] = labelBase
+		}
+		return nil
+	}
+	sub, ids := g.InducedSubgraph(nodes)
+	k1 := k / 2
+	k2 := k - k1
+	res, err := MultilevelBisect(sub, float64(k1)/float64(k), seed)
+	if err != nil {
+		return err
+	}
+	var left, right []int
+	for i, l := range res.Labels {
+		if l == 0 {
+			left = append(left, ids[i])
+		} else {
+			right = append(right, ids[i])
+		}
+	}
+	// Degenerate splits can happen on pathological graphs; repair by moving
+	// one node so recursion terminates.
+	if len(left) == 0 && len(right) > 0 {
+		left = append(left, right[len(right)-1])
+		right = right[:len(right)-1]
+	}
+	if len(right) == 0 && len(left) > 0 {
+		right = append(right, left[len(left)-1])
+		left = left[:len(left)-1]
+	}
+	if err := kwayRec(g, left, k1, labelBase, seed+1, out); err != nil {
+		return err
+	}
+	return kwayRec(g, right, k2, labelBase+k1, seed+2, out)
+}

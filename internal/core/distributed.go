@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// DistOptions configures the message-passing execution.
+type DistOptions struct {
+	// Workers sizes the phase worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// DropProb is the probability that a formed match is lost before the
+	// state exchange completes (modelling a lost accept/exchange message
+	// with a consistent two-sided abort). 0 disables failure injection.
+	DropProb float64
+	// FailSeed drives the drop coins, independently of protocol randomness.
+	FailSeed uint64
+	// Crashed marks nodes that never participate (their state is frozen).
+	// nil means no crashes.
+	Crashed []bool
+}
+
+// msgKind discriminates protocol messages.
+type msgKind uint8
+
+const (
+	msgPropose msgKind = iota
+	msgAccept          // carries the acceptor's state
+	msgState           // carries the proposer's state back to the acceptor
+)
+
+// protoMsg is the wire format of the distributed engine.
+type protoMsg struct {
+	kind  msgKind
+	state State // nil for proposals
+}
+
+// DistResult bundles the clustering result with network-level accounting.
+type DistResult struct {
+	Result
+	// NetworkMessages is the number of individual messages on the wire.
+	NetworkMessages int64
+	// NetworkWords is the total words on the wire (1 per proposal, 1+state
+	// for accepts, state size for exchanges).
+	NetworkWords int64
+	// DroppedMatches counts matches lost to failure injection.
+	DroppedMatches int
+}
+
+// ClusterDistributed executes the algorithm with one logical process per
+// node on the dist runtime. Each round runs the matching protocol as real
+// messages (propose → accept → state exchange) followed by local merges.
+// With DropProb == 0 and no crashes it reproduces exactly the same labels
+// and stats as the sequential Cluster for equal Params, because both draw
+// protocol randomness from identical per-node streams.
+func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistResult, error) {
+	p, err := params.withDefaults(g)
+	if err != nil {
+		return nil, err
+	}
+	if opt.DropProb < 0 || opt.DropProb > 1 {
+		return nil, fmt.Errorf("core: DropProb %v out of [0,1]", opt.DropProb)
+	}
+	if opt.Crashed != nil && len(opt.Crashed) != g.N() {
+		return nil, fmt.Errorf("core: Crashed length %d for n=%d", len(opt.Crashed), g.N())
+	}
+	n := g.N()
+	// Initialisation and seeding run through the same Engine constructor, so
+	// IDs, seeds and per-node streams match the sequential path bit-for-bit.
+	eng, err := NewEngine(g, params)
+	if err != nil {
+		return nil, err
+	}
+	crashed := func(v int) bool { return opt.Crashed != nil && opt.Crashed[v] }
+	failRNGs := matching.NodeRNGs(n, opt.FailSeed^0x9e3779b97f4a7c15)
+
+	net := dist.NewNetwork[protoMsg](n, opt.Workers)
+	active := make([]bool, n)
+	dropped := 0
+	var droppedMu sync.Mutex
+	var pairs atomic.Int64
+
+	for round := 0; round < p.Rounds; round++ {
+		// Phase 1 — propose: active nodes draw a slot on the D-regular view
+		// and propose to the chosen real neighbour.
+		net.Phase(func(v int) {
+			active[v] = false
+			if crashed(v) {
+				// Crashed nodes consume no randomness and send nothing.
+				return
+			}
+			r := eng.rngs[v]
+			active[v] = r.Bool()
+			if !active[v] {
+				return
+			}
+			slot := r.Intn(p.DegreeBound)
+			if slot < g.Degree(v) {
+				net.Send(v, g.Neighbor(v, slot), protoMsg{kind: msgPropose}, 1)
+			}
+		})
+		// Phase 2 — accept: a non-active node chosen by exactly one
+		// neighbour accepts, attaching its state. Failure injection cancels
+		// the match before anything is exchanged.
+		net.Phase(func(v int) {
+			proposals := net.Recv(v)
+			if crashed(v) || active[v] || len(proposals) != 1 {
+				return
+			}
+			u := proposals[0].From
+			if crashed(u) {
+				return
+			}
+			if opt.DropProb > 0 && failRNGs[v].Bernoulli(opt.DropProb) {
+				droppedMu.Lock()
+				dropped++
+				droppedMu.Unlock()
+				return
+			}
+			st := eng.states[v]
+			net.Send(v, u, protoMsg{kind: msgAccept, state: st}, 1+int64(st.Words()))
+		})
+		// Phase 3 — exchange: the proposer merges and replies with its own
+		// pre-merge state.
+		net.Phase(func(v int) {
+			accepts := net.Recv(v)
+			if len(accepts) == 0 {
+				return
+			}
+			// A proposer contacted exactly one neighbour, so at most one
+			// accept can arrive.
+			acc := accepts[0]
+			st := eng.states[v]
+			net.Send(v, acc.From, protoMsg{kind: msgState, state: st}, int64(st.Words()))
+			eng.states[v] = eng.mergeForStorage(st, acc.Body.state)
+		})
+		// Phase 4 — merge on the acceptor side; each completed merge here
+		// accounts for exactly one matched pair.
+		net.Phase(func(v int) {
+			replies := net.Recv(v)
+			if len(replies) == 0 {
+				return
+			}
+			rep := replies[0]
+			eng.states[v] = eng.mergeForStorage(eng.states[v], rep.Body.state)
+			pairs.Add(1)
+		})
+		eng.round++
+		eng.stats.Rounds = eng.round
+		for _, s := range eng.states {
+			if len(s) > eng.stats.MaxStateSize {
+				eng.stats.MaxStateSize = len(s)
+			}
+		}
+	}
+	eng.stats.Matches = int(pairs.Load())
+	res := eng.Query()
+	// The sequential engine's word accounting is reconstructed from the
+	// network counters: proposals and accepts are protocol words; state
+	// payloads are state words.
+	res.Stats.ProtocolWords = 0 // superseded by network accounting below
+	res.Stats.StateWords = 0
+	return &DistResult{
+		Result:          *res,
+		NetworkMessages: net.Counter().Messages(),
+		NetworkWords:    net.Counter().Words(),
+		DroppedMatches:  dropped,
+	}, nil
+}

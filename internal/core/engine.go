@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/rng"
+)
+
+// Params configures the clustering algorithm.
+type Params struct {
+	// Beta is the known lower bound β on the minimum cluster size fraction
+	// (|S_i| >= β·n). Required, in (0, 1].
+	Beta float64
+	// Rounds is the averaging budget T. Required, >= 1. Use
+	// spectral.AutoRounds (or EstimateRoundsMatching) to derive it from the
+	// spectral gap.
+	Rounds int
+	// ThresholdScale multiplies the default query threshold
+	// 1/(sqrt(2β)·n); 0 means 1.
+	ThresholdScale float64
+	// Seed drives all randomness.
+	Seed uint64
+	// DegreeBound is the common upper bound D on the maximum degree used by
+	// the G* protocol of §4.5; 0 means the exact maximum degree.
+	DegreeBound int
+	// SeedTrials overrides the number of seeding trials s̄;
+	// 0 means ceil((3/β)·ln(1/β)) per the paper.
+	SeedTrials int
+	// PruneEpsilon, when positive, drops state entries whose value falls
+	// below it after each merge. The paper keeps exact states; pruning is an
+	// extension that trades a bounded mass loss for smaller messages
+	// (ablation F6). Must stay well below the query threshold.
+	PruneEpsilon float64
+}
+
+// withDefaults validates and fills derived fields.
+func (p Params) withDefaults(g *graph.Graph) (Params, error) {
+	if p.Beta <= 0 || p.Beta > 1 {
+		return p, fmt.Errorf("core: Beta must be in (0,1], got %v", p.Beta)
+	}
+	if p.Rounds < 1 {
+		return p, fmt.Errorf("core: Rounds must be >= 1, got %d", p.Rounds)
+	}
+	if p.ThresholdScale == 0 {
+		p.ThresholdScale = 1
+	}
+	if p.ThresholdScale < 0 {
+		return p, fmt.Errorf("core: ThresholdScale must be positive")
+	}
+	if p.DegreeBound == 0 {
+		p.DegreeBound = g.MaxDegree()
+	}
+	if p.DegreeBound < g.MaxDegree() {
+		return p, fmt.Errorf("core: DegreeBound %d below max degree %d", p.DegreeBound, g.MaxDegree())
+	}
+	if p.SeedTrials == 0 {
+		p.SeedTrials = SeedTrials(p.Beta)
+	}
+	if p.PruneEpsilon < 0 {
+		return p, fmt.Errorf("core: PruneEpsilon must be non-negative")
+	}
+	return p, nil
+}
+
+// SeedTrials returns s̄ = ceil((3/β)·ln(1/β)), the paper's trial count.
+func SeedTrials(beta float64) int {
+	s := (3 / beta) * math.Log(1/beta)
+	if s < 1 {
+		s = 1
+	}
+	return int(math.Ceil(s))
+}
+
+// Threshold returns the query threshold θ = scale/(sqrt(2β)·n) derived from
+// the misclassification analysis in the proof of Theorem 1.1.
+func Threshold(beta float64, n int, scale float64) float64 {
+	if scale == 0 {
+		scale = 1
+	}
+	return scale / (math.Sqrt(2*beta) * float64(n))
+}
+
+// Stats aggregates the cost accounting of a run.
+type Stats struct {
+	Rounds        int
+	Matches       int   // matched pairs over all rounds
+	ProtocolWords int64 // propose + accept messages (one word each)
+	StateWords    int64 // words of state exchanged by matched pairs
+	MaxStateSize  int   // largest per-node entry count seen
+}
+
+// TotalWords returns the full message complexity in words.
+func (s Stats) TotalWords() int64 { return s.ProtocolWords + s.StateWords }
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Labels are dense cluster labels in [0, NumLabels). Nodes whose state
+	// held no value above the threshold share the single dense label mapped
+	// from the sentinel raw label 0.
+	Labels []int
+	// RawLabels holds the winning seed ID per node (0 = none above
+	// threshold).
+	RawLabels []uint64
+	// NumLabels is the number of distinct labels in Labels.
+	NumLabels int
+	// Seeds lists the active nodes from the seeding procedure, and SeedIDs
+	// their identifiers (aligned).
+	Seeds   []int
+	SeedIDs []uint64
+	// Threshold is the query threshold used.
+	Threshold float64
+	Stats     Stats
+}
+
+// Engine runs the algorithm round by round, exposing the state evolution to
+// experiments (accuracy-versus-round traces, load snapshots).
+type Engine struct {
+	g      *graph.Graph
+	params Params
+	states []State
+	rngs   []*rng.RNG
+	ids    []uint64
+	seeds  []int
+	stats  Stats
+	round  int
+}
+
+// NewEngine initialises a run: every node draws its identifier and the
+// seeding procedure plants the initial unit loads.
+func NewEngine(g *graph.Graph, params Params) (*Engine, error) {
+	p, err := params.withDefaults(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	e := &Engine{
+		g:      g,
+		params: p,
+		states: make([]State, n),
+		rngs:   matching.NodeRNGs(n, p.Seed),
+		ids:    make([]uint64, n),
+	}
+	// Initialisation: every node picks a random ID from [1, n³] (§3.1). For
+	// n where n³ overflows we clamp to the full word range; uniqueness holds
+	// whp either way.
+	idSpace := idSpaceFor(n)
+	for v := 0; v < n; v++ {
+		e.ids[v] = e.rngs[v].Uint64n(idSpace) + 1
+	}
+	// Seeding: s̄ trials of Bernoulli(1/n) per node; active at least once →
+	// inject χ_v tagged with ID(v). (§3.2 defines the initial value as 1.)
+	pActive := 1 / float64(n)
+	for v := 0; v < n; v++ {
+		active := false
+		for t := 0; t < p.SeedTrials; t++ {
+			if e.rngs[v].Bernoulli(pActive) {
+				active = true
+			}
+		}
+		if active {
+			e.states[v] = State{{ID: e.ids[v], Val: 1}}
+			e.seeds = append(e.seeds, v)
+		}
+	}
+	return e, nil
+}
+
+// idSpaceFor returns min(n³, 2⁶³) guarding against overflow.
+func idSpaceFor(n int) uint64 {
+	nn := uint64(n)
+	if nn == 0 {
+		return 1
+	}
+	const limit = uint64(1) << 63
+	if nn > 2097151 { // n³ would exceed 2⁶³
+		return limit
+	}
+	return nn * nn * nn
+}
+
+// Seeds returns the active nodes and their IDs.
+func (e *Engine) Seeds() ([]int, []uint64) {
+	ids := make([]uint64, len(e.seeds))
+	for i, v := range e.seeds {
+		ids[i] = e.ids[v]
+	}
+	return append([]int(nil), e.seeds...), ids
+}
+
+// Round returns the number of averaging rounds performed.
+func (e *Engine) Round() int { return e.round }
+
+// States exposes the current node states (shared storage; read-only).
+func (e *Engine) States() []State { return e.states }
+
+// LoadVector extracts the dense load vector for one seed ID (a column of
+// the multi-dimensional process), for analysis experiments.
+func (e *Engine) LoadVector(id uint64) []float64 {
+	out := make([]float64, len(e.states))
+	for v, s := range e.states {
+		out[v] = s.Get(id)
+	}
+	return out
+}
+
+// Step performs one averaging round (§3.1): generate a random matching, and
+// matched pairs merge their states.
+func (e *Engine) Step() {
+	m := matching.Generate(e.g, e.params.DegreeBound, e.rngs)
+	e.StepWith(m)
+}
+
+// StepWith performs one averaging round using a caller-supplied matching —
+// the hook that lets ablations drive the engine with a deterministic
+// balancing-circuit schedule instead of the randomized protocol.
+func (e *Engine) StepWith(m *matching.Matching) {
+	e.stats.ProtocolWords += int64(m.Proposals) + int64(m.Size())
+	for _, pair := range m.Pairs {
+		u, v := pair[0], pair[1]
+		su, sv := e.states[u], e.states[v]
+		e.stats.StateWords += int64(su.Words() + sv.Words())
+		merged := e.mergeForStorage(su, sv)
+		e.states[u] = merged
+		e.states[v] = merged
+		if len(merged) > e.stats.MaxStateSize {
+			e.stats.MaxStateSize = len(merged)
+		}
+	}
+	e.stats.Matches += m.Size()
+	e.round++
+	e.stats.Rounds = e.round
+}
+
+// mergeForStorage merges two states and applies the optional prune filter.
+func (e *Engine) mergeForStorage(a, b State) State {
+	merged := MergeStates(a, b)
+	eps := e.params.PruneEpsilon
+	if eps <= 0 {
+		return merged
+	}
+	kept := merged[:0]
+	for _, entry := range merged {
+		if entry.Val >= eps {
+			kept = append(kept, entry)
+		}
+	}
+	return kept
+}
+
+// Run performs t rounds.
+func (e *Engine) Run(t int) {
+	for i := 0; i < t; i++ {
+		e.Step()
+	}
+}
+
+// Query labels every node from its current state (§3.1): the label is the
+// minimum seed ID whose value clears the threshold; nodes with no qualifying
+// entry share a sentinel raw label 0. The query is local and does not
+// modify state.
+func (e *Engine) Query() *Result {
+	n := e.g.N()
+	thr := Threshold(e.params.Beta, n, e.params.ThresholdScale)
+	raw := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		best := uint64(0)
+		for _, entry := range e.states[v] {
+			if entry.Val >= thr && (best == 0 || entry.ID < best) {
+				best = entry.ID
+			}
+		}
+		raw[v] = best
+	}
+	labels, num := densify(raw)
+	seeds, seedIDs := e.Seeds()
+	return &Result{
+		Labels:    labels,
+		RawLabels: raw,
+		NumLabels: num,
+		Seeds:     seeds,
+		SeedIDs:   seedIDs,
+		Threshold: thr,
+		Stats:     e.stats,
+	}
+}
+
+// densify maps raw labels to [0, k).
+func densify(raw []uint64) ([]int, int) {
+	m := map[uint64]int{}
+	out := make([]int, len(raw))
+	for i, r := range raw {
+		d, ok := m[r]
+		if !ok {
+			d = len(m)
+			m[r] = d
+		}
+		out[i] = d
+	}
+	return out, len(m)
+}
+
+// Cluster runs the full algorithm: seeding, Rounds averaging rounds, query.
+func Cluster(g *graph.Graph, params Params) (*Result, error) {
+	e, err := NewEngine(g, params)
+	if err != nil {
+		return nil, err
+	}
+	e.Run(e.params.Rounds)
+	return e.Query(), nil
+}
+
+// TotalMass sums all load over all nodes and coordinates; it equals the
+// number of seeds at all times (conservation invariant, used by tests and
+// failure-injection experiments).
+func (e *Engine) TotalMass() float64 {
+	var total float64
+	for _, s := range e.states {
+		total += s.Mass()
+	}
+	return total
+}

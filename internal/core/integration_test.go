@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph/gen"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// TestClusterInvariantsProperty drives the full pipeline over random
+// well-clustered instances and checks structural invariants that must hold
+// regardless of accuracy: label vector shape, stats sanity, determinism,
+// and per-coordinate mass conservation.
+func TestClusterInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k := 2 + r.Intn(3)
+		size := 30 + 2*r.Intn(20)
+		dIn := 8 + 2*r.Intn(5)
+		if size*dIn%2 != 0 {
+			size++
+		}
+		p, err := gen.ClusteredRing(k, size, dIn, 1, r)
+		if err != nil {
+			return false
+		}
+		T := 20 + r.Intn(30)
+		params := Params{Beta: 1 / float64(k+1), Rounds: T, Seed: seed ^ 0xfeed}
+		eng, err := NewEngine(p.G, params)
+		if err != nil {
+			return false
+		}
+		seeds, ids := eng.Seeds()
+		if len(seeds) != len(ids) {
+			return false
+		}
+		massBefore := eng.TotalMass()
+		eng.Run(T)
+		if math.Abs(eng.TotalMass()-massBefore) > 1e-9 {
+			return false
+		}
+		res := eng.Query()
+		if len(res.Labels) != p.G.N() || len(res.RawLabels) != p.G.N() {
+			return false
+		}
+		for _, l := range res.Labels {
+			if l < 0 || l >= res.NumLabels {
+				return false
+			}
+		}
+		if res.Stats.Rounds != T {
+			return false
+		}
+		if res.Stats.TotalWords() < 0 {
+			return false
+		}
+		// Determinism: a second run from scratch agrees.
+		res2, err := Cluster(p.G, params)
+		if err != nil {
+			return false
+		}
+		for v := range res.Labels {
+			if res.Labels[v] != res2.Labels[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQueryMonotoneInThreshold checks that raising the threshold can only
+// shrink the set of nodes that receive a non-sentinel label.
+func TestQueryMonotoneInThreshold(t *testing.T) {
+	r := rng.New(3)
+	p, err := gen.ClusteredRing(2, 60, 16, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labelled := func(scale float64) int {
+		res, err := Cluster(p.G, Params{Beta: 0.5, Rounds: 40, Seed: 7, ThresholdScale: scale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for _, raw := range res.RawLabels {
+			if raw != 0 {
+				count++
+			}
+		}
+		return count
+	}
+	prev := labelled(0.25)
+	for _, scale := range []float64{0.5, 1, 2, 4, 16} {
+		cur := labelled(scale)
+		if cur > prev {
+			t.Fatalf("labelled count increased from %d to %d at scale %v", prev, cur, scale)
+		}
+		prev = cur
+	}
+}
+
+// TestLabelsAreClusterConsistent verifies the defining property of the query
+// procedure on a well-clustered instance: any two nodes sharing a raw label
+// agree with the planted partition except for the o(n) error mass.
+func TestLabelsAreClusterConsistent(t *testing.T) {
+	r := rng.New(11)
+	p, err := gen.ClusteredRing(2, 100, 40, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(p.G, Params{Beta: 0.5, Rounds: 110, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := metrics.Misclassified(p.Truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis > p.G.N()/20 {
+		t.Fatalf("misclassified %d of %d", mis, p.G.N())
+	}
+	// Each raw label's holders should be concentrated in one true cluster.
+	byLabel := map[uint64][2]int{}
+	for v, raw := range res.RawLabels {
+		if raw == 0 {
+			continue
+		}
+		counts := byLabel[raw]
+		counts[p.Truth[v]]++
+		byLabel[raw] = counts
+	}
+	for raw, counts := range byLabel {
+		minority := counts[0]
+		if counts[1] < minority {
+			minority = counts[1]
+		}
+		if minority > (counts[0]+counts[1])/10 {
+			t.Errorf("label %d spans clusters: %v", raw, counts)
+		}
+	}
+}

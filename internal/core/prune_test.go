@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/matching"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+func TestPruneEpsilonValidation(t *testing.T) {
+	g := gen.Cycle(6)
+	if _, err := Cluster(g, Params{Beta: 0.5, Rounds: 2, PruneEpsilon: -1}); err == nil {
+		t.Error("negative PruneEpsilon should fail")
+	}
+}
+
+func TestPruneReducesStateAndWords(t *testing.T) {
+	r := rng.New(3)
+	p, err := gen.ClusteredRing(3, 80, 30, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 90
+	exact, err := Cluster(p.G, Params{Beta: 1.0 / 3, Rounds: T, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prune far below the query threshold: tails vanish, accuracy holds.
+	eps := Threshold(1.0/3, p.G.N(), 1) / 50
+	pruned, err := Cluster(p.G, Params{Beta: 1.0 / 3, Rounds: T, Seed: 9, PruneEpsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Stats.StateWords >= exact.Stats.StateWords {
+		t.Errorf("pruning did not reduce words: %d vs %d",
+			pruned.Stats.StateWords, exact.Stats.StateWords)
+	}
+	me, err := metrics.MisclassificationRate(p.Truth, exact.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := metrics.MisclassificationRate(p.Truth, pruned.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp > me+0.05 {
+		t.Errorf("pruning hurt accuracy: %v vs %v", mp, me)
+	}
+}
+
+func TestStepWithDrivesEngine(t *testing.T) {
+	r := rng.New(7)
+	p, err := gen.ClusteredRing(2, 60, 16, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(p.G, Params{Beta: 0.5, Rounds: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuit, err := matching.NewBalancingCircuit(p.G, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := eng.TotalMass()
+	for round := 0; round < 3*circuit.Size(); round++ {
+		eng.StepWith(circuit.Next())
+	}
+	if eng.Round() != 3*circuit.Size() {
+		t.Errorf("round count %d", eng.Round())
+	}
+	if diff := eng.TotalMass() - start; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("mass drift %v under circuit schedule", diff)
+	}
+	if eng.Query() == nil {
+		t.Error("query failed after circuit run")
+	}
+}
+
+func TestBalancingCircuitClustersComparably(t *testing.T) {
+	r := rng.New(13)
+	p, err := gen.ClusteredRing(2, 100, 40, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 100
+	randRes, err := Cluster(p.G, Params{Beta: 0.5, Rounds: T, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(p.G, Params{Beta: 0.5, Rounds: T, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuit, err := matching.NewBalancingCircuit(p.G, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < T; round++ {
+		eng.StepWith(circuit.Next())
+	}
+	circuitRes := eng.Query()
+	mr, err := metrics.MisclassificationRate(p.Truth, randRes.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := metrics.MisclassificationRate(p.Truth, circuitRes.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr > 0.1 || mc > 0.1 {
+		t.Errorf("both models should cluster well: random %v circuit %v", mr, mc)
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+)
+
+// TestLargeScaleEndToEnd exercises the full pipeline at a size two orders of
+// magnitude above the unit tests (n = 30k), both to catch accidental
+// quadratic behaviour and to confirm the accuracy claim survives scale. The
+// internal degree keeps Υ ≈ 23 ≫ ln n, inside the gap condition (2), which
+// at this size genuinely requires a sharper structure than the small tests.
+func TestLargeScaleEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale smoke skipped in -short mode")
+	}
+	r := rng.New(3)
+	p, err := gen.ClusteredRing(3, 10000, 60, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.G.N() != 30000 {
+		t.Fatalf("n = %d", p.G.N())
+	}
+	T, err := spectral.AutoRounds(p.G, 3, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(p.G, Params{Beta: 1.0 / 3, Rounds: T, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := metrics.MisclassificationRate(p.Truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis > 0.05 {
+		t.Errorf("misclassification %v at n=30k (T=%d)", mis, T)
+	}
+	// The message bound should hold with the usual slack.
+	s := len(res.Seeds)
+	bound := int64(T) * int64(p.G.N()) * int64(4*s+8)
+	if res.Stats.TotalWords() > bound {
+		t.Errorf("words %d exceed bound %d", res.Stats.TotalWords(), bound)
+	}
+}

@@ -1,0 +1,81 @@
+// Package core implements the paper's distributed graph-clustering
+// algorithm: the Seeding, Averaging and Query procedures of §3.1, viewed as
+// the multi-dimensional load-balancing process of §3.2.
+//
+// Two execution engines share the algorithm logic: the sequential Engine in
+// this package simulates the synchronous rounds directly (fast, used for
+// large experiments), and the message-passing engine in distributed.go runs
+// one logical process per node on the dist runtime with real message
+// accounting. Both consume per-node random streams, so for equal seeds they
+// produce identical executions.
+package core
+
+import "sort"
+
+// Entry is one tagged load coordinate: the prefix (seed ID) and the suffix
+// (the load value this node holds for that seed's vector).
+type Entry struct {
+	ID  uint64
+	Val float64
+}
+
+// State is a node's sparse multi-dimensional load, sorted by ID. An absent
+// ID means load 0 for that coordinate. States are immutable once built;
+// matched partners share the merged state.
+type State []Entry
+
+// Get returns the load for the given ID (0 if absent).
+func (s State) Get(id uint64) float64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i].ID >= id })
+	if i < len(s) && s[i].ID == id {
+		return s[i].Val
+	}
+	return 0
+}
+
+// Mass returns the total load held across all coordinates.
+func (s State) Mass() float64 {
+	var t float64
+	for _, e := range s {
+		t += e.Val
+	}
+	return t
+}
+
+// Words returns the message size of the state in words: one word for the ID
+// and one for the value of each entry (the paper's accounting unit).
+func (s State) Words() int { return 2 * len(s) }
+
+// MergeStates applies the averaging rule of the paper to the states of two
+// matched nodes and returns their common new state:
+//
+//   - IDs present in both states average their values;
+//   - IDs present in only one state halve their value (the other node's
+//     implicit value is 0).
+//
+// Both inputs must be sorted by ID; the output is sorted by ID.
+func MergeStates(a, b State) State {
+	out := make(State, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].ID == b[j].ID:
+			out = append(out, Entry{a[i].ID, (a[i].Val + b[j].Val) / 2})
+			i++
+			j++
+		case a[i].ID < b[j].ID:
+			out = append(out, Entry{a[i].ID, a[i].Val / 2})
+			i++
+		default:
+			out = append(out, Entry{b[j].ID, b[j].Val / 2})
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		out = append(out, Entry{a[i].ID, a[i].Val / 2})
+	}
+	for ; j < len(b); j++ {
+		out = append(out, Entry{b[j].ID, b[j].Val / 2})
+	}
+	return out
+}

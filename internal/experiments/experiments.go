@@ -1,0 +1,146 @@
+// Package experiments regenerates every table and figure of the evaluation
+// suite defined in DESIGN.md. The paper itself is purely theoretical, so
+// each experiment here is derived from one of its quantitative claims
+// (Theorem 1.1, Lemmas 2.1/4.1/4.3, the §1.3 comparisons); the expected
+// *shape* of each result is recorded in the table notes and verified
+// empirically in EXPERIMENTS.md.
+//
+// Experiments are deterministic under Config.Seed, and Config.Scale shrinks
+// the instance sizes so the same code paths can run as quick benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config controls experiment scale and reproducibility.
+type Config struct {
+	// Scale multiplies instance sizes; 1 reproduces the reference tables,
+	// smaller values run the same sweep on smaller graphs. Values <= 0 mean 1.
+	Scale float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// scaled returns max(lo, round(base*scale)).
+func (c Config) scaled(base, lo int) int {
+	v := int(float64(base)*c.scale() + 0.5)
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// Table is one rendered experiment output (a paper table or the data series
+// behind a figure).
+type Table struct {
+	ID      string
+	Title   string
+	Notes   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Markdown renders the table as GitHub markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Notes)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes-free cells by
+// construction: all our cells are numbers or simple identifiers).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ",") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	return b.String()
+}
+
+// Experiment couples an identifier with its generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Table, error)
+}
+
+// All lists every experiment in the suite, tables first.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "Accuracy vs cluster gap Υ", T1AccuracyVsGap},
+		{"T2", "Round complexity scaling", T2RoundScaling},
+		{"T3", "Message complexity vs baselines", T3MessageComplexity},
+		{"T4", "Accuracy across graph families vs baselines", T4Baselines},
+		{"T5", "Seeding procedure", T5Seeding},
+		{"T6", "Sequential runtime vs spectral clustering", T6Runtime},
+		{"F1", "Load convergence inside a cluster", F1LoadConvergence},
+		{"F2", "Accuracy vs rounds", F2AccuracyVsRounds},
+		{"F3", "Accuracy vs number of clusters", F3AccuracyVsK},
+		{"F4", "Almost-regular robustness", F4AlmostRegular},
+		{"F5", "Matching-matrix law (Lemma 2.1)", F5MatchingLaw},
+		{"F6", "Ablations: averaging model and threshold", F6Ablations},
+		{"F7", "Alternative balancing models", F7BalancingModels},
+		{"F8", "Early-behaviour bound (Lemma 4.1)", F8EarlyBehaviourBound},
+		{"F9", "Synchrony ablation: async gossip", F9AsyncGossip},
+	}
+}
+
+// ByID returns the experiment with the given (case-insensitive) id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// f formats a float compactly for table cells.
+func f(x float64) string { return fmt.Sprintf("%.4g", x) }
+
+// pct formats a rate as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+// i formats an int.
+func i(x int) string { return fmt.Sprintf("%d", x) }
+
+// i64 formats an int64.
+func i64(x int64) string { return fmt.Sprintf("%d", x) }

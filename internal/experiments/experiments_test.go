@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is the smallest config that still exercises every code path.
+var tiny = Config{Scale: 0.25, Seed: 1}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:      "X0",
+		Title:   "demo",
+		Notes:   "note",
+		Headers: []string{"a", "b"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("3", "4")
+	md := tb.Markdown()
+	if !strings.Contains(md, "### X0 — demo") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Errorf("markdown:\n%s", md)
+	}
+	csv := tb.CSV()
+	if csv != "a,b\n1,2\n3,4\n" {
+		t.Errorf("csv: %q", csv)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.Run == nil || e.ID == "" || e.Title == "" {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("t1"); !ok {
+		t.Error("ByID should be case-insensitive")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id should not resolve")
+	}
+	if len(IDs()) != 15 {
+		t.Error("IDs() incomplete")
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	c := Config{Scale: 0.5}
+	if c.scaled(100, 10) != 50 {
+		t.Errorf("scaled = %d", c.scaled(100, 10))
+	}
+	if c.scaled(10, 10) != 10 {
+		t.Error("floor not applied")
+	}
+	zero := Config{}
+	if zero.scaled(100, 1) != 100 {
+		t.Error("zero scale should mean 1")
+	}
+}
+
+// Each experiment must run at tiny scale and produce a well-formed table.
+// These are smoke tests for shape; EXPERIMENTS.md records full-scale output.
+
+func checkTable(t *testing.T, tb *Table, err error, minRows int) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb == nil {
+		t.Fatal("nil table")
+	}
+	if len(tb.Rows) < minRows {
+		t.Fatalf("%s: only %d rows", tb.ID, len(tb.Rows))
+	}
+	for idx, row := range tb.Rows {
+		if len(row) != len(tb.Headers) {
+			t.Fatalf("%s row %d: %d cells for %d headers", tb.ID, idx, len(row), len(tb.Headers))
+		}
+	}
+}
+
+func TestT1Smoke(t *testing.T) {
+	tb, err := T1AccuracyVsGap(tiny)
+	checkTable(t, tb, err, 5)
+}
+
+func TestT2Smoke(t *testing.T) {
+	tb, err := T2RoundScaling(tiny)
+	checkTable(t, tb, err, 5)
+}
+
+func TestT3Smoke(t *testing.T) {
+	tb, err := T3MessageComplexity(Config{Scale: 0.1, Seed: 1})
+	checkTable(t, tb, err, 4)
+}
+
+func TestT4Smoke(t *testing.T) {
+	tb, err := T4Baselines(tiny)
+	checkTable(t, tb, err, 15)
+}
+
+func TestT5Smoke(t *testing.T) {
+	tb, err := T5Seeding(tiny)
+	checkTable(t, tb, err, 4)
+}
+
+func TestT6Smoke(t *testing.T) {
+	tb, err := T6Runtime(Config{Scale: 0.1, Seed: 1})
+	checkTable(t, tb, err, 5)
+}
+
+func TestF1Smoke(t *testing.T) {
+	tb, err := F1LoadConvergence(tiny)
+	checkTable(t, tb, err, 10)
+}
+
+func TestF2Smoke(t *testing.T) {
+	tb, err := F2AccuracyVsRounds(tiny)
+	checkTable(t, tb, err, 10)
+}
+
+func TestF3Smoke(t *testing.T) {
+	tb, err := F3AccuracyVsK(tiny)
+	checkTable(t, tb, err, 5)
+}
+
+func TestF4Smoke(t *testing.T) {
+	tb, err := F4AlmostRegular(tiny)
+	checkTable(t, tb, err, 3)
+}
+
+func TestF5Smoke(t *testing.T) {
+	tb, err := F5MatchingLaw(Config{Scale: 0.05, Seed: 1})
+	checkTable(t, tb, err, 4)
+}
+
+func TestF6Smoke(t *testing.T) {
+	tb, err := F6Ablations(tiny)
+	checkTable(t, tb, err, 6)
+}
+
+func TestF7Smoke(t *testing.T) {
+	tb, err := F7BalancingModels(tiny)
+	checkTable(t, tb, err, 8)
+}
+
+func TestF8Smoke(t *testing.T) {
+	tb, err := F8EarlyBehaviourBound(tiny)
+	checkTable(t, tb, err, 4)
+}
+
+func TestF9Smoke(t *testing.T) {
+	tb, err := F9AsyncGossip(tiny)
+	checkTable(t, tb, err, 2)
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph/gen"
+	"repro/internal/linalg"
+	"repro/internal/loadbalance"
+	"repro/internal/matching"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+)
+
+// F7BalancingModels contrasts the paper's randomized matching protocol with
+// two related-work balancing models on the same instance: the deterministic
+// balancing circuit (edge-colouring schedule, Rabani–Sinclair–Wanka) for the
+// full clustering task, and the indivisible-token process (Berenbrink et
+// al.) for the one-dimensional discrepancy trajectory.
+func F7BalancingModels(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "F7",
+		Title: "Alternative balancing models (2-cluster ring)",
+		Notes: "Expected shape: the deterministic balancing circuit clusters " +
+			"as well as the randomized protocol at equal round budgets " +
+			"(randomization buys simplicity, not accuracy); the discrete " +
+			"token process tracks the continuous one down to an O(1) " +
+			"discrepancy floor.",
+		Headers: []string{"part", "setting", "rounds", "value"},
+	}
+	p, _, T, err := ringInstance(cfg, 2, 250, 40, 1, 103)
+	if err != nil {
+		return nil, err
+	}
+	beta := p.MinClusterFraction()
+
+	// Part (a): clustering accuracy, random protocol vs circuit schedule.
+	res, err := core.Cluster(p.G, core.Params{Beta: beta, Rounds: T, Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	misRand, err := metrics.MisclassificationRate(p.Truth, res.Labels)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("clustering", "random matching", i(T), pct(misRand))
+
+	engine, err := core.NewEngine(p.G, core.Params{Beta: beta, Rounds: T, Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	circuit, err := matching.NewBalancingCircuit(p.G, rng.New(cfg.Seed+2))
+	if err != nil {
+		return nil, err
+	}
+	// The circuit applies every edge exactly once per sweep, so one sweep
+	// does roughly d/2 matchings' worth of averaging; run the same number of
+	// *matching applications* as the random protocol for a fair comparison.
+	for round := 0; round < T; round++ {
+		engine.StepWith(circuit.Next())
+	}
+	cres := engine.Query()
+	misCircuit, err := metrics.MisclassificationRate(p.Truth, cres.Labels)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("clustering", "balancing circuit", i(T), pct(misCircuit))
+
+	// Part (b): 1-dim discrepancy, continuous vs discrete tokens, on a
+	// fast-mixing expander so the runs reach the regime where they differ:
+	// the continuous process decays geometrically forever while rounding
+	// pins the token process at an O(1) discrepancy floor.
+	exp, err := gen.RandomRegular(cfg.scaled(400, 64), 16, rng.New(cfg.Seed+7))
+	if err != nil {
+		return nil, err
+	}
+	n := exp.N()
+	const tokens = 1 << 20
+	y0f := make([]float64, n)
+	y0f[0] = tokens
+	y0i := make([]int64, n)
+	y0i[0] = tokens
+	pf, err := loadbalance.NewProcess(exp, exp.MaxDegree(), y0f, cfg.Seed+5)
+	if err != nil {
+		return nil, err
+	}
+	pi, err := loadbalance.NewDiscreteProcess(exp, exp.MaxDegree(), y0i, cfg.Seed+5)
+	if err != nil {
+		return nil, err
+	}
+	checkpoints := []int{50, 150, 400, 900, 2000}
+	prev := 0
+	for _, cp := range checkpoints {
+		pf.Run(cp - prev)
+		pi.Run(cp - prev)
+		prev = cp
+		t.AddRow("discrepancy", "continuous", i(cp), f(loadbalance.Discrepancy(pf.Load())))
+		t.AddRow("discrepancy", "discrete tokens", i(cp),
+			f(float64(loadbalance.DiscreteDiscrepancy(pi.Load()))))
+	}
+	return t, nil
+}
+
+// F8EarlyBehaviourBound validates Lemma 4.1 numerically: the expected
+// distance E‖Q·y(0) − y(t)‖ stays below the bound 2√(t(1−λ_k))·‖Q·y(0)‖ and
+// both grow with t (Remark 1 — the bound is increasing because the process
+// eventually leaves the top-k subspace's cluster structure for the global
+// uniform vector).
+func F8EarlyBehaviourBound(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "F8",
+		Title: "Early-behaviour bound of Lemma 4.1 (2-cluster ring)",
+		Notes: "Expected shape: Lemma 4.1 is stated for t ≥ T, so checkpoints " +
+			"start at T: the measured E‖Qy(0)−y(t)‖ sits below the bound " +
+			"2·sqrt(t_eff(1−λ_k))·‖Qy(0)‖ at every t ≥ T, and the measured " +
+			"error grows slowly with t (Remark 1).",
+		Headers: []string{"t", "measured E‖Qy(0)−y(t)‖", "Lemma 4.1 bound", "bound/measured"},
+	}
+	p, st, T, err := ringInstance(cfg, 2, 200, 40, 1, 107)
+	if err != nil {
+		return nil, err
+	}
+	n := p.G.N()
+	k := 2
+	// Projection Q onto span(f_1..f_k).
+	project := func(y []float64) []float64 {
+		out := make([]float64, n)
+		for i := 0; i < k; i++ {
+			linalg.AddScaled(out, linalg.Dot(y, st.Eigvecs[i]), st.Eigvecs[i])
+		}
+		return out
+	}
+	// Start from a good node (smallest α).
+	ga, err := spectral.AnalyzeGoodNodes(p.G, p.Truth, k, st.Eigvecs[:k])
+	if err != nil {
+		return nil, err
+	}
+	good := 0
+	for v := 1; v < n; v++ {
+		if ga.Alpha[v] < ga.Alpha[good] {
+			good = v
+		}
+	}
+	y0 := make([]float64, n)
+	y0[good] = 1
+	qy0 := project(y0)
+	qy0Norm := linalg.Norm(qy0)
+
+	lambdaK := st.LambdaK
+	const reps = 12
+	checkpoints := []int{T, 3 * T / 2, 2 * T, 3 * T, 4 * T}
+	sums := make([]float64, len(checkpoints))
+	for rep := 0; rep < reps; rep++ {
+		proc, err := loadbalance.NewProcess(p.G, p.G.MaxDegree(), y0, cfg.Seed+uint64(rep)*31)
+		if err != nil {
+			return nil, err
+		}
+		prev := 0
+		for ci, cp := range checkpoints {
+			proc.Run(cp - prev)
+			prev = cp
+			sums[ci] += linalg.Dist(qy0, proc.Load())
+		}
+	}
+	// The Lemma is stated for the idealized per-round gap; in the matching
+	// model t rounds realise an effective t_eff = t·d̄/4 applications of the
+	// averaged operator, so the bound uses t_eff (this is the same constant
+	// absorbed into the paper's Θ(·) for T).
+	db := matching.DBar(p.G.MaxDegree())
+	for ci, cp := range checkpoints {
+		measured := sums[ci] / reps
+		tEff := float64(cp) * db / 4
+		bound := 2 * math.Sqrt(tEff*(1-lambdaK)) * qy0Norm
+		ratio := math.Inf(1)
+		if measured > 0 {
+			ratio = bound / measured
+		}
+		t.AddRow(i(cp), f(measured), f(bound), f(ratio))
+	}
+	return t, nil
+}

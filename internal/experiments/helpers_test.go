@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/matching"
+)
+
+func TestMatchingDBarMirrorsCanonical(t *testing.T) {
+	for _, d := range []int{0, 1, 2, 3, 8, 17, 64} {
+		if got, want := matchingDBar(d), matching.DBar(d); got != want {
+			t.Errorf("d=%d: %v != %v", d, got, want)
+		}
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	xs := []int{3, 1, 2}
+	sortInts(xs)
+	if xs[0] != 1 || xs[1] != 2 || xs[2] != 3 {
+		t.Errorf("sorted: %v", xs)
+	}
+	sortInts(nil) // must not panic
+	one := []int{5}
+	sortInts(one)
+	if one[0] != 5 {
+		t.Error("singleton corrupted")
+	}
+}
+
+func TestRoundsToAccuracyFindsWindow(t *testing.T) {
+	cfg := Config{Scale: 0.25, Seed: 1}
+	p, _, T, err := ringInstance(cfg, 2, 200, 40, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tStar, err := roundsToAccuracy(p, 7, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tStar <= 0 || tStar > 5*T {
+		t.Errorf("tStar = %d (T = %d)", tStar, T)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if f(1.23456) != "1.235" {
+		t.Errorf("f: %q", f(1.23456))
+	}
+	if pct(0.1234) != "12.34%" {
+		t.Errorf("pct: %q", pct(0.1234))
+	}
+	if i(42) != "42" || i64(1<<40) != "1099511627776" {
+		t.Error("int formatting")
+	}
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable CSR Graph.
+// Duplicate edge insertions and self-loops are rejected at Build time so the
+// resulting graph is always simple.
+type Builder struct {
+	n     int
+	us    []int32
+	vs    []int32
+	built bool
+}
+
+// NewBuilder returns a builder for a graph on n nodes (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// N returns the node count the builder was created with.
+func (b *Builder) N() int { return b.n }
+
+// EdgeCount returns the number of edges added so far.
+func (b *Builder) EdgeCount() int { return len(b.us) }
+
+// AddEdge records the undirected edge {u,v}. Validation happens in Build.
+func (b *Builder) AddEdge(u, v int) {
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+}
+
+// ErrSelfLoop is returned by Build when an edge {v,v} was added.
+var ErrSelfLoop = errors.New("graph: self-loop")
+
+// ErrDuplicateEdge is returned by Build when an edge was added twice.
+var ErrDuplicateEdge = errors.New("graph: duplicate edge")
+
+// ErrNodeOutOfRange is returned by Build for an endpoint outside [0,n).
+var ErrNodeOutOfRange = errors.New("graph: node out of range")
+
+// Build validates the edge set and returns the immutable graph.
+// The builder must not be reused after a successful Build.
+func (b *Builder) Build() (*Graph, error) {
+	if b.built {
+		return nil, errors.New("graph: builder already consumed")
+	}
+	n := b.n
+	deg := make([]int32, n)
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("%w: {%d,%d} with n=%d", ErrNodeOutOfRange, u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+		}
+		deg[u]++
+		deg[v]++
+	}
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj := make([]int32, offsets[n])
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		adj[cursor[u]] = v
+		cursor[u]++
+		adj[cursor[v]] = u
+		cursor[v]++
+	}
+	minDeg, maxDeg := 0, 0
+	if n > 0 {
+		minDeg = int(deg[0])
+	}
+	for v := 0; v < n; v++ {
+		nb := adj[offsets[v]:offsets[v+1]]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		for i := 1; i < len(nb); i++ {
+			if nb[i] == nb[i-1] {
+				return nil, fmt.Errorf("%w: {%d,%d}", ErrDuplicateEdge, v, nb[i])
+			}
+		}
+		if int(deg[v]) > maxDeg {
+			maxDeg = int(deg[v])
+		}
+		if int(deg[v]) < minDeg {
+			minDeg = int(deg[v])
+		}
+	}
+	b.built = true
+	return &Graph{
+		offsets: offsets,
+		adj:     adj,
+		n:       n,
+		m:       len(b.us),
+		maxDeg:  maxDeg,
+		minDeg:  minDeg,
+	}, nil
+}
+
+// MustBuild is Build that panics on error, for generators whose construction
+// is correct by design.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSBMHetero(t *testing.T) {
+	r := rng.New(1)
+	p, err := SBMHetero([]int{200, 200}, []float64{0.1, 0.3}, 0.005, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.G.N() != 400 || p.K != 2 {
+		t.Fatalf("shape: %v", p.G)
+	}
+	// Block 1 should be denser: compare average internal degrees.
+	deg := func(base, size int) float64 {
+		total := 0
+		for v := base; v < base+size; v++ {
+			total += p.G.Degree(v)
+		}
+		return float64(total) / float64(size)
+	}
+	d0, d1 := deg(0, 200), deg(200, 200)
+	if d1 < 2*d0 {
+		t.Errorf("expected block 1 ~3x denser: %.1f vs %.1f", d0, d1)
+	}
+}
+
+func TestSBMHeteroErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := SBMHetero([]int{5}, []float64{0.1, 0.2}, 0, r); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := SBMHetero([]int{5}, []float64{1.5}, 0, r); err == nil {
+		t.Error("pIn > 1 should fail")
+	}
+	if _, err := SBMHetero([]int{5}, []float64{0.5}, -0.1, r); err == nil {
+		t.Error("negative pOut should fail")
+	}
+	if _, err := SBMHetero([]int{0}, []float64{0.5}, 0.1, r); err == nil {
+		t.Error("zero block should fail")
+	}
+}
+
+func TestPowerLawCluster(t *testing.T) {
+	r := rng.New(3)
+	p, err := PowerLawCluster(3, 200, 2.5, 5, 40, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.G.N() != 600 || p.K != 3 {
+		t.Fatalf("shape: %v", p.G)
+	}
+	// Heavy tail: max degree should be well above the average.
+	avg := 2 * float64(p.G.M()) / float64(p.G.N())
+	if float64(p.G.MaxDegree()) < 2*avg {
+		t.Errorf("no heavy tail: max %d avg %.1f", p.G.MaxDegree(), avg)
+	}
+	// Planted structure: each block's conductance should be modest.
+	members := make([][]int, 3)
+	for v, c := range p.Truth {
+		members[c] = append(members[c], v)
+	}
+	for c, s := range members {
+		if phi := p.G.Conductance(s); phi > 0.35 {
+			t.Errorf("block %d conductance %v too high", c, phi)
+		}
+	}
+}
+
+func TestPowerLawClusterSingle(t *testing.T) {
+	r := rng.New(5)
+	p, err := PowerLawCluster(1, 100, 2.2, 3, 20, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.G.N() != 100 || p.K != 1 {
+		t.Fatalf("shape: %v", p.G)
+	}
+}
+
+func TestPowerLawClusterErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := PowerLawCluster(0, 10, 2.5, 1, 5, 1, r); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := PowerLawCluster(2, 1, 2.5, 1, 5, 1, r); err == nil {
+		t.Error("size=1 should fail")
+	}
+	if _, err := PowerLawCluster(2, 10, 1.0, 1, 5, 1, r); err == nil {
+		t.Error("gamma<=1 should fail")
+	}
+	if _, err := PowerLawCluster(2, 10, 2.5, 5, 1, 1, r); err == nil {
+		t.Error("wMax < wMin should fail")
+	}
+}
+
+func TestClusteredRingManyCrossMatchings(t *testing.T) {
+	// 16 stacked matchings between adjacent clusters: whole-permutation
+	// rejection would fail with probability ~1-e^{-15}; the transposition
+	// repair must succeed.
+	r := rng.New(7)
+	p, err := ClusteredRing(4, 64, 30, 16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeg := 30 + 2*16
+	if !p.G.IsRegular() || p.G.MaxDegree() != wantDeg {
+		t.Fatalf("expected %d-regular, got [%d,%d]", wantDeg, p.G.MinDegree(), p.G.MaxDegree())
+	}
+}

@@ -1,0 +1,309 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCycle(t *testing.T) {
+	g := Cycle(5)
+	if g.N() != 5 || g.M() != 5 {
+		t.Fatalf("got %v", g)
+	}
+	if !g.IsRegular() || g.MaxDegree() != 2 {
+		t.Error("cycle should be 2-regular")
+	}
+	if !g.IsConnected() {
+		t.Error("cycle should be connected")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.M() != 15 || g.MaxDegree() != 5 || !g.IsRegular() {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// 3*3 horizontal + 2*4 vertical = 9+8 = 17
+	if g.M() != 17 {
+		t.Fatalf("m = %d", g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("grid should be connected")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || !g.IsRegular() || g.MaxDegree() != 4 {
+		t.Fatalf("got %v", g)
+	}
+	if g.M() != 32 {
+		t.Fatalf("m = %d", g.M())
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	p := Barbell(4)
+	if p.G.N() != 8 || p.K != 2 {
+		t.Fatalf("got %v", p.G)
+	}
+	// 2*C(4,2) + 1 bridge = 13
+	if p.G.M() != 13 {
+		t.Fatalf("m = %d", p.G.M())
+	}
+	if p.Truth[0] != 0 || p.Truth[7] != 1 {
+		t.Error("truth labels wrong")
+	}
+	if !p.G.IsConnected() {
+		t.Error("barbell should be connected")
+	}
+}
+
+func TestCaveman(t *testing.T) {
+	p := Caveman(4, 5)
+	if p.G.N() != 20 || p.K != 4 {
+		t.Fatalf("got %v", p.G)
+	}
+	if !p.G.IsConnected() {
+		t.Error("caveman should be connected")
+	}
+	// Each clique's conductance should be small.
+	clique := []int{0, 1, 2, 3, 4}
+	if phi := p.G.Conductance(clique); phi > 0.15 {
+		t.Errorf("clique conductance %v too large", phi)
+	}
+	if p.MinClusterFraction() != 0.25 {
+		t.Errorf("beta = %v", p.MinClusterFraction())
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	r := rng.New(1)
+	for _, tc := range []struct{ n, d int }{{10, 3}, {20, 4}, {51, 8}, {16, 15}} {
+		g, err := RandomRegular(tc.n, tc.d, r)
+		if err != nil {
+			t.Fatalf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+		if g.N() != tc.n {
+			t.Fatalf("n mismatch")
+		}
+		if !g.IsRegular() || g.MaxDegree() != tc.d {
+			t.Errorf("n=%d d=%d: degrees [%d,%d]", tc.n, tc.d, g.MinDegree(), g.MaxDegree())
+		}
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := RandomRegular(5, 3, r); err == nil {
+		t.Error("odd n*d should fail")
+	}
+	if _, err := RandomRegular(4, 4, r); err == nil {
+		t.Error("d >= n should fail")
+	}
+	g, err := RandomRegular(7, 0, r)
+	if err != nil || g.M() != 0 {
+		t.Error("d=0 should give the empty graph")
+	}
+}
+
+func TestRandomRegularConnectivity(t *testing.T) {
+	// Random d-regular graphs with d >= 3 are connected whp.
+	r := rng.New(42)
+	for trial := 0; trial < 5; trial++ {
+		g, err := RandomRegular(100, 4, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsConnected() {
+			t.Error("random 4-regular graph disconnected (unlikely)")
+		}
+	}
+}
+
+func TestClusteredRing(t *testing.T) {
+	r := rng.New(7)
+	p, err := ClusteredRing(4, 50, 8, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.G
+	if g.N() != 200 || p.K != 4 {
+		t.Fatalf("got %v", g)
+	}
+	wantDeg := 8 + 2*1
+	if !g.IsRegular() || g.MaxDegree() != wantDeg {
+		t.Fatalf("expected %d-regular, got [%d,%d]", wantDeg, g.MinDegree(), g.MaxDegree())
+	}
+	if !g.IsConnected() {
+		t.Error("clustered ring should be connected")
+	}
+	// Each cluster should have conductance exactly 2c/d = 2/10.
+	for c := 0; c < 4; c++ {
+		s := []int{}
+		for v := 0; v < g.N(); v++ {
+			if p.Truth[v] == c {
+				s = append(s, v)
+			}
+		}
+		phi := g.Conductance(s)
+		if phi != 0.2 {
+			t.Errorf("cluster %d conductance %v want 0.2", c, phi)
+		}
+	}
+}
+
+func TestClusteredRingTwoClusters(t *testing.T) {
+	r := rng.New(9)
+	p, err := ClusteredRing(2, 40, 6, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeg := 6 + 2 // k=2: d = dIn + c
+	if !p.G.IsRegular() || p.G.MaxDegree() != wantDeg {
+		t.Fatalf("expected %d-regular, got [%d,%d]", wantDeg, p.G.MinDegree(), p.G.MaxDegree())
+	}
+}
+
+func TestClusteredRingErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := ClusteredRing(1, 10, 4, 1, r); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := ClusteredRing(2, 3, 4, 1, r); err == nil {
+		t.Error("tiny cluster should fail")
+	}
+	if _, err := ClusteredRing(2, 5, 3, 1, r); err == nil {
+		t.Error("odd size*dIn should fail")
+	}
+}
+
+func TestSBMShape(t *testing.T) {
+	r := rng.New(11)
+	p, err := SBM([]int{50, 50, 50}, 0.3, 0.01, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.G.N() != 150 || p.K != 3 {
+		t.Fatalf("got %v", p.G)
+	}
+	if p.Truth[0] != 0 || p.Truth[149] != 2 {
+		t.Error("truth wrong")
+	}
+	// Expected within edges: 3 * C(50,2)*0.3 ≈ 1102; cross: 3*2500*0.01 = 75.
+	if p.G.M() < 900 || p.G.M() > 1400 {
+		t.Errorf("edge count %d implausible", p.G.M())
+	}
+}
+
+func TestSBMDenseLimit(t *testing.T) {
+	r := rng.New(3)
+	p, err := SBM([]int{10, 10}, 1.0, 0.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two disjoint K10s.
+	if p.G.M() != 2*45 {
+		t.Fatalf("m = %d want 90", p.G.M())
+	}
+	if p.G.IsConnected() {
+		t.Error("pOut=0 should disconnect blocks")
+	}
+}
+
+func TestSBMBalancedDegrees(t *testing.T) {
+	r := rng.New(5)
+	p, err := SBMBalanced(2, 300, 20, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := 2 * float64(p.G.M()) / float64(p.G.N())
+	if avg < 19 || avg > 25 {
+		t.Errorf("average degree %v want ~22", avg)
+	}
+}
+
+func TestSBMErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := SBM([]int{5}, -0.1, 0, r); err == nil {
+		t.Error("negative p should fail")
+	}
+	if _, err := SBM([]int{0}, 0.5, 0, r); err == nil {
+		t.Error("zero block should fail")
+	}
+}
+
+func TestPairFromIndex(t *testing.T) {
+	// Exhaustive check for s=6: indices 0..14 map to distinct pairs (i>j).
+	seen := map[[2]int64]bool{}
+	for idx := int64(0); idx < 15; idx++ {
+		i, j := pairFromIndex(idx)
+		if j >= i || i < 1 || i > 5 || j < 0 {
+			t.Fatalf("idx %d -> (%d,%d) invalid", idx, i, j)
+		}
+		key := [2]int64{i, j}
+		if seen[key] {
+			t.Fatalf("pair (%d,%d) repeated", i, j)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGiantComponent(t *testing.T) {
+	r := rng.New(13)
+	// pOut=0 with 2 blocks: giant component is one block.
+	p, err := SBM([]int{30, 20}, 1.0, 0.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := GiantComponent(p)
+	if gc.G.N() != 30 {
+		t.Fatalf("giant component n = %d want 30", gc.G.N())
+	}
+	if gc.K != 1 {
+		t.Errorf("K = %d want 1", gc.K)
+	}
+	if !gc.G.IsConnected() {
+		t.Error("giant component must be connected")
+	}
+}
+
+func TestGiantComponentNoopWhenConnected(t *testing.T) {
+	p := Caveman(3, 4)
+	if got := GiantComponent(p); got != p {
+		t.Error("connected graph should be returned unchanged")
+	}
+}
+
+func TestSamplePairsProbabilityOne(t *testing.T) {
+	count := 0
+	samplePairs(10, 1.0, rng.New(1), func(int64) { count++ })
+	if count != 10 {
+		t.Fatalf("p=1 visited %d of 10", count)
+	}
+}
+
+func TestSamplePairsProbabilityZero(t *testing.T) {
+	samplePairs(10, 0, rng.New(1), func(int64) { t.Fatal("p=0 visited an index") })
+}
+
+func TestSamplePairsFrequency(t *testing.T) {
+	r := rng.New(17)
+	const total, p, trials = 1000, 0.2, 50
+	sum := 0
+	for i := 0; i < trials; i++ {
+		samplePairs(total, p, r, func(int64) { sum++ })
+	}
+	mean := float64(sum) / trials
+	if mean < 180 || mean > 220 {
+		t.Errorf("mean visits %v want ~200", mean)
+	}
+}

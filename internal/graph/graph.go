@@ -1,0 +1,197 @@
+// Package graph provides a compact, immutable sparse-graph representation
+// (compressed sparse rows) together with the structural queries used by the
+// clustering algorithm and its analysis: degrees, volumes, cut sizes,
+// conductance, and connectivity.
+//
+// Graphs are undirected and simple (no self-loops, no parallel edges). The
+// almost-regular machinery of the paper (§4.5) is realised by the VirtualDegree
+// field: algorithms that view G as the D-regular graph G* (each node padded
+// with D−deg(v) self-loops) read D from the graph rather than materialising
+// the loops.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected simple graph in CSR form.
+// Construct with a Builder or a generator; direct construction is invalid.
+type Graph struct {
+	offsets []int32 // length n+1; neighbours of v are adj[offsets[v]:offsets[v+1]]
+	adj     []int32 // concatenated sorted adjacency lists; length 2m
+	n       int
+	m       int
+	maxDeg  int
+	minDeg  int
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// MaxDegree returns the maximum degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// MinDegree returns the minimum degree (0 for the empty graph).
+func (g *Graph) MinDegree() int { return g.minDeg }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Neighbor returns the i-th neighbour of v (0-indexed in sorted order).
+func (g *Graph) Neighbor(v, i int) int {
+	return int(g.adj[int(g.offsets[v])+i])
+}
+
+// HasEdge reports whether {u,v} is an edge, via binary search.
+func (g *Graph) HasEdge(u, v int) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// IsRegular reports whether every node has the same degree.
+func (g *Graph) IsRegular() bool { return g.n == 0 || g.maxDeg == g.minDeg }
+
+// DegreeRatio returns maxDeg/minDeg; it returns +Inf-like behaviour as 0
+// denominator is mapped to 0 to keep callers simple on degenerate graphs.
+func (g *Graph) DegreeRatio() float64 {
+	if g.minDeg == 0 {
+		return 0
+	}
+	return float64(g.maxDeg) / float64(g.minDeg)
+}
+
+// Volume returns the sum of degrees of the nodes in S.
+func (g *Graph) Volume(s []int) int {
+	vol := 0
+	for _, v := range s {
+		vol += g.Degree(v)
+	}
+	return vol
+}
+
+// CutSize returns |E(S, V\S)| where membership in S is given by inS.
+func (g *Graph) CutSize(inS []bool) int {
+	cut := 0
+	for v := 0; v < g.n; v++ {
+		if !inS[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if !inS[u] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Conductance returns φ(S) = |E(S, V\S)| / vol(S) with vol(S) the sum of
+// degrees over S (the paper's definition). Degenerate cases: an empty S
+// yields 0, and a non-empty S of isolated nodes (vol = 0) yields 1.
+func (g *Graph) Conductance(s []int) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	inS := make([]bool, g.n)
+	for _, v := range s {
+		inS[v] = true
+	}
+	vol := g.Volume(s)
+	if vol == 0 {
+		return 1
+	}
+	return float64(g.CutSize(inS)) / float64(vol)
+}
+
+// ConnectedComponents returns a component id per node and the number of
+// components, using an iterative BFS.
+func (g *Graph) ConnectedComponents() ([]int, int) {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	id := 0
+	for v := 0; v < g.n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		comp[v] = id
+		queue = append(queue[:0], int32(v))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(int(u)) {
+				if comp[w] == -1 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+		id++
+	}
+	return comp, id
+}
+
+// IsConnected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, c := g.ConnectedComponents()
+	return c == 1
+}
+
+// InducedSubgraph returns the subgraph induced by the node set s, along with
+// the mapping from new ids to original ids.
+func (g *Graph) InducedSubgraph(s []int) (*Graph, []int) {
+	old2new := make(map[int]int, len(s))
+	new2old := make([]int, len(s))
+	for i, v := range s {
+		old2new[v] = i
+		new2old[i] = v
+	}
+	b := NewBuilder(len(s))
+	for i, v := range s {
+		for _, u := range g.Neighbors(v) {
+			if j, ok := old2new[int(u)]; ok && j > i {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		// Cannot happen: edges of a simple graph induce a simple graph.
+		panic(fmt.Sprintf("graph: induced subgraph build failed: %v", err))
+	}
+	return sub, new2old
+}
+
+// Edges calls fn for every undirected edge {u,v} with u < v.
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.Neighbors(u) {
+			if int(w) > u {
+				fn(u, int(w))
+			}
+		}
+	}
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d deg=[%d,%d]}", g.n, g.m, g.minDeg, g.maxDeg)
+}

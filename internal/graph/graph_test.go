@@ -1,0 +1,315 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// triangle builds K3 for reuse in tests.
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func path(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.MustBuild()
+}
+
+func TestBuildTriangle(t *testing.T) {
+	g := triangle(t)
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("got %v", g)
+	}
+	for v := 0; v < 3; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+	if !g.IsRegular() {
+		t.Error("triangle should be regular")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(4, 0)
+	b.AddEdge(2, 0)
+	b.AddEdge(0, 3)
+	g := b.MustBuild()
+	nb := g.Neighbors(0)
+	want := []int32{2, 3, 4}
+	for i, v := range want {
+		if nb[i] != v {
+			t.Fatalf("neighbors(0) = %v, want %v", nb, want)
+		}
+	}
+	if g.Neighbor(0, 1) != 3 {
+		t.Errorf("Neighbor(0,1) = %d", g.Neighbor(0, 1))
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := path(t, 4)
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {0, 2, false}, {2, 3, true}, {0, 3, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v", c.u, c.v, got)
+		}
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(1, 1)
+	if _, err := b.Build(); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("want ErrSelfLoop, got %v", err)
+	}
+}
+
+func TestDuplicateEdgeRejected(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	if _, err := b.Build(); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("want ErrDuplicateEdge, got %v", err)
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 2)
+	if _, err := b.Build(); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("want ErrNodeOutOfRange, got %v", err)
+	}
+}
+
+func TestBuilderSingleUse(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("second Build should fail")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).MustBuild()
+	if g.N() != 0 || g.M() != 0 || !g.IsConnected() {
+		t.Fatalf("empty graph wrong: %v", g)
+	}
+}
+
+func TestConductance(t *testing.T) {
+	// Barbell: two triangles joined by one edge. S = one triangle.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	phi := g.Conductance([]int{0, 1, 2})
+	// cut = 1, vol = 2+2+3 = 7
+	if want := 1.0 / 7.0; phi != want {
+		t.Errorf("conductance = %v want %v", phi, want)
+	}
+	if g.Conductance(nil) != 0 {
+		t.Error("empty set conductance should be 0")
+	}
+}
+
+func TestCutSizeWholeGraphIsZero(t *testing.T) {
+	g := triangle(t)
+	inS := []bool{true, true, true}
+	if c := g.CutSize(inS); c != 0 {
+		t.Errorf("cut of V = %d", c)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	comp, c := g.ConnectedComponents()
+	if c != 3 {
+		t.Fatalf("components = %d want 3", c)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] || comp[4] == comp[2] {
+		t.Errorf("component ids wrong: %v", comp)
+	}
+	if g.IsConnected() {
+		t.Error("graph should be disconnected")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := path(t, 5) // 0-1-2-3-4
+	sub, ids := g.InducedSubgraph([]int{1, 2, 3})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("induced: %v", sub)
+	}
+	if ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Errorf("id map %v", ids)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.HasEdge(0, 2) {
+		t.Error("induced edges wrong")
+	}
+}
+
+func TestEdgesVisitsEachOnce(t *testing.T) {
+	g := triangle(t)
+	count := 0
+	g.Edges(func(u, v int) {
+		if u >= v {
+			t.Errorf("edge order violated: %d %d", u, v)
+		}
+		count++
+	})
+	if count != 3 {
+		t.Errorf("visited %d edges", count)
+	}
+}
+
+func TestVolume(t *testing.T) {
+	g := path(t, 4)
+	if vol := g.Volume([]int{0, 1}); vol != 3 {
+		t.Errorf("vol = %d want 3", vol)
+	}
+}
+
+func TestDegreeRatio(t *testing.T) {
+	g := path(t, 4) // degrees 1,2,2,1
+	if r := g.DegreeRatio(); r != 2 {
+		t.Errorf("ratio = %v", r)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := triangle(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip: %v vs %v", g2, g)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g2.Degree(v) != g.Degree(v) {
+			t.Errorf("degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# comment\n% another\n3 2\n0 1\n\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"3\n",
+		"3 1\n0 1 2\n",
+		"3 2\n0 1\n",      // edge count mismatch
+		"2 1\nzero one\n", // non-numeric
+		"x 1\n0 1\n",      // bad header
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestWriteLabels(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, []int{2, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "2\n0\n1\n" {
+		t.Errorf("got %q", buf.String())
+	}
+}
+
+// Property: random graphs survive the CSR round trip with degrees intact.
+func TestRandomGraphCSRInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(30)
+		b := NewBuilder(n)
+		seen := map[[2]int]bool{}
+		deg := make([]int, n)
+		for tries := 0; tries < 3*n; tries++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			b.AddEdge(u, v)
+			deg[u]++
+			deg[v]++
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		if g.M() != len(seen) {
+			return false
+		}
+		total := 0
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != deg[v] {
+				return false
+			}
+			total += g.Degree(v)
+		}
+		return total == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

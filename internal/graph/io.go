@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph in plain edge-list format: a header line
+// "n m" followed by one "u v" line per undirected edge with u < v.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v int) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
+// with '#' or '%' are treated as comments; blank lines are skipped. The
+// header line is optional when every node appears in some edge — if the
+// first data line has two fields it is interpreted as the header only when a
+// header has not been seen and the remaining line count matches; to stay
+// unambiguous we require the header.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var header []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		header = strings.Fields(line)
+		break
+	}
+	if header == nil {
+		return nil, fmt.Errorf("graph: empty edge-list input")
+	}
+	if len(header) != 2 {
+		return nil, fmt.Errorf("graph: malformed header %q", strings.Join(header, " "))
+	}
+	n, err := strconv.Atoi(header[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad node count: %v", err)
+	}
+	m, err := strconv.Atoi(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad edge count: %v", err)
+	}
+	b := NewBuilder(n)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: malformed edge line %q", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad endpoint: %v", err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad endpoint: %v", err)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b.EdgeCount() != m {
+		return nil, fmt.Errorf("graph: header claims %d edges, found %d", m, b.EdgeCount())
+	}
+	return b.Build()
+}
+
+// WriteLabels writes one label per line (node order).
+func WriteLabels(w io.Writer, labels []int) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range labels {
+		if _, err := fmt.Fprintln(bw, l); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,180 @@
+package linalg
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// MatVec is a symmetric linear operator on R^n.
+type MatVec interface {
+	// Dim returns n.
+	Dim() int
+	// Apply computes dst = A*src. dst and src never alias.
+	Apply(dst, src []float64)
+}
+
+// DenseOp adapts a symmetric *Dense matrix to the MatVec interface.
+type DenseOp struct{ M *Dense }
+
+// Dim implements MatVec.
+func (o DenseOp) Dim() int { return o.M.Rows }
+
+// Apply implements MatVec.
+func (o DenseOp) Apply(dst, src []float64) { o.M.MulVec(dst, src) }
+
+// LanczosOptions tunes the Lanczos iteration. Zero values select defaults.
+type LanczosOptions struct {
+	// MaxIter caps the Krylov basis size; default min(n, 40 + 12*k).
+	MaxIter int
+	// Tol is the residual tolerance for declaring an eigenpair converged;
+	// default 1e-8.
+	Tol float64
+	// Seed drives the random starting vectors; default 1.
+	Seed uint64
+}
+
+// LanczosTopK computes the k algebraically largest eigenvalues (descending)
+// and their orthonormal eigenvectors for the symmetric operator op, using
+// Lanczos with full reorthogonalisation. When the Krylov space exhausts an
+// invariant subspace (lucky breakdown) the iteration restarts with a fresh
+// random vector orthogonal to the basis found so far, which allows repeated
+// eigenvalues to be recovered.
+func LanczosTopK(op MatVec, k int, opts LanczosOptions) ([]float64, [][]float64, error) {
+	n := op.Dim()
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("linalg: k must be positive")
+	}
+	if k > n {
+		return nil, nil, fmt.Errorf("linalg: k=%d exceeds dimension %d", k, n)
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 40 + 12*k
+	}
+	if maxIter > n {
+		maxIter = n
+	}
+	if maxIter < k {
+		maxIter = k
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	r := rng.New(seed)
+
+	var (
+		basis  [][]float64 // orthonormal Lanczos vectors q_0..q_j
+		alphas []float64   // diagonal of T
+		betas  []float64   // subdiagonal of T (beta between j and j+1)
+		w      = make([]float64, n)
+	)
+	newStart := func() ([]float64, error) {
+		for attempt := 0; attempt < 20; attempt++ {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = r.NormFloat64()
+			}
+			if rem := OrthonormalizeAgainst(v, basis); rem > 1e-10 {
+				Scale(v, 1/rem)
+				return v, nil
+			}
+		}
+		return nil, fmt.Errorf("linalg: cannot extend Lanczos basis (dimension exhausted)")
+	}
+
+	q, err := newStart()
+	if err != nil {
+		return nil, nil, err
+	}
+	basis = append(basis, q)
+	for len(basis) < maxIter {
+		j := len(basis) - 1
+		op.Apply(w, basis[j])
+		alpha := Dot(basis[j], w)
+		alphas = append(alphas, alpha)
+		AddScaled(w, -alpha, basis[j])
+		if j > 0 && len(betas) == j {
+			AddScaled(w, -betas[j-1], basis[j-1])
+		}
+		// Full reorthogonalisation (twice is enough).
+		rem := OrthonormalizeAgainst(w, basis)
+		if rem < 1e-12 {
+			// Invariant subspace found. Restart with a fresh direction if we
+			// still need a larger basis; the zero beta decouples the blocks.
+			if len(basis) >= n {
+				break
+			}
+			fresh, err := newStart()
+			if err != nil {
+				break
+			}
+			betas = append(betas, 0)
+			basis = append(basis, fresh)
+			continue
+		}
+		nq := Clone(w)
+		Scale(nq, 1/rem)
+		betas = append(betas, rem)
+		basis = append(basis, nq)
+	}
+	// The loop above appends alpha for basis[j] before extending; ensure the
+	// last basis vector has its alpha.
+	for len(alphas) < len(basis) {
+		j := len(alphas)
+		op.Apply(w, basis[j])
+		alphas = append(alphas, Dot(basis[j], w))
+	}
+	m := len(alphas)
+	if k > m {
+		return nil, nil, fmt.Errorf("linalg: Krylov space of size %d cannot produce %d eigenpairs", m, k)
+	}
+	vals, s, err := SymTridiagEig(alphas, betas[:m-1])
+	if err != nil {
+		return nil, nil, err
+	}
+	// Assemble Ritz vectors for the top k.
+	outVals := make([]float64, k)
+	outVecs := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		outVals[i] = vals[i]
+		v := make([]float64, n)
+		for j := 0; j < m; j++ {
+			AddScaled(v, s.At(j, i), basis[j])
+		}
+		Normalize(v)
+		outVecs[i] = v
+	}
+	// Verify residuals; callers treat failure as a signal to raise MaxIter.
+	for i := 0; i < k; i++ {
+		op.Apply(w, outVecs[i])
+		AddScaled(w, -outVals[i], outVecs[i])
+		if Norm(w) > 100*tol*(1+absf(outVals[i])) {
+			return outVals, outVecs, &NotConvergedError{Index: i, Residual: Norm(w)}
+		}
+	}
+	return outVals, outVecs, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// NotConvergedError reports that a requested eigenpair missed the residual
+// tolerance; the partial results are still returned alongside it.
+type NotConvergedError struct {
+	Index    int
+	Residual float64
+}
+
+func (e *NotConvergedError) Error() string {
+	return fmt.Sprintf("linalg: eigenpair %d not converged (residual %.3e)", e.Index, e.Residual)
+}

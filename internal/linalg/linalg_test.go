@@ -1,0 +1,409 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorBasics(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, -5, 6}
+	if Dot(a, b) != 4-10+18 {
+		t.Errorf("dot = %v", Dot(a, b))
+	}
+	if !almostEq(Norm([]float64{3, 4}), 5, 1e-15) {
+		t.Error("norm")
+	}
+	v := Clone(a)
+	Scale(v, 2)
+	if v[2] != 6 {
+		t.Error("scale")
+	}
+	AddScaled(v, 1, a)
+	if v[0] != 3 {
+		t.Error("addscaled")
+	}
+	d := make([]float64, 3)
+	Sub(d, a, b)
+	if d[1] != 7 {
+		t.Error("sub")
+	}
+	if !almostEq(Dist([]float64{0, 0}, []float64{3, 4}), 5, 1e-15) {
+		t.Error("dist")
+	}
+	if MaxAbsDiff(a, b) != 7 {
+		t.Error("maxabsdiff")
+	}
+	if Sum(a) != 6 {
+		t.Error("sum")
+	}
+	Fill(d, 1.5)
+	if d[0] != 1.5 || d[2] != 1.5 {
+		t.Error("fill")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	n := Normalize(v)
+	if !almostEq(n, 5, 1e-15) || !almostEq(Norm(v), 1, 1e-15) {
+		t.Errorf("normalize: n=%v v=%v", n, v)
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 {
+		t.Error("zero vector should return 0")
+	}
+}
+
+func TestGramSchmidt(t *testing.T) {
+	vecs := [][]float64{
+		{1, 1, 0},
+		{1, 0, 1},
+		{2, 1, 1}, // dependent: sum of first two
+		{0, 0, 2},
+	}
+	out := GramSchmidt(vecs, 1e-10)
+	if len(out) != 3 {
+		t.Fatalf("kept %d vectors, want 3", len(out))
+	}
+	for i := range out {
+		if !almostEq(Norm(out[i]), 1, 1e-12) {
+			t.Errorf("vector %d not unit", i)
+		}
+		for j := i + 1; j < len(out); j++ {
+			if !almostEq(Dot(out[i], out[j]), 0, 1e-12) {
+				t.Errorf("vectors %d,%d not orthogonal: %v", i, j, Dot(out[i], out[j]))
+			}
+		}
+	}
+}
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, -2)
+	if m.At(0, 1) != 5 || m.At(1, 2) != -2 {
+		t.Fatal("set/at")
+	}
+	if m.Row(0)[1] != 5 {
+		t.Error("row")
+	}
+	if m.Col(2)[1] != -2 {
+		t.Error("col")
+	}
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 1, 1})
+	if dst[0] != 5 || dst[1] != -2 {
+		t.Errorf("mulvec: %v", dst)
+	}
+	id := Identity(3)
+	if !id.IsSymmetric(0) {
+		t.Error("identity not symmetric")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("clone aliases")
+	}
+}
+
+func TestMulVecPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 2).MulVec(make([]float64, 2), make([]float64, 3))
+}
+
+func TestJacobiKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := NewDense(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	vals, vecs, err := SymEigJacobi(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues %v", vals)
+	}
+	// Check A v = λ v for both.
+	for i := 0; i < 2; i++ {
+		v := vecs.Col(i)
+		av := make([]float64, 2)
+		m.MulVec(av, v)
+		AddScaled(av, -vals[i], v)
+		if Norm(av) > 1e-10 {
+			t.Errorf("residual %v for eigenpair %d", Norm(av), i)
+		}
+	}
+}
+
+func TestJacobiRejectsNonSymmetric(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 1)
+	if _, _, err := SymEigJacobi(m); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, _, err := SymEigJacobi(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square")
+	}
+}
+
+// randomSymmetric builds a random symmetric matrix.
+func randomSymmetric(n int, r *rng.RNG) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestJacobiRandomMatrices(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 5; trial++ {
+		n := 3 + trial*3
+		m := randomSymmetric(n, r)
+		vals, vecs, err := SymEigJacobi(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Errorf("eigenvalues not sorted: %v", vals)
+			}
+		}
+		// Residuals and orthonormality.
+		for i := 0; i < n; i++ {
+			v := vecs.Col(i)
+			av := make([]float64, n)
+			m.MulVec(av, v)
+			AddScaled(av, -vals[i], v)
+			if Norm(av) > 1e-8 {
+				t.Errorf("n=%d eigenpair %d residual %v", n, i, Norm(av))
+			}
+			for j := i + 1; j < n; j++ {
+				if !almostEq(Dot(v, vecs.Col(j)), 0, 1e-9) {
+					t.Errorf("eigenvectors %d,%d not orthogonal", i, j)
+				}
+			}
+		}
+		// Trace preserved.
+		tr, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			tr += m.At(i, i)
+			sum += vals[i]
+		}
+		if !almostEq(tr, sum, 1e-8) {
+			t.Errorf("trace %v vs eigenvalue sum %v", tr, sum)
+		}
+	}
+}
+
+func TestTridiagKnown(t *testing.T) {
+	// Tridiagonal with diag 2, sub -1 (discrete Laplacian) has eigenvalues
+	// 2 - 2cos(jπ/(n+1)).
+	n := 8
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = 2
+	}
+	for i := range e {
+		e[i] = -1
+	}
+	vals, vecs, err := SymTridiagEig(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= n; j++ {
+		want := 2 - 2*math.Cos(float64(n+1-j)*math.Pi/float64(n+1))
+		if !almostEq(vals[j-1], want, 1e-10) {
+			t.Errorf("eigenvalue %d = %v want %v", j-1, vals[j-1], want)
+		}
+	}
+	// Verify an eigenpair residual via explicit tridiagonal multiply.
+	for i := 0; i < n; i++ {
+		v := vecs.Col(i)
+		av := make([]float64, n)
+		for r := 0; r < n; r++ {
+			av[r] = 2 * v[r]
+			if r > 0 {
+				av[r] -= v[r-1]
+			}
+			if r < n-1 {
+				av[r] -= v[r+1]
+			}
+		}
+		AddScaled(av, -vals[i], v)
+		if Norm(av) > 1e-9 {
+			t.Errorf("tridiag residual %v for pair %d", Norm(av), i)
+		}
+	}
+}
+
+func TestTridiagDegenerate(t *testing.T) {
+	vals, _, err := SymTridiagEig(nil, nil)
+	if err != nil || len(vals) != 0 {
+		t.Fatal("empty case should succeed")
+	}
+	vals, _, err = SymTridiagEig([]float64{7}, nil)
+	if err != nil || len(vals) != 1 || vals[0] != 7 {
+		t.Fatalf("1x1 case: %v %v", vals, err)
+	}
+	if _, _, err := SymTridiagEig([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("bad subdiagonal length should fail")
+	}
+}
+
+func TestTridiagMatchesJacobi(t *testing.T) {
+	r := rng.New(11)
+	n := 12
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = r.NormFloat64()
+	}
+	for i := range e {
+		e[i] = r.NormFloat64()
+	}
+	tv, _, err := SymTridiagEig(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, d[i])
+		if i < n-1 {
+			m.Set(i, i+1, e[i])
+			m.Set(i+1, i, e[i])
+		}
+	}
+	jv, _, err := SymEigJacobi(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if !almostEq(tv[i], jv[i], 1e-9) {
+			t.Errorf("eigenvalue %d: tridiag %v jacobi %v", i, tv[i], jv[i])
+		}
+	}
+}
+
+func TestLanczosMatchesJacobi(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 3; trial++ {
+		n := 20 + 10*trial
+		m := randomSymmetric(n, r)
+		jv, _, err := SymEigJacobi(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 4
+		lv, lvec, err := LanczosTopK(DenseOp{m}, k, LanczosOptions{MaxIter: n})
+		if err != nil {
+			t.Fatalf("lanczos: %v", err)
+		}
+		for i := 0; i < k; i++ {
+			if !almostEq(lv[i], jv[i], 1e-7) {
+				t.Errorf("trial %d eigenvalue %d: lanczos %v jacobi %v", trial, i, lv[i], jv[i])
+			}
+		}
+		// Orthonormal Ritz vectors.
+		for i := 0; i < k; i++ {
+			if !almostEq(Norm(lvec[i]), 1, 1e-9) {
+				t.Errorf("ritz vector %d not unit", i)
+			}
+			for j := i + 1; j < k; j++ {
+				if !almostEq(Dot(lvec[i], lvec[j]), 0, 1e-7) {
+					t.Errorf("ritz vectors %d,%d not orthogonal", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestLanczosRepeatedEigenvalues(t *testing.T) {
+	// Block diagonal matrix with two identical 2x2 blocks: eigenvalue 3 has
+	// multiplicity 2. Restarting must recover both copies.
+	m := NewDense(4, 4)
+	for _, base := range []int{0, 2} {
+		m.Set(base, base, 2)
+		m.Set(base, base+1, 1)
+		m.Set(base+1, base, 1)
+		m.Set(base+1, base+1, 2)
+	}
+	vals, _, err := LanczosTopK(DenseOp{m}, 2, LanczosOptions{MaxIter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-8) || !almostEq(vals[1], 3, 1e-8) {
+		t.Errorf("want [3,3], got %v", vals)
+	}
+}
+
+func TestLanczosErrors(t *testing.T) {
+	m := Identity(3)
+	if _, _, err := LanczosTopK(DenseOp{m}, 0, LanczosOptions{}); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := LanczosTopK(DenseOp{m}, 4, LanczosOptions{}); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+func TestLanczosIdentity(t *testing.T) {
+	vals, _, err := LanczosTopK(DenseOp{Identity(5)}, 3, LanczosOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if !almostEq(v, 1, 1e-10) {
+			t.Errorf("identity eigenvalue %v", v)
+		}
+	}
+}
+
+// Property: Gram-Schmidt output is always orthonormal.
+func TestGramSchmidtProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(8)
+		cnt := 1 + r.Intn(n)
+		vecs := make([][]float64, cnt)
+		for i := range vecs {
+			vecs[i] = make([]float64, n)
+			for j := range vecs[i] {
+				vecs[i][j] = r.NormFloat64()
+			}
+		}
+		out := GramSchmidt(vecs, 1e-10)
+		for i := range out {
+			if !almostEq(Norm(out[i]), 1, 1e-9) {
+				return false
+			}
+			for j := i + 1; j < len(out); j++ {
+				if !almostEq(Dot(out[i], out[j]), 0, 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymTridiagEig computes all eigenvalues and eigenvectors of the symmetric
+// tridiagonal matrix with diagonal diag (length n) and subdiagonal sub
+// (length n-1, sub[i] couples i and i+1), using the implicit QL method with
+// Wilkinson shifts (EISPACK tql2). Eigenvalues are returned in descending
+// order; eigenvectors are the columns of the returned matrix.
+func SymTridiagEig(diag, sub []float64) ([]float64, *Dense, error) {
+	n := len(diag)
+	if n == 0 {
+		return nil, NewDense(0, 0), nil
+	}
+	if len(sub) != n-1 {
+		return nil, nil, fmt.Errorf("linalg: subdiagonal length %d, want %d", len(sub), n-1)
+	}
+	d := Clone(diag)
+	e := make([]float64, n)
+	copy(e, sub) // e[i] couples i and i+1; e[n-1] = 0
+	z := Identity(n)
+
+	const eps = 2.220446049250313e-16
+	f := 0.0
+	tst1 := 0.0
+	for l := 0; l < n; l++ {
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter > 50 {
+					return nil, nil, fmt.Errorf("linalg: tridiagonal QL failed to converge")
+				}
+				// Compute implicit shift.
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				// Implicit QL transformation.
+				p = d[m]
+				c, c2, c3 := 1.0, 1.0, 1.0
+				el1 := e[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					// Accumulate transformation.
+					for k := 0; k < n; k++ {
+						h = z.At(k, i+1)
+						z.Set(k, i+1, s*z.At(k, i)+c*h)
+						z.Set(k, i, c*z.At(k, i)-s*h)
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+	sortEigenDescending(d, z)
+	return d, z, nil
+}

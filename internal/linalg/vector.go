@@ -1,0 +1,129 @@
+// Package linalg provides the small dense linear-algebra kernel used by the
+// spectral machinery: vector primitives, a dense symmetric eigensolver
+// (cyclic Jacobi), a symmetric tridiagonal eigensolver (implicit QL), and a
+// Lanczos iteration with full reorthogonalisation for extracting the top
+// eigenpairs of large sparse symmetric operators such as the random-walk
+// matrix of a graph.
+//
+// Everything operates on plain []float64 slices and row-major *Dense
+// matrices; no external dependencies.
+package linalg
+
+import "math"
+
+// Dot returns the inner product of a and b (which must have equal length).
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Scale multiplies v by c in place.
+func Scale(v []float64, c float64) {
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// Normalize scales v to unit norm in place and returns the original norm.
+// A zero vector is left unchanged.
+func Normalize(v []float64) float64 {
+	n := Norm(v)
+	if n > 0 {
+		Scale(v, 1/n)
+	}
+	return n
+}
+
+// AddScaled computes dst += c*src in place.
+func AddScaled(dst []float64, c float64, src []float64) {
+	for i := range dst {
+		dst[i] += c * src[i]
+	}
+}
+
+// Sub computes dst = a - b element-wise.
+func Sub(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max_i |a[i]-b[i]|.
+func MaxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Fill sets every element of v to c.
+func Fill(v []float64, c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// OrthonormalizeAgainst removes from v its components along each unit vector
+// in basis (classical Gram-Schmidt, applied twice for numerical stability)
+// and returns the norm of the remainder without normalising v.
+func OrthonormalizeAgainst(v []float64, basis [][]float64) float64 {
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range basis {
+			AddScaled(v, -Dot(v, q), q)
+		}
+	}
+	return Norm(v)
+}
+
+// GramSchmidt orthonormalises the given vectors in place, returning the
+// number of independent vectors kept (dependent vectors are dropped from the
+// returned slice; the input slice's prefix is reused).
+func GramSchmidt(vecs [][]float64, tol float64) [][]float64 {
+	kept := vecs[:0]
+	for _, v := range vecs {
+		rem := OrthonormalizeAgainst(v, kept)
+		if rem > tol {
+			Scale(v, 1/rem)
+			kept = append(kept, v)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,74 @@
+package loadbalance
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// AsyncGossip is the asynchronous time model of Boyd–Ghosh–Prabhakar–Shah:
+// each tick one edge, chosen uniformly at random, fires and its endpoints
+// average their values. One synchronous matching round corresponds to about
+// n·d̄/4 asynchronous ticks (the expected number of matched pairs), which is
+// how the F9 ablation aligns the two clocks. The paper analyses the
+// synchronous matching model; this substrate quantifies that nothing about
+// the clustering behaviour depends on the synchrony assumption.
+type AsyncGossip struct {
+	g    *graph.Graph
+	ys   [][]float64
+	r    *rng.RNG
+	tick int
+	// edge list for uniform sampling
+	us, vs []int32
+}
+
+// NewAsyncGossip starts the process on copies of the given vectors.
+func NewAsyncGossip(g *graph.Graph, init [][]float64, seed uint64) (*AsyncGossip, error) {
+	if g.M() == 0 {
+		return nil, fmt.Errorf("loadbalance: async gossip needs at least one edge")
+	}
+	ys := make([][]float64, len(init))
+	for i, y := range init {
+		if len(y) != g.N() {
+			return nil, fmt.Errorf("loadbalance: vector %d has length %d for n=%d", i, len(y), g.N())
+		}
+		c := make([]float64, len(y))
+		copy(c, y)
+		ys[i] = c
+	}
+	a := &AsyncGossip{g: g, ys: ys, r: rng.New(seed)}
+	a.us = make([]int32, 0, g.M())
+	a.vs = make([]int32, 0, g.M())
+	g.Edges(func(u, v int) {
+		a.us = append(a.us, int32(u))
+		a.vs = append(a.vs, int32(v))
+	})
+	return a, nil
+}
+
+// Tick fires one uniformly random edge; both endpoints average every
+// coordinate. Returns the edge used.
+func (a *AsyncGossip) Tick() (int, int) {
+	e := a.r.Intn(len(a.us))
+	u, v := a.us[e], a.vs[e]
+	for _, y := range a.ys {
+		avg := (y[u] + y[v]) / 2
+		y[u], y[v] = avg, avg
+	}
+	a.tick++
+	return int(u), int(v)
+}
+
+// Run fires t ticks.
+func (a *AsyncGossip) Run(t int) {
+	for i := 0; i < t; i++ {
+		a.Tick()
+	}
+}
+
+// Loads returns the current vectors (aliasing internal state).
+func (a *AsyncGossip) Loads() [][]float64 { return a.ys }
+
+// Ticks returns the number of ticks fired.
+func (a *AsyncGossip) Ticks() int { return a.tick }

@@ -1,0 +1,79 @@
+package loadbalance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func TestAsyncGossipConservesMass(t *testing.T) {
+	r := rng.New(1)
+	g, err := gen.RandomRegular(40, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := make([]float64, g.N())
+	y0[3] = 1
+	a, err := NewAsyncGossip(g, [][]float64{y0}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		u, v := a.Tick()
+		if !g.HasEdge(u, v) {
+			t.Fatalf("tick fired non-edge (%d,%d)", u, v)
+		}
+		if math.Abs(linalg.Sum(a.Loads()[0])-1) > 1e-12 {
+			t.Fatalf("mass drift at tick %d", i)
+		}
+	}
+	if a.Ticks() != 500 {
+		t.Errorf("tick counter %d", a.Ticks())
+	}
+}
+
+func TestAsyncGossipConverges(t *testing.T) {
+	r := rng.New(3)
+	g, err := gen.RandomRegular(60, 6, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := make([]float64, g.N())
+	y0[0] = 1
+	a, err := NewAsyncGossip(g, [][]float64{y0}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(60 * 200) // ~200 events per node
+	if d := L2ToUniform(a.Loads()[0]); d > 1e-3 {
+		t.Errorf("async gossip did not converge: %v", d)
+	}
+}
+
+func TestAsyncGossipMultiVector(t *testing.T) {
+	g := gen.Cycle(8)
+	y0 := make([]float64, 8)
+	y0[0] = 1
+	a, err := NewAsyncGossip(g, [][]float64{y0, y0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(100)
+	if linalg.MaxAbsDiff(a.Loads()[0], a.Loads()[1]) != 0 {
+		t.Error("identical vectors diverged under shared ticks")
+	}
+}
+
+func TestAsyncGossipValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := NewAsyncGossip(g, [][]float64{make([]float64, 3)}, 1); err == nil {
+		t.Error("short vector should fail")
+	}
+	empty, _ := gen.RandomRegular(4, 0, rng.New(1))
+	if _, err := NewAsyncGossip(empty, nil, 1); err == nil {
+		t.Error("edgeless graph should fail")
+	}
+}

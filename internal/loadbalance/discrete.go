@@ -1,0 +1,104 @@
+package loadbalance
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/rng"
+)
+
+// DiscreteProcess is the indivisible-token variant of the matching model
+// (Berenbrink et al., "Randomized diffusion for indivisible loads"): matched
+// nodes split their combined integer load evenly and the leftover token, if
+// any, goes to one of the two uniformly at random. The paper's analysis is
+// stated for divisible loads; this substrate quantifies how little the
+// rounding changes the trajectory (experiment F7).
+type DiscreteProcess struct {
+	g     *graph.Graph
+	d     int
+	y     []int64
+	round int
+	rngs  []*rng.RNG
+	coin  *rng.RNG
+}
+
+// NewDiscreteProcess starts the process with integer loads y0.
+func NewDiscreteProcess(g *graph.Graph, d int, y0 []int64, seed uint64) (*DiscreteProcess, error) {
+	if len(y0) != g.N() {
+		return nil, fmt.Errorf("loadbalance: load vector length %d for n=%d", len(y0), g.N())
+	}
+	if d < g.MaxDegree() {
+		return nil, fmt.Errorf("loadbalance: degree bound %d below max degree %d", d, g.MaxDegree())
+	}
+	y := make([]int64, len(y0))
+	copy(y, y0)
+	return &DiscreteProcess{
+		g:    g,
+		d:    d,
+		y:    y,
+		rngs: matching.NodeRNGs(g.N(), seed),
+		coin: rng.New(seed ^ 0xd15c4e7e),
+	}, nil
+}
+
+// Step performs one round: generate a matching, matched pairs split their
+// tokens with randomized rounding of the odd token.
+func (p *DiscreteProcess) Step() *matching.Matching {
+	m := matching.Generate(p.g, p.d, p.rngs)
+	for _, pair := range m.Pairs {
+		u, v := pair[0], pair[1]
+		total := p.y[u] + p.y[v]
+		half := total / 2
+		rem := total - 2*half
+		p.y[u], p.y[v] = half, half
+		if rem != 0 {
+			if p.coin.Bool() {
+				p.y[u] += rem
+			} else {
+				p.y[v] += rem
+			}
+		}
+	}
+	p.round++
+	return m
+}
+
+// Run performs t rounds.
+func (p *DiscreteProcess) Run(t int) {
+	for i := 0; i < t; i++ {
+		p.Step()
+	}
+}
+
+// Load returns the current integer load vector (aliasing internal state).
+func (p *DiscreteProcess) Load() []int64 { return p.y }
+
+// Round returns the number of rounds performed.
+func (p *DiscreteProcess) Round() int { return p.round }
+
+// Total returns the total token count (conserved).
+func (p *DiscreteProcess) Total() int64 {
+	var t int64
+	for _, x := range p.y {
+		t += x
+	}
+	return t
+}
+
+// DiscreteDiscrepancy returns max(y) − min(y) for integer loads.
+func DiscreteDiscrepancy(y []int64) int64 {
+	if len(y) == 0 {
+		return 0
+	}
+	mn, mx := y[0], y[0]
+	for _, v := range y[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx - mn
+}

@@ -1,0 +1,146 @@
+package loadbalance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph/gen"
+	"repro/internal/rng"
+)
+
+func TestDiscreteConservesTokens(t *testing.T) {
+	r := rng.New(1)
+	g, err := gen.RandomRegular(50, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := make([]int64, g.N())
+	y0[0] = 1000
+	y0[10] = 337
+	p, err := NewDiscreteProcess(g, 4, y0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Total()
+	for i := 0; i < 100; i++ {
+		p.Step()
+		if p.Total() != want {
+			t.Fatalf("token count drift at round %d: %d vs %d", i, p.Total(), want)
+		}
+	}
+	if p.Round() != 100 {
+		t.Errorf("round counter %d", p.Round())
+	}
+}
+
+func TestDiscreteConvergesToSmallDiscrepancy(t *testing.T) {
+	r := rng.New(5)
+	g, err := gen.RandomRegular(100, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := make([]int64, g.N())
+	y0[0] = 10000
+	p, err := NewDiscreteProcess(g, 8, y0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(300)
+	disc := DiscreteDiscrepancy(p.Load())
+	// Sauerwald–Sun: discrepancy drops to O(1)-ish on expanders; allow a
+	// small constant margin.
+	if disc > 6 {
+		t.Errorf("discrepancy %d after 300 rounds", disc)
+	}
+}
+
+func TestDiscreteValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := NewDiscreteProcess(g, 2, make([]int64, 3), 1); err == nil {
+		t.Error("short vector should fail")
+	}
+	if _, err := NewDiscreteProcess(g, 1, make([]int64, 5), 1); err == nil {
+		t.Error("low degree bound should fail")
+	}
+}
+
+func TestDiscreteDiscrepancyHelper(t *testing.T) {
+	if DiscreteDiscrepancy(nil) != 0 {
+		t.Error("empty")
+	}
+	if DiscreteDiscrepancy([]int64{5, 1, 3}) != 4 {
+		t.Error("wrong discrepancy")
+	}
+}
+
+func TestDiscreteTracksContinuous(t *testing.T) {
+	// Same matchings (same seed): the integer trajectory stays within n/2
+	// tokens of the continuous one in aggregate (each merge rounds by at
+	// most half a token).
+	r := rng.New(11)
+	g, err := gen.RandomRegular(40, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 100000
+	y0f := make([]float64, g.N())
+	y0f[0] = total
+	y0i := make([]int64, g.N())
+	y0i[0] = total
+	pf, err := NewProcess(g, 4, y0f, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := NewDiscreteProcess(g, 4, y0i, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Run(80)
+	pi.Run(80)
+	for v := 0; v < g.N(); v++ {
+		diff := float64(pi.Load()[v]) - pf.Load()[v]
+		if diff < 0 {
+			diff = -diff
+		}
+		// Rounding error accumulates like a random walk over ~80 rounds;
+		// stay well below the per-node average of 2500 tokens.
+		if diff > 100 {
+			t.Errorf("node %d: discrete %d vs continuous %.1f", v, pi.Load()[v], pf.Load()[v])
+		}
+	}
+}
+
+// Property: token conservation under random graphs and loads.
+func TestDiscreteProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + 2*r.Intn(15)
+		g, err := gen.RandomRegular(n, 4, r)
+		if err != nil {
+			return false
+		}
+		y0 := make([]int64, n)
+		for i := range y0 {
+			y0[i] = int64(r.Intn(50))
+		}
+		p, err := NewDiscreteProcess(g, 4, y0, seed)
+		if err != nil {
+			return false
+		}
+		want := p.Total()
+		p.Run(30)
+		if p.Total() != want {
+			return false
+		}
+		// No negative loads ever.
+		for _, x := range p.Load() {
+			if x < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

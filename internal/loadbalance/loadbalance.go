@@ -1,0 +1,236 @@
+// Package loadbalance implements the load-balancing processes the paper
+// studies: the classical one-dimensional random matching process
+// y(t+1) = M(t)·y(t) (equation (3)), its multi-dimensional generalisation in
+// which the same matching matrix is applied to s load vectors per round
+// (§3.2), and a first-order diffusion process used as an ablation baseline
+// (every node averages with all neighbours every round, the communication
+// pattern of Becchetti et al. that the paper contrasts against).
+package loadbalance
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/matching"
+	"repro/internal/rng"
+)
+
+// Process is the one-dimensional random matching load-balancing process.
+type Process struct {
+	g     *graph.Graph
+	d     int
+	y     []float64
+	round int
+	rngs  []*rng.RNG
+}
+
+// NewProcess starts the process with initial load y0 on the D-regular view
+// of g (d = degree bound; pass g.MaxDegree() for regular graphs).
+func NewProcess(g *graph.Graph, d int, y0 []float64, seed uint64) (*Process, error) {
+	if len(y0) != g.N() {
+		return nil, fmt.Errorf("loadbalance: load vector length %d for n=%d", len(y0), g.N())
+	}
+	if d < g.MaxDegree() {
+		return nil, fmt.Errorf("loadbalance: degree bound %d below max degree %d", d, g.MaxDegree())
+	}
+	return &Process{
+		g:    g,
+		d:    d,
+		y:    linalg.Clone(y0),
+		rngs: matching.NodeRNGs(g.N(), seed),
+	}, nil
+}
+
+// Step performs one round and returns the matching used.
+func (p *Process) Step() *matching.Matching {
+	m := matching.Generate(p.g, p.d, p.rngs)
+	m.Apply(p.y)
+	p.round++
+	return m
+}
+
+// Run performs t rounds.
+func (p *Process) Run(t int) {
+	for i := 0; i < t; i++ {
+		p.Step()
+	}
+}
+
+// Round returns the number of rounds performed.
+func (p *Process) Round() int { return p.round }
+
+// Load returns the current load vector (aliasing internal state; callers
+// must not modify it).
+func (p *Process) Load() []float64 { return p.y }
+
+// MultiProcess runs s load vectors under the same per-round matching,
+// exactly the multi-dimensional process of §3.2.
+type MultiProcess struct {
+	g     *graph.Graph
+	d     int
+	ys    [][]float64
+	round int
+	rngs  []*rng.RNG
+}
+
+// NewMultiProcess starts the multi-dimensional process from the given
+// initial vectors (cloned).
+func NewMultiProcess(g *graph.Graph, d int, init [][]float64, seed uint64) (*MultiProcess, error) {
+	if d < g.MaxDegree() {
+		return nil, fmt.Errorf("loadbalance: degree bound %d below max degree %d", d, g.MaxDegree())
+	}
+	ys := make([][]float64, len(init))
+	for i, y := range init {
+		if len(y) != g.N() {
+			return nil, fmt.Errorf("loadbalance: vector %d has length %d for n=%d", i, len(y), g.N())
+		}
+		ys[i] = linalg.Clone(y)
+	}
+	return &MultiProcess{g: g, d: d, ys: ys, rngs: matching.NodeRNGs(g.N(), seed)}, nil
+}
+
+// Step performs one round on all vectors with a single matching.
+func (p *MultiProcess) Step() *matching.Matching {
+	m := matching.Generate(p.g, p.d, p.rngs)
+	m.ApplyAll(p.ys)
+	p.round++
+	return m
+}
+
+// Run performs t rounds.
+func (p *MultiProcess) Run(t int) {
+	for i := 0; i < t; i++ {
+		p.Step()
+	}
+}
+
+// Loads returns the current load vectors (aliasing internal state).
+func (p *MultiProcess) Loads() [][]float64 { return p.ys }
+
+// Round returns the number of rounds performed.
+func (p *MultiProcess) Round() int { return p.round }
+
+// Discrepancy returns max(y) − min(y), the classical load-balancing measure.
+func Discrepancy(y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	mn, mx := y[0], y[0]
+	for _, v := range y[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx - mn
+}
+
+// L2ToUniform returns ‖y − avg·1‖₂, the distance to the balanced state.
+func L2ToUniform(y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	avg := linalg.Sum(y) / float64(len(y))
+	var s float64
+	for _, v := range y {
+		d := v - avg
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// DistanceToIndicator returns ‖y − χ_S‖₂ for the normalised indicator of the
+// member set (Lemma 4.3's quantity).
+func DistanceToIndicator(y []float64, members []int) float64 {
+	val := 1 / float64(len(members))
+	inS := make(map[int]bool, len(members))
+	for _, v := range members {
+		inS[v] = true
+	}
+	var s float64
+	for i, x := range y {
+		want := 0.0
+		if inS[i] {
+			want = val
+		}
+		d := x - want
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Diffusion is the first-order diffusion process
+// y(t+1) = (1−γ)·y(t) + γ·P*·y(t), the all-neighbour averaging dynamics used
+// as the ablation baseline: same fixed-point, but every edge carries a
+// message every round.
+type Diffusion struct {
+	apply func(dst, src []float64)
+	y     []float64
+	tmp   []float64
+	gamma float64
+	round int
+	m     int
+}
+
+// NewDiffusion starts diffusion on the D-regular view of g with mixing
+// parameter gamma ∈ (0, 1].
+func NewDiffusion(g *graph.Graph, d int, y0 []float64, gamma float64) (*Diffusion, error) {
+	if len(y0) != g.N() {
+		return nil, fmt.Errorf("loadbalance: load vector length %d for n=%d", len(y0), g.N())
+	}
+	if gamma <= 0 || gamma > 1 {
+		return nil, fmt.Errorf("loadbalance: gamma %v out of (0,1]", gamma)
+	}
+	if d < g.MaxDegree() {
+		return nil, fmt.Errorf("loadbalance: degree bound %d below max degree %d", d, g.MaxDegree())
+	}
+	invD := 1 / float64(d)
+	apply := func(dst, src []float64) {
+		for v := 0; v < g.N(); v++ {
+			var s float64
+			nb := g.Neighbors(v)
+			for _, u := range nb {
+				s += src[u]
+			}
+			s += float64(d-len(nb)) * src[v]
+			dst[v] = s * invD
+		}
+	}
+	return &Diffusion{
+		apply: apply,
+		y:     linalg.Clone(y0),
+		tmp:   make([]float64, g.N()),
+		gamma: gamma,
+		m:     g.M(),
+	}, nil
+}
+
+// Step performs one diffusion round and returns the number of messages
+// (words) exchanged: two per edge (each endpoint sends its value).
+func (d *Diffusion) Step() int {
+	d.apply(d.tmp, d.y)
+	for i := range d.y {
+		d.y[i] = (1-d.gamma)*d.y[i] + d.gamma*d.tmp[i]
+	}
+	d.round++
+	return 2 * d.m
+}
+
+// Run performs t rounds and returns total messages.
+func (d *Diffusion) Run(t int) int {
+	total := 0
+	for i := 0; i < t; i++ {
+		total += d.Step()
+	}
+	return total
+}
+
+// Load returns the current load vector (aliasing internal state).
+func (d *Diffusion) Load() []float64 { return d.y }
+
+// Round returns the number of rounds performed.
+func (d *Diffusion) Round() int { return d.round }

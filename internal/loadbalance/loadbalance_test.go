@@ -1,0 +1,273 @@
+package loadbalance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph/gen"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+)
+
+func TestProcessConservesMass(t *testing.T) {
+	r := rng.New(1)
+	g, err := gen.RandomRegular(50, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := make([]float64, g.N())
+	y0[7] = 1
+	p, err := NewProcess(g, 4, y0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p.Step()
+		if math.Abs(linalg.Sum(p.Load())-1) > 1e-12 {
+			t.Fatalf("mass drift at round %d: %v", i, linalg.Sum(p.Load()))
+		}
+	}
+	if p.Round() != 100 {
+		t.Errorf("round counter %d", p.Round())
+	}
+}
+
+func TestProcessConvergesToUniform(t *testing.T) {
+	// On an expander, the process converges to the uniform vector.
+	r := rng.New(5)
+	g, err := gen.RandomRegular(100, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := make([]float64, g.N())
+	y0[0] = 1
+	p, err := NewProcess(g, 8, y0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := L2ToUniform(p.Load())
+	p.Run(200)
+	after := L2ToUniform(p.Load())
+	if after > before/50 {
+		t.Errorf("no convergence: before %v after %v", before, after)
+	}
+	if Discrepancy(p.Load()) > 0.01 {
+		t.Errorf("discrepancy %v still large", Discrepancy(p.Load()))
+	}
+}
+
+func TestProcessValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := NewProcess(g, 2, make([]float64, 4), 1); err == nil {
+		t.Error("short vector should fail")
+	}
+	if _, err := NewProcess(g, 1, make([]float64, 5), 1); err == nil {
+		t.Error("low degree bound should fail")
+	}
+}
+
+func TestMultiProcessMatchesSingle(t *testing.T) {
+	// With the same seed, a MultiProcess with one vector must equal Process.
+	r := rng.New(7)
+	g, err := gen.RandomRegular(30, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := make([]float64, g.N())
+	y0[3] = 1
+	single, err := NewProcess(g, 4, y0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewMultiProcess(g, 4, [][]float64{y0}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Run(50)
+	multi.Run(50)
+	if linalg.MaxAbsDiff(single.Load(), multi.Loads()[0]) > 1e-15 {
+		t.Error("multi process diverged from single process under same seed")
+	}
+}
+
+func TestMultiProcessSharedMatching(t *testing.T) {
+	// All coordinates see the same matchings: starting two vectors at the
+	// same node keeps them identical forever.
+	r := rng.New(9)
+	g, err := gen.RandomRegular(30, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := make([]float64, g.N())
+	y0[5] = 1
+	mp, err := NewMultiProcess(g, 4, [][]float64{y0, y0}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp.Run(30)
+	if linalg.MaxAbsDiff(mp.Loads()[0], mp.Loads()[1]) != 0 {
+		t.Error("identical initial vectors diverged under shared matchings")
+	}
+	if mp.Round() != 30 {
+		t.Errorf("round = %d", mp.Round())
+	}
+}
+
+func TestMultiProcessValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := NewMultiProcess(g, 2, [][]float64{make([]float64, 3)}, 1); err == nil {
+		t.Error("short vector should fail")
+	}
+	if _, err := NewMultiProcess(g, 0, nil, 1); err == nil {
+		t.Error("low degree bound should fail")
+	}
+}
+
+func TestDiscrepancy(t *testing.T) {
+	if Discrepancy([]float64{3, 1, 4, 1, 5}) != 4 {
+		t.Error("discrepancy")
+	}
+	if Discrepancy(nil) != 0 {
+		t.Error("empty discrepancy")
+	}
+}
+
+func TestL2ToUniform(t *testing.T) {
+	if L2ToUniform([]float64{1, 1, 1}) != 0 {
+		t.Error("uniform vector should have zero distance")
+	}
+	got := L2ToUniform([]float64{2, 0})
+	if math.Abs(got-math.Sqrt(2)) > 1e-14 {
+		t.Errorf("got %v", got)
+	}
+	if L2ToUniform(nil) != 0 {
+		t.Error("empty")
+	}
+}
+
+func TestDistanceToIndicator(t *testing.T) {
+	y := []float64{0.5, 0.5, 0, 0}
+	if DistanceToIndicator(y, []int{0, 1}) != 0 {
+		t.Error("exact indicator should be distance 0")
+	}
+	d := DistanceToIndicator([]float64{1, 0, 0, 0}, []int{0, 1})
+	want := math.Sqrt(0.25 + 0.25)
+	if math.Abs(d-want) > 1e-14 {
+		t.Errorf("got %v want %v", d, want)
+	}
+}
+
+func TestLemma43GoodSeedConvergesToCluster(t *testing.T) {
+	// Start the 1-dim process from a node of a well-separated cluster and run
+	// T = Θ(log n/(1−λ_{k+1})) rounds: the load should be much closer to
+	// χ_{S_j} than at the start (Lemma 4.3), while mass has not yet leaked
+	// to the uniform distribution.
+	r := rng.New(11)
+	p, err := gen.ClusteredRing(2, 100, 12, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := spectral.Analyze(p.G, p.Truth, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := spectral.EstimateRoundsMatching(p.G.N(), st.LambdaK1, p.G.MaxDegree(), 1)
+	members := spectral.ClusterMembers(p.Truth, 2)[0]
+	y0 := make([]float64, p.G.N())
+	y0[members[0]] = 1
+	proc, err := NewProcess(p.G, p.G.MaxDegree(), y0, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := DistanceToIndicator(proc.Load(), members)
+	proc.Run(T)
+	end := DistanceToIndicator(proc.Load(), members)
+	if end > start/3 {
+		t.Errorf("no cluster convergence: start %v end %v (T=%d)", start, end, T)
+	}
+}
+
+func TestDiffusionConservesAndConverges(t *testing.T) {
+	r := rng.New(13)
+	g, err := gen.RandomRegular(80, 6, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := make([]float64, g.N())
+	y0[2] = 1
+	d, err := NewDiffusion(g, 6, y0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := d.Run(60)
+	if msgs != 60*2*g.M() {
+		t.Errorf("message count %d", msgs)
+	}
+	if math.Abs(linalg.Sum(d.Load())-1) > 1e-12 {
+		t.Error("diffusion lost mass")
+	}
+	if L2ToUniform(d.Load()) > 1e-3 {
+		t.Errorf("diffusion did not converge: %v", L2ToUniform(d.Load()))
+	}
+	if d.Round() != 60 {
+		t.Errorf("round = %d", d.Round())
+	}
+}
+
+func TestDiffusionValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := NewDiffusion(g, 2, make([]float64, 5), 0); err == nil {
+		t.Error("gamma=0 should fail")
+	}
+	if _, err := NewDiffusion(g, 2, make([]float64, 5), 1.5); err == nil {
+		t.Error("gamma>1 should fail")
+	}
+	if _, err := NewDiffusion(g, 2, make([]float64, 3), 0.5); err == nil {
+		t.Error("short vector should fail")
+	}
+	if _, err := NewDiffusion(g, 1, make([]float64, 5), 0.5); err == nil {
+		t.Error("low degree bound should fail")
+	}
+}
+
+// Property: mass conservation and value range holds across processes.
+func TestProcessProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + 2*r.Intn(15)
+		g, err := gen.RandomRegular(n, 4, r)
+		if err != nil {
+			return false
+		}
+		y0 := make([]float64, n)
+		for i := range y0 {
+			y0[i] = r.Float64()
+		}
+		mn, mx := y0[0], y0[0]
+		for _, v := range y0 {
+			mn = math.Min(mn, v)
+			mx = math.Max(mx, v)
+		}
+		sum := linalg.Sum(y0)
+		p, err := NewProcess(g, 4, y0, seed)
+		if err != nil {
+			return false
+		}
+		p.Run(20)
+		if math.Abs(linalg.Sum(p.Load())-sum) > 1e-9 {
+			return false
+		}
+		// Averaging cannot exceed the initial range.
+		for _, v := range p.Load() {
+			if v < mn-1e-12 || v > mx+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

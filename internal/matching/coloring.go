@@ -1,0 +1,146 @@
+package matching
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// BalancingCircuit is the deterministic counterpart of the random matching
+// model (the "balancing circuit" / dimension-exchange setting of
+// Rabani–Sinclair–Wanka): the edge set is partitioned into perfect-or-partial
+// matchings by a proper edge colouring, and rounds cycle through the colour
+// classes. Used by the model ablations to contrast the paper's randomized
+// protocol with a fixed schedule.
+type BalancingCircuit struct {
+	matchings []*Matching
+	next      int
+}
+
+// NewBalancingCircuit greedily edge-colours the graph (at most 2Δ−1 colours,
+// Vizing guarantees Δ+1 exist but the greedy bound suffices for a schedule)
+// and materialises one Matching per colour class. The colour order is
+// shuffled once so the schedule has no construction bias.
+func NewBalancingCircuit(g *graph.Graph, r *rng.RNG) (*BalancingCircuit, error) {
+	colors, count, err := GreedyEdgeColoring(g)
+	if err != nil {
+		return nil, err
+	}
+	byColor := make([][][2]int32, count)
+	idx := 0
+	g.Edges(func(u, v int) {
+		c := colors[idx]
+		byColor[c] = append(byColor[c], [2]int32{int32(u), int32(v)})
+		idx++
+	})
+	circuit := &BalancingCircuit{}
+	for _, pairs := range byColor {
+		if len(pairs) == 0 {
+			continue
+		}
+		m := &Matching{Partner: make([]int32, g.N()), Pairs: pairs}
+		for i := range m.Partner {
+			m.Partner[i] = Unmatched
+		}
+		for _, p := range pairs {
+			m.Partner[p[0]] = p[1]
+			m.Partner[p[1]] = p[0]
+		}
+		circuit.matchings = append(circuit.matchings, m)
+	}
+	if r != nil {
+		r.Shuffle(len(circuit.matchings), func(i, j int) {
+			circuit.matchings[i], circuit.matchings[j] = circuit.matchings[j], circuit.matchings[i]
+		})
+	}
+	return circuit, nil
+}
+
+// Size returns the number of matchings in the schedule.
+func (b *BalancingCircuit) Size() int { return len(b.matchings) }
+
+// Next returns the next matching in the cyclic schedule.
+func (b *BalancingCircuit) Next() *Matching {
+	m := b.matchings[b.next]
+	b.next = (b.next + 1) % len(b.matchings)
+	return m
+}
+
+// Matchings exposes the schedule (read-only).
+func (b *BalancingCircuit) Matchings() []*Matching { return b.matchings }
+
+// GreedyEdgeColoring assigns each edge the smallest colour not used by any
+// incident edge, visiting edges in the graph's canonical order. Returns one
+// colour per edge (in g.Edges order) and the number of colours used, which
+// is at most 2Δ−1.
+func GreedyEdgeColoring(g *graph.Graph) ([]int, int, error) {
+	if g.M() == 0 {
+		return nil, 0, nil
+	}
+	maxColors := 2*g.MaxDegree() - 1
+	if maxColors < 1 {
+		maxColors = 1
+	}
+	// usedAt[v] is a bitset-ish per-node set of colours on incident edges.
+	usedAt := make([][]bool, g.N())
+	for v := range usedAt {
+		usedAt[v] = make([]bool, maxColors)
+	}
+	colors := make([]int, 0, g.M())
+	count := 0
+	var fail error
+	g.Edges(func(u, v int) {
+		if fail != nil {
+			return
+		}
+		c := -1
+		for cand := 0; cand < maxColors; cand++ {
+			if !usedAt[u][cand] && !usedAt[v][cand] {
+				c = cand
+				break
+			}
+		}
+		if c < 0 {
+			fail = fmt.Errorf("matching: greedy colouring exceeded %d colours", maxColors)
+			return
+		}
+		usedAt[u][c] = true
+		usedAt[v][c] = true
+		colors = append(colors, c)
+		if c+1 > count {
+			count = c + 1
+		}
+	})
+	if fail != nil {
+		return nil, 0, fail
+	}
+	return colors, count, nil
+}
+
+// ValidateEdgeColoring checks that no two incident edges share a colour.
+func ValidateEdgeColoring(g *graph.Graph, colors []int) error {
+	if len(colors) != g.M() {
+		return fmt.Errorf("matching: %d colours for %d edges", len(colors), g.M())
+	}
+	type vc struct {
+		v, c int
+	}
+	seen := map[vc]bool{}
+	idx := 0
+	var fail error
+	g.Edges(func(u, v int) {
+		if fail != nil {
+			return
+		}
+		c := colors[idx]
+		idx++
+		if seen[vc{u, c}] || seen[vc{v, c}] {
+			fail = fmt.Errorf("matching: colour %d repeated at an endpoint of {%d,%d}", c, u, v)
+			return
+		}
+		seen[vc{u, c}] = true
+		seen[vc{v, c}] = true
+	})
+	return fail
+}

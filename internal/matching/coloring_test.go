@@ -1,0 +1,168 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph/gen"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func TestGreedyEdgeColoringCycle(t *testing.T) {
+	g := gen.Cycle(6)
+	colors, count, err := GreedyEdgeColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateEdgeColoring(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	// Even cycle is 2-edge-colourable; greedy may use up to 3.
+	if count > 3 {
+		t.Errorf("used %d colours on C6", count)
+	}
+}
+
+func TestGreedyEdgeColoringBound(t *testing.T) {
+	r := rng.New(3)
+	g, err := gen.RandomRegular(40, 6, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors, count, err := GreedyEdgeColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateEdgeColoring(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	if count > 2*6-1 {
+		t.Errorf("greedy used %d colours, bound is 11", count)
+	}
+}
+
+func TestGreedyEdgeColoringEmpty(t *testing.T) {
+	g := gen.Cycle(3)
+	sub, _ := g.InducedSubgraph([]int{0})
+	colors, count, err := GreedyEdgeColoring(sub)
+	if err != nil || colors != nil || count != 0 {
+		t.Errorf("empty graph colouring: %v %d %v", colors, count, err)
+	}
+}
+
+func TestBalancingCircuitCoversAllEdges(t *testing.T) {
+	r := rng.New(5)
+	g, err := gen.RandomRegular(30, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := NewBalancingCircuit(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, m := range bc.Matchings() {
+		if err := m.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		total += m.Size()
+	}
+	if total != g.M() {
+		t.Errorf("schedule covers %d of %d edges", total, g.M())
+	}
+}
+
+func TestBalancingCircuitCycles(t *testing.T) {
+	g := gen.Cycle(8)
+	bc, err := NewBalancingCircuit(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := bc.Size()
+	if n < 2 {
+		t.Fatalf("schedule size %d", n)
+	}
+	first := bc.Next()
+	for i := 1; i < n; i++ {
+		bc.Next()
+	}
+	if bc.Next() != first {
+		t.Error("schedule does not cycle")
+	}
+}
+
+func TestBalancingCircuitBalances(t *testing.T) {
+	// Cycling through the schedule must converge to uniform load like the
+	// random model does.
+	r := rng.New(9)
+	g, err := gen.RandomRegular(64, 6, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := NewBalancingCircuit(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, g.N())
+	y[0] = 1
+	for round := 0; round < 40*bc.Size(); round++ {
+		bc.Next().Apply(y)
+	}
+	avg := 1.0 / float64(g.N())
+	for v, x := range y {
+		if x < avg/2 || x > avg*2 {
+			t.Fatalf("node %d load %v far from uniform %v", v, x, avg)
+		}
+	}
+	if s := linalg.Sum(y); s < 0.999 || s > 1.001 {
+		t.Errorf("mass %v", s)
+	}
+}
+
+// Property: greedy colouring is always proper and within the 2Δ−1 bound.
+func TestEdgeColoringProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8 + 2*r.Intn(20)
+		d := 3 + r.Intn(5)
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := gen.RandomRegular(n, d, r)
+		if err != nil {
+			return false
+		}
+		colors, count, err := GreedyEdgeColoring(g)
+		if err != nil {
+			return false
+		}
+		if count > 2*d-1 {
+			return false
+		}
+		return ValidateEdgeColoring(g, colors) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancingCircuitIrregularGraph(t *testing.T) {
+	// Caveman graphs are irregular (rewired clique edges); the schedule must
+	// still cover every edge with valid matchings.
+	p := gen.Caveman(3, 6)
+	bc, err := NewBalancingCircuit(p.G, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, m := range bc.Matchings() {
+		if err := m.Validate(p.G); err != nil {
+			t.Fatal(err)
+		}
+		total += m.Size()
+	}
+	if total != p.G.M() {
+		t.Errorf("covered %d of %d edges", total, p.G.M())
+	}
+}

@@ -1,0 +1,209 @@
+// Package matching implements the random matching model of load balancing
+// (§2.2 of the paper), following the distributed protocol of Boyd, Ghosh,
+// Prabhakar and Shah:
+//
+//  1. every node is active or non-active with probability 1/2;
+//  2. every active node chooses one of its neighbours uniformly at random;
+//  3. every non-active node chosen by exactly one of its neighbours is
+//     matched with that neighbour.
+//
+// For almost-regular graphs (§4.5) the protocol runs on the D-regular
+// augmentation G*: an active node draws a slot uniformly from [0, D) and
+// slots beyond its real degree are self-loops, i.e. no proposal. With
+// D = d on a d-regular graph this is exactly the classical protocol.
+//
+// Randomness is drawn from per-node streams so that a sequential simulation
+// and a message-passing execution generate identical matchings for the same
+// seeds (each node's draws depend only on its own stream).
+package matching
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+// Unmatched marks a node without a partner in a Matching.
+const Unmatched = int32(-1)
+
+// Matching is the outcome of one protocol round.
+type Matching struct {
+	// Partner[v] is the matched neighbour of v, or Unmatched.
+	Partner []int32
+	// Pairs lists each matched pair once, with Pairs[i][0] < Pairs[i][1].
+	Pairs [][2]int32
+	// Proposals counts the propose messages sent this round (for message
+	// accounting; every proposal costs one word on the wire).
+	Proposals int
+}
+
+// Size returns the number of matched pairs.
+func (m *Matching) Size() int { return len(m.Pairs) }
+
+// Validate checks the matching invariants against a graph: partners are
+// mutual, each node occurs in at most one pair, and every pair is an edge.
+func (m *Matching) Validate(g *graph.Graph) error {
+	if len(m.Partner) != g.N() {
+		return fmt.Errorf("matching: partner array length %d for n=%d", len(m.Partner), g.N())
+	}
+	count := make([]int, g.N())
+	for _, p := range m.Pairs {
+		u, v := int(p[0]), int(p[1])
+		if u >= v {
+			return fmt.Errorf("matching: pair (%d,%d) not ordered", u, v)
+		}
+		if !g.HasEdge(u, v) {
+			return fmt.Errorf("matching: pair (%d,%d) is not an edge", u, v)
+		}
+		if m.Partner[u] != int32(v) || m.Partner[v] != int32(u) {
+			return fmt.Errorf("matching: partner array disagrees with pair (%d,%d)", u, v)
+		}
+		count[u]++
+		count[v]++
+	}
+	for v, c := range count {
+		if c > 1 {
+			return fmt.Errorf("matching: node %d in %d pairs", v, c)
+		}
+		if c == 0 && m.Partner[v] != Unmatched {
+			return fmt.Errorf("matching: node %d has phantom partner %d", v, m.Partner[v])
+		}
+	}
+	return nil
+}
+
+// NodeRNGs creates n independent per-node random streams from a master seed.
+func NodeRNGs(n int, seed uint64) []*rng.RNG {
+	master := rng.New(seed)
+	out := make([]*rng.RNG, n)
+	for i := range out {
+		out[i] = master.Split()
+	}
+	return out
+}
+
+// Generate runs one round of the protocol on the D-regular view of g.
+// nodeRNGs must have length g.N(); node v consumes randomness only from
+// nodeRNGs[v] (at most two draws), which keeps sequential and distributed
+// executions in lockstep. d is the degree bound D (pass g.MaxDegree() for
+// the regular case).
+func Generate(g *graph.Graph, d int, nodeRNGs []*rng.RNG) *Matching {
+	n := g.N()
+	proposals := make([]int32, n) // proposal target per node, -1 if none
+	active := make([]bool, n)
+	nProposals := 0
+	for v := 0; v < n; v++ {
+		proposals[v] = -1
+		r := nodeRNGs[v]
+		active[v] = r.Bool()
+		if !active[v] {
+			continue
+		}
+		slot := r.Intn(d)
+		if slot < g.Degree(v) {
+			proposals[v] = int32(g.Neighbor(v, slot))
+			nProposals++
+		}
+	}
+	m := resolve(g, active, proposals)
+	m.Proposals = nProposals
+	return m
+}
+
+// resolve applies step 3: a non-active node chosen by exactly one neighbour
+// joins the matching with that neighbour.
+func resolve(g *graph.Graph, active []bool, proposals []int32) *Matching {
+	n := g.N()
+	proposerCount := make([]int32, n)
+	proposer := make([]int32, n)
+	for i := range proposer {
+		proposer[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		t := proposals[v]
+		if t < 0 {
+			continue
+		}
+		proposerCount[t]++
+		proposer[t] = int32(v)
+	}
+	m := &Matching{Partner: make([]int32, n)}
+	for i := range m.Partner {
+		m.Partner[i] = Unmatched
+	}
+	for v := 0; v < n; v++ {
+		if active[v] || proposerCount[v] != 1 {
+			continue
+		}
+		u := proposer[v]
+		a, b := u, int32(v)
+		if a > b {
+			a, b = b, a
+		}
+		m.Partner[u] = int32(v)
+		m.Partner[v] = u
+		m.Pairs = append(m.Pairs, [2]int32{a, b})
+	}
+	return m
+}
+
+// Apply averages y across each matched pair in place: y ← M y.
+func (m *Matching) Apply(y []float64) {
+	for _, p := range m.Pairs {
+		u, v := p[0], p[1]
+		avg := (y[u] + y[v]) / 2
+		y[u], y[v] = avg, avg
+	}
+}
+
+// ApplyAll averages every vector in ys across each matched pair in place
+// (the multi-dimensional process uses the same matching for all coordinates).
+func (m *Matching) ApplyAll(ys [][]float64) {
+	for _, y := range ys {
+		m.Apply(y)
+	}
+}
+
+// Matrix materialises M(t) as a dense matrix (for tests on small graphs).
+func (m *Matching) Matrix() *linalg.Dense {
+	n := len(m.Partner)
+	mat := linalg.Identity(n)
+	for _, p := range m.Pairs {
+		u, v := int(p[0]), int(p[1])
+		mat.Set(u, u, 0.5)
+		mat.Set(v, v, 0.5)
+		mat.Set(u, v, 0.5)
+		mat.Set(v, u, 0.5)
+	}
+	return mat
+}
+
+// DBar returns d̄ = (1 − 1/(2d))^{d−1} from Lemma 2.1.
+func DBar(d int) float64 {
+	if d <= 0 {
+		return 1
+	}
+	base := 1 - 1/(2*float64(d))
+	out := 1.0
+	for i := 0; i < d-1; i++ {
+		out *= base
+	}
+	return out
+}
+
+// ExpectedMatrix returns E[M(t)] = (1 − d̄/4)·I + (d̄/4)·P for a d-regular
+// graph (Lemma 2.1(1)), as a dense matrix for validation experiments.
+func ExpectedMatrix(g *graph.Graph, d int) *linalg.Dense {
+	n := g.N()
+	db := DBar(d)
+	mat := linalg.NewDense(n, n)
+	for v := 0; v < n; v++ {
+		mat.Set(v, v, 1-db/4)
+		for _, u := range g.Neighbors(v) {
+			mat.Set(v, int(u), db/4/float64(d))
+		}
+	}
+	return mat
+}

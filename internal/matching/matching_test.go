@@ -1,0 +1,258 @@
+package matching
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func TestDBar(t *testing.T) {
+	if DBar(1) != 1 {
+		t.Errorf("DBar(1) = %v", DBar(1))
+	}
+	// d=2: (1 - 1/4)^1 = 0.75
+	if math.Abs(DBar(2)-0.75) > 1e-15 {
+		t.Errorf("DBar(2) = %v", DBar(2))
+	}
+	// d=3: (5/6)^2
+	if math.Abs(DBar(3)-25.0/36.0) > 1e-15 {
+		t.Errorf("DBar(3) = %v", DBar(3))
+	}
+	// Limit: d̄ → e^{-1/2} ≈ 0.6065 as d → ∞.
+	if math.Abs(DBar(10000)-math.Exp(-0.5)) > 1e-3 {
+		t.Errorf("DBar(10000) = %v", DBar(10000))
+	}
+	if DBar(0) != 1 {
+		t.Errorf("DBar(0) = %v", DBar(0))
+	}
+}
+
+func TestGenerateValid(t *testing.T) {
+	r := rng.New(2)
+	g, err := gen.RandomRegular(60, 6, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngs := NodeRNGs(g.N(), 7)
+	for round := 0; round < 50; round++ {
+		m := Generate(g, g.MaxDegree(), rngs)
+		if err := m.Validate(g); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	r := rng.New(3)
+	g, err := gen.RandomRegular(40, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Generate(g, 4, NodeRNGs(g.N(), 99))
+	b := Generate(g, 4, NodeRNGs(g.N(), 99))
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Pairs), len(b.Pairs))
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestGenerateNonEmptyOnAverage(t *testing.T) {
+	// On a d-regular graph a constant fraction of nodes is matched per round.
+	r := rng.New(5)
+	g, err := gen.RandomRegular(200, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngs := NodeRNGs(g.N(), 11)
+	total := 0
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		total += Generate(g, 8, rngs).Size()
+	}
+	avg := float64(total) / rounds
+	// E[matched nodes] = n·d̄/2 => pairs ≈ n·d̄/4 ≈ 200·0.63/4 ≈ 31.
+	if avg < 20 || avg > 45 {
+		t.Errorf("average matching size %v implausible", avg)
+	}
+}
+
+func TestApplyConservesAndAverages(t *testing.T) {
+	g := gen.Cycle(6)
+	m := &Matching{Partner: []int32{1, 0, Unmatched, Unmatched, 5, 4},
+		Pairs: [][2]int32{{0, 1}, {4, 5}}}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	y := []float64{1, 0, 2, 3, 4, 8}
+	sum := linalg.Sum(y)
+	m.Apply(y)
+	if linalg.Sum(y) != sum {
+		t.Error("mass not conserved")
+	}
+	if y[0] != 0.5 || y[1] != 0.5 || y[2] != 2 || y[4] != 6 || y[5] != 6 {
+		t.Errorf("apply wrong: %v", y)
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	m := &Matching{Partner: []int32{1, 0}, Pairs: [][2]int32{{0, 1}}}
+	ys := [][]float64{{2, 0}, {0, 4}}
+	m.ApplyAll(ys)
+	if ys[0][0] != 1 || ys[0][1] != 1 || ys[1][0] != 2 || ys[1][1] != 2 {
+		t.Errorf("applyAll wrong: %v", ys)
+	}
+}
+
+func TestMatrixProjection(t *testing.T) {
+	// Lemma 2.1(2): M is a projection, M² = M. Check on random matchings.
+	r := rng.New(9)
+	g, err := gen.RandomRegular(20, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngs := NodeRNGs(g.N(), 1)
+	for round := 0; round < 10; round++ {
+		m := Generate(g, 4, rngs).Matrix()
+		n := m.Rows
+		// Compute M² and compare.
+		for i := 0; i < n; i++ {
+			row := make([]float64, n)
+			m.MulVec(row, m.Col(i))
+			for j := 0; j < n; j++ {
+				if math.Abs(row[j]-m.At(j, i)) > 1e-14 {
+					t.Fatalf("M² != M at (%d,%d)", j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestExpectedMatrixLemma21(t *testing.T) {
+	// Empirical E[M] converges to (1 − d̄/4)I + (d̄/4)P on a regular graph.
+	r := rng.New(13)
+	g, err := gen.RandomRegular(16, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectedMatrix(g, 4)
+	n := g.N()
+	sum := linalg.NewDense(n, n)
+	rngs := NodeRNGs(n, 21)
+	const samples = 60000
+	for s := 0; s < samples; s++ {
+		m := Generate(g, 4, rngs)
+		for v := 0; v < n; v++ {
+			sum.Set(v, v, sum.At(v, v)+1)
+		}
+		for _, p := range m.Pairs {
+			u, v := int(p[0]), int(p[1])
+			sum.Set(u, u, sum.At(u, u)-0.5)
+			sum.Set(v, v, sum.At(v, v)-0.5)
+			sum.Set(u, v, sum.At(u, v)+0.5)
+			sum.Set(v, u, sum.At(v, u)+0.5)
+		}
+	}
+	maxDev := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dev := math.Abs(sum.At(i, j)/samples - want.At(i, j))
+			if dev > maxDev {
+				maxDev = dev
+			}
+		}
+	}
+	// Standard error per entry is ~sqrt(p/samples) ≈ 0.002; allow 5 sigma.
+	if maxDev > 0.012 {
+		t.Errorf("max deviation from Lemma 2.1 expectation: %v", maxDev)
+	}
+}
+
+func TestGenerateOnAlmostRegular(t *testing.T) {
+	// Star graph: highly irregular; with D = max degree the protocol must
+	// still produce valid matchings, and leaf self-loop slots dampen leaves'
+	// proposal rates.
+	b := graph.NewBuilder(8)
+	for leaf := 1; leaf < 8; leaf++ {
+		b.AddEdge(0, leaf)
+	}
+	g := b.MustBuild()
+	rngs := NodeRNGs(g.N(), 5)
+	matched := 0
+	for round := 0; round < 500; round++ {
+		m := Generate(g, g.MaxDegree(), rngs)
+		if err := m.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		matched += m.Size()
+	}
+	if matched == 0 {
+		t.Error("star graph never matched in 500 rounds")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := gen.Cycle(4)
+	// Non-edge pair.
+	m := &Matching{Partner: []int32{2, Unmatched, 0, Unmatched}, Pairs: [][2]int32{{0, 2}}}
+	if err := m.Validate(g); err == nil {
+		t.Error("non-edge pair accepted")
+	}
+	// Phantom partner.
+	m2 := &Matching{Partner: []int32{1, Unmatched, Unmatched, Unmatched}, Pairs: nil}
+	if err := m2.Validate(g); err == nil {
+		t.Error("phantom partner accepted")
+	}
+	// Wrong length.
+	m3 := &Matching{Partner: []int32{Unmatched}}
+	if err := m3.Validate(g); err == nil {
+		t.Error("wrong length accepted")
+	}
+	// Unordered pair.
+	m4 := &Matching{Partner: []int32{1, 0, Unmatched, Unmatched}, Pairs: [][2]int32{{1, 0}}}
+	if err := m4.Validate(g); err == nil {
+		t.Error("unordered pair accepted")
+	}
+}
+
+// Property: for random graphs and seeds, generated matchings always validate
+// and Apply always conserves total load.
+func TestMatchingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + 2*r.Intn(20)
+		d := 3 + r.Intn(4)
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := gen.RandomRegular(n, d, r)
+		if err != nil {
+			return false
+		}
+		rngs := NodeRNGs(g.N(), seed^0xabc)
+		y := make([]float64, g.N())
+		for i := range y {
+			y[i] = r.Float64() * 10
+		}
+		before := linalg.Sum(y)
+		for round := 0; round < 5; round++ {
+			m := Generate(g, d, rngs)
+			if m.Validate(g) != nil {
+				return false
+			}
+			m.Apply(y)
+		}
+		return math.Abs(linalg.Sum(y)-before) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

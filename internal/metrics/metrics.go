@@ -1,0 +1,300 @@
+// Package metrics scores clusterings against ground truth. Theorem 1.1
+// guarantees the existence of a label permutation σ under which only o(n)
+// nodes are misclassified; Misclassified finds the best such assignment
+// exactly via the Hungarian algorithm on the confusion matrix. The package
+// also provides the adjusted Rand index and normalised mutual information
+// used by the baseline comparisons.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// relabel maps arbitrary int labels to a dense range [0, k) and returns the
+// dense labels plus k.
+func relabel(labels []int) ([]int, int) {
+	m := map[int]int{}
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		d, ok := m[l]
+		if !ok {
+			d = len(m)
+			m[l] = d
+		}
+		out[i] = d
+	}
+	return out, len(m)
+}
+
+// Confusion returns the confusion matrix C with C[i][j] = |{v: truth v = i,
+// pred v = j}| over dense label spaces, plus the two label counts.
+func Confusion(truth, pred []int) ([][]int, int, int, error) {
+	if len(truth) != len(pred) {
+		return nil, 0, 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(truth), len(pred))
+	}
+	dt, kt := relabel(truth)
+	dp, kp := relabel(pred)
+	c := make([][]int, kt)
+	for i := range c {
+		c[i] = make([]int, kp)
+	}
+	for v := range dt {
+		c[dt[v]][dp[v]]++
+	}
+	return c, kt, kp, nil
+}
+
+// Hungarian solves the minimum-cost assignment problem for an n×m cost
+// matrix with n <= m, returning rowAssign (rowAssign[i] = column assigned to
+// row i) and the total cost. O(n²m) time.
+func Hungarian(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	if m < n {
+		return nil, 0, fmt.Errorf("metrics: Hungarian needs rows <= cols, got %dx%d", n, m)
+	}
+	for i := range cost {
+		if len(cost[i]) != m {
+			return nil, 0, fmt.Errorf("metrics: ragged cost matrix")
+		}
+	}
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)   // p[j]: row (1-based) matched to column j
+	way := make([]int, m+1) // back-pointers for augmenting path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	rowAssign := make([]int, n)
+	total := 0.0
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			rowAssign[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return rowAssign, total, nil
+}
+
+// Misclassified returns the minimum number of misclassified nodes over all
+// injective mappings of predicted labels to true labels (Theorem 1.1's
+// measure), computed exactly with the Hungarian algorithm on the confusion
+// matrix.
+func Misclassified(truth, pred []int) (int, error) {
+	c, kt, kp, err := Confusion(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	k := kt
+	if kp > k {
+		k = kp
+	}
+	// Pad to square; maximise matched mass = minimise (maxVal - C[i][j]).
+	cost := make([][]float64, k)
+	for i := range cost {
+		cost[i] = make([]float64, k)
+		for j := range cost[i] {
+			if i < kt && j < kp {
+				cost[i][j] = -float64(c[i][j])
+			}
+		}
+	}
+	_, total, err := Hungarian(cost)
+	if err != nil {
+		return 0, err
+	}
+	agree := int(math.Round(-total))
+	return len(truth) - agree, nil
+}
+
+// MisclassificationRate is Misclassified normalised by n.
+func MisclassificationRate(truth, pred []int) (float64, error) {
+	if len(truth) == 0 {
+		return 0, nil
+	}
+	mis, err := Misclassified(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	return float64(mis) / float64(len(truth)), nil
+}
+
+// ARI returns the adjusted Rand index between two labelings (1 = identical
+// partitions, ~0 = random agreement; can be negative).
+func ARI(truth, pred []int) (float64, error) {
+	c, kt, kp, err := Confusion(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	n := len(truth)
+	if n == 0 {
+		return 1, nil
+	}
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumCells, sumRows, sumCols float64
+	rows := make([]int, kt)
+	cols := make([]int, kp)
+	for i := 0; i < kt; i++ {
+		for j := 0; j < kp; j++ {
+			sumCells += choose2(c[i][j])
+			rows[i] += c[i][j]
+			cols[j] += c[i][j]
+		}
+	}
+	for _, r := range rows {
+		sumRows += choose2(r)
+	}
+	for _, cl := range cols {
+		sumCols += choose2(cl)
+	}
+	total := choose2(n)
+	expected := sumRows * sumCols / total
+	maxIdx := (sumRows + sumCols) / 2
+	if maxIdx == expected {
+		return 1, nil // both partitions trivial
+	}
+	return (sumCells - expected) / (maxIdx - expected), nil
+}
+
+// NMI returns the normalised mutual information I(T;P)/sqrt(H(T)H(P)), in
+// [0, 1]. Degenerate partitions with zero entropy yield 1 when identical in
+// structure and 0 otherwise.
+func NMI(truth, pred []int) (float64, error) {
+	c, kt, kp, err := Confusion(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	n := float64(len(truth))
+	if n == 0 {
+		return 1, nil
+	}
+	rows := make([]float64, kt)
+	cols := make([]float64, kp)
+	for i := range c {
+		for j := range c[i] {
+			rows[i] += float64(c[i][j])
+			cols[j] += float64(c[i][j])
+		}
+	}
+	var mi, ht, hp float64
+	for i := range c {
+		for j := range c[i] {
+			if c[i][j] == 0 {
+				continue
+			}
+			pij := float64(c[i][j]) / n
+			mi += pij * math.Log(pij*n*n/(rows[i]*cols[j]))
+		}
+	}
+	for _, r := range rows {
+		if r > 0 {
+			ht -= (r / n) * math.Log(r/n)
+		}
+	}
+	for _, cl := range cols {
+		if cl > 0 {
+			hp -= (cl / n) * math.Log(cl/n)
+		}
+	}
+	if ht == 0 && hp == 0 {
+		return 1, nil
+	}
+	if ht == 0 || hp == 0 {
+		return 0, nil
+	}
+	return mi / math.Sqrt(ht*hp), nil
+}
+
+// BruteForceMisclassified computes the same quantity as Misclassified by
+// trying every permutation; exponential in the label count, used to validate
+// the Hungarian path in tests (k <= 7).
+func BruteForceMisclassified(truth, pred []int) (int, error) {
+	c, kt, kp, err := Confusion(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	k := kt
+	if kp > k {
+		k = kp
+	}
+	sq := make([][]int, k)
+	for i := range sq {
+		sq[i] = make([]int, k)
+		if i < kt {
+			copy(sq[i], c[i])
+		}
+	}
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := 0
+	var rec func(int)
+	rec = func(depth int) {
+		if depth == k {
+			agree := 0
+			for i := 0; i < k; i++ {
+				agree += sq[i][perm[i]]
+			}
+			if agree > best {
+				best = agree
+			}
+			return
+		}
+		for i := depth; i < k; i++ {
+			perm[depth], perm[i] = perm[i], perm[depth]
+			rec(depth + 1)
+			perm[depth], perm[i] = perm[i], perm[depth]
+		}
+	}
+	rec(0)
+	return len(truth) - best, nil
+}

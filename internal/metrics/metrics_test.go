@@ -1,0 +1,264 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestConfusion(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2}
+	pred := []int{5, 5, 7, 5, 9}
+	c, kt, kp, err := Confusion(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kt != 3 || kp != 3 {
+		t.Fatalf("kt=%d kp=%d", kt, kp)
+	}
+	if c[0][0] != 2 || c[1][1] != 1 || c[1][0] != 1 || c[2][2] != 1 {
+		t.Errorf("confusion %v", c)
+	}
+}
+
+func TestConfusionLengthMismatch(t *testing.T) {
+	if _, _, _, err := Confusion([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestHungarianSimple(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Errorf("total %v want 5", total)
+	}
+	want := []int{1, 0, 2}
+	for i := range want {
+		if assign[i] != want[i] {
+			t.Errorf("assign %v want %v", assign, want)
+		}
+	}
+}
+
+func TestHungarianRectangular(t *testing.T) {
+	cost := [][]float64{
+		{10, 1, 10, 10},
+		{10, 10, 1, 10},
+	}
+	assign, total, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || assign[0] != 1 || assign[1] != 2 {
+		t.Errorf("assign %v total %v", assign, total)
+	}
+}
+
+func TestHungarianErrors(t *testing.T) {
+	if _, _, err := Hungarian([][]float64{{1}, {2}}); err == nil {
+		t.Error("rows > cols should fail")
+	}
+	if _, _, err := Hungarian([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged should fail")
+	}
+	if assign, total, err := Hungarian(nil); err != nil || assign != nil || total != 0 {
+		t.Error("empty should be trivial")
+	}
+}
+
+func TestMisclassifiedPerfect(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	pred := []int{9, 9, 4, 4, 7, 7} // same partition, different names
+	mis, err := Misclassified(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis != 0 {
+		t.Errorf("mis = %d want 0", mis)
+	}
+	rate, err := MisclassificationRate(truth, pred)
+	if err != nil || rate != 0 {
+		t.Errorf("rate = %v", rate)
+	}
+}
+
+func TestMisclassifiedOneError(t *testing.T) {
+	truth := []int{0, 0, 0, 1, 1, 1}
+	pred := []int{2, 2, 3, 3, 3, 3}
+	mis, err := Misclassified(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis != 1 {
+		t.Errorf("mis = %d want 1", mis)
+	}
+}
+
+func TestMisclassifiedDifferentK(t *testing.T) {
+	// Prediction splits one true cluster into two: best assignment keeps the
+	// larger half.
+	truth := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	pred := []int{0, 0, 2, 2, 1, 1, 1, 1}
+	mis, err := Misclassified(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis != 2 {
+		t.Errorf("mis = %d want 2", mis)
+	}
+}
+
+func TestMisclassifiedMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(40)
+		kt := 1 + r.Intn(4)
+		kp := 1 + r.Intn(5)
+		truth := make([]int, n)
+		pred := make([]int, n)
+		for i := range truth {
+			truth[i] = r.Intn(kt)
+			pred[i] = r.Intn(kp)
+		}
+		h, err1 := Misclassified(truth, pred)
+		b, err2 := BruteForceMisclassified(truth, pred)
+		return err1 == nil && err2 == nil && h == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestARIIdentical(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	ari, err := ARI(truth, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ari-1) > 1e-12 {
+		t.Errorf("ARI = %v want 1", ari)
+	}
+}
+
+func TestARIRenamedLabels(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	pred := []int{7, 7, 3, 3}
+	ari, err := ARI(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ari-1) > 1e-12 {
+		t.Errorf("ARI = %v want 1", ari)
+	}
+}
+
+func TestARIRandomIsNearZero(t *testing.T) {
+	r := rng.New(31)
+	n := 2000
+	truth := make([]int, n)
+	pred := make([]int, n)
+	for i := range truth {
+		truth[i] = r.Intn(3)
+		pred[i] = r.Intn(3)
+	}
+	ari, err := ARI(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ari) > 0.05 {
+		t.Errorf("random ARI = %v, expected ~0", ari)
+	}
+}
+
+func TestARITrivialPartitions(t *testing.T) {
+	// Both partitions put everything in one cluster.
+	ari, err := ARI([]int{1, 1, 1}, []int{2, 2, 2})
+	if err != nil || ari != 1 {
+		t.Errorf("trivial ARI = %v err %v", ari, err)
+	}
+	if _, err := ARI([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestNMIIdentical(t *testing.T) {
+	truth := []int{0, 1, 2, 0, 1, 2}
+	nmi, err := NMI(truth, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nmi-1) > 1e-12 {
+		t.Errorf("NMI = %v want 1", nmi)
+	}
+}
+
+func TestNMIIndependent(t *testing.T) {
+	// Independent labelings on a large sample → NMI near 0.
+	r := rng.New(77)
+	n := 5000
+	truth := make([]int, n)
+	pred := make([]int, n)
+	for i := range truth {
+		truth[i] = r.Intn(4)
+		pred[i] = r.Intn(4)
+	}
+	nmi, err := NMI(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi > 0.02 {
+		t.Errorf("independent NMI = %v", nmi)
+	}
+}
+
+func TestNMIDegenerate(t *testing.T) {
+	// One trivial, one informative.
+	nmi, err := NMI([]int{0, 0, 0}, []int{0, 1, 2})
+	if err != nil || nmi != 0 {
+		t.Errorf("NMI = %v err %v", nmi, err)
+	}
+	nmi, err = NMI([]int{0, 0}, []int{1, 1})
+	if err != nil || nmi != 1 {
+		t.Errorf("both-trivial NMI = %v err %v", nmi, err)
+	}
+}
+
+func TestNMIRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(50)
+		truth := make([]int, n)
+		pred := make([]int, n)
+		for i := range truth {
+			truth[i] = r.Intn(3)
+			pred[i] = r.Intn(3)
+		}
+		nmi, err := NMI(truth, pred)
+		return err == nil && nmi >= -1e-12 && nmi <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if rate, err := MisclassificationRate(nil, nil); err != nil || rate != 0 {
+		t.Error("empty rate should be 0")
+	}
+	if ari, err := ARI(nil, nil); err != nil || ari != 1 {
+		t.Error("empty ARI should be 1")
+	}
+	if nmi, err := NMI(nil, nil); err != nil || nmi != 1 {
+		t.Error("empty NMI should be 1")
+	}
+}

@@ -1,0 +1,70 @@
+package spectral
+
+import (
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/rng"
+)
+
+func TestAutoRoundsMatchesManualEstimate(t *testing.T) {
+	r := rng.New(3)
+	p, err := gen.ClusteredRing(3, 80, 20, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := AutoRounds(p.G, 3, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := TopEigen(p.G, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := EstimateRoundsMatching(p.G.N(), vals[3], p.G.MaxDegree(), 1.5)
+	if auto != manual {
+		t.Errorf("AutoRounds %d != manual %d", auto, manual)
+	}
+	if auto < 10 {
+		t.Errorf("implausibly small budget %d", auto)
+	}
+}
+
+func TestAutoRoundsGrowsWithTighterClusters(t *testing.T) {
+	r := rng.New(5)
+	sparse, err := gen.ClusteredRing(2, 80, 12, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := gen.ClusteredRing(2, 80, 40, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ_3 is smaller on the denser expander (better internal gap), but the
+	// d̄/4 matching slowdown is about the same, so T should not explode;
+	// just check both estimates are sane and positive.
+	ts, err := AutoRounds(sparse.G, 2, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := AutoRounds(dense.G, 2, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts <= 0 || td <= 0 {
+		t.Errorf("budgets %d %d", ts, td)
+	}
+}
+
+func TestAutoRoundsError(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := AutoRounds(g, 4, 1.5, 1); err == nil {
+		t.Error("k+1 > n should fail")
+	}
+}
+
+func TestMixingEstimate(t *testing.T) {
+	if MixingEstimate(1000, 0.9) <= MixingEstimate(1000, 0.5) {
+		t.Error("smaller gap must mean more rounds")
+	}
+}

@@ -1,0 +1,284 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func TestWalkOperatorRowStochastic(t *testing.T) {
+	p, err := gen.SBMBalanced(2, 50, 10, 2, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewWalkOperator(p.G)
+	n := p.G.N()
+	ones := make([]float64, n)
+	linalg.Fill(ones, 1)
+	dst := make([]float64, n)
+	op.Apply(dst, ones)
+	for v := 0; v < n; v++ {
+		if math.Abs(dst[v]-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", v, dst[v])
+		}
+	}
+}
+
+func TestWalkOperatorSymmetric(t *testing.T) {
+	// x^T P y == y^T P x for the self-loop-augmented operator.
+	p, err := gen.SBMBalanced(2, 30, 8, 2, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewWalkOperator(p.G)
+	n := p.G.N()
+	r := rng.New(4)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = r.NormFloat64()
+		y[i] = r.NormFloat64()
+	}
+	px := make([]float64, n)
+	py := make([]float64, n)
+	op.Apply(px, x)
+	op.Apply(py, y)
+	if math.Abs(linalg.Dot(y, px)-linalg.Dot(x, py)) > 1e-10 {
+		t.Error("operator not symmetric")
+	}
+}
+
+func TestWalkOperatorDBound(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := NewWalkOperatorD(g, 1); err == nil {
+		t.Error("D below max degree should fail")
+	}
+	op, err := NewWalkOperatorD(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.D() != 4 {
+		t.Errorf("D = %d", op.D())
+	}
+	// With D=4, cycle nodes have 2 self-loop slots: P x for x = e_0 puts
+	// 1/2 on node 0.
+	x := make([]float64, 5)
+	x[0] = 1
+	dst := make([]float64, 5)
+	op.Apply(dst, x)
+	if math.Abs(dst[0]-0.5) > 1e-15 || math.Abs(dst[1]-0.25) > 1e-15 {
+		t.Errorf("dst = %v", dst)
+	}
+}
+
+func TestTopEigenCycle(t *testing.T) {
+	// Cycle C_n has random-walk eigenvalues cos(2πj/n).
+	n := 12
+	g := gen.Cycle(n)
+	vals, vecs, err := TopEigen(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-9 {
+		t.Errorf("λ1 = %v", vals[0])
+	}
+	want := math.Cos(2 * math.Pi / float64(n))
+	if math.Abs(vals[1]-want) > 1e-8 || math.Abs(vals[2]-want) > 1e-8 {
+		t.Errorf("λ2,λ3 = %v,%v want %v (multiplicity 2)", vals[1], vals[2], want)
+	}
+	// First eigenvector is uniform.
+	f1 := vecs[0]
+	for v := 1; v < n; v++ {
+		if math.Abs(math.Abs(f1[v])-math.Abs(f1[0])) > 1e-8 {
+			t.Errorf("f1 not uniform: %v vs %v", f1[v], f1[0])
+		}
+	}
+}
+
+func TestTopEigenCompleteGraph(t *testing.T) {
+	// K_n: λ1 = 1, all others = -1/(n-1).
+	g := gen.Complete(8)
+	vals, _, err := TopEigen(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-9 {
+		t.Errorf("λ1 = %v", vals[0])
+	}
+	for i := 1; i < 4; i++ {
+		if math.Abs(vals[i]+1.0/7.0) > 1e-8 {
+			t.Errorf("λ%d = %v want %v", i+1, vals[i], -1.0/7.0)
+		}
+	}
+}
+
+func TestPartitionConductance(t *testing.T) {
+	p := gen.Barbell(4)
+	phis, err := PartitionConductance(p.G, p.Truth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each clique: cut 1, vol = 2*C(4,2)+1 = 13.
+	for c, phi := range phis {
+		if math.Abs(phi-1.0/13.0) > 1e-12 {
+			t.Errorf("φ(S_%d) = %v", c, phi)
+		}
+	}
+}
+
+func TestPartitionConductanceErrors(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := PartitionConductance(g, []int{0, 0}, 1); err == nil {
+		t.Error("short labels should fail")
+	}
+	if _, err := PartitionConductance(g, []int{0, 0, 0, 5}, 2); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+}
+
+func TestAnalyzeWellClustered(t *testing.T) {
+	r := rng.New(7)
+	p, err := gen.ClusteredRing(3, 60, 10, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Analyze(p.G, p.Truth, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ_3 should be close to 1 (three clusters), λ_4 bounded away.
+	if st.LambdaK < 0.75 {
+		t.Errorf("λ_k = %v, expected near 1", st.LambdaK)
+	}
+	if st.LambdaK1 > st.LambdaK {
+		t.Error("eigenvalues out of order")
+	}
+	// ρ(3) = 2c/d = 2/12.
+	if math.Abs(st.RhoK-2.0/12.0) > 1e-12 {
+		t.Errorf("ρ(k) = %v", st.RhoK)
+	}
+	if st.Upsilon < 1 {
+		t.Errorf("Υ = %v, expected > 1 for a well-clustered ring", st.Upsilon)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	g := gen.Cycle(4)
+	labels := []int{0, 0, 1, 1}
+	if _, err := Analyze(g, labels, 0, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Analyze(g, labels, 4, 1); err == nil {
+		t.Error("k+1 > n should fail")
+	}
+}
+
+func TestEstimateRounds(t *testing.T) {
+	if got := EstimateRounds(1000, 0.5, 1); got != int(math.Ceil(math.Log(1000)/0.5)) {
+		t.Errorf("rounds = %d", got)
+	}
+	if got := EstimateRounds(10, 1.0, 1); got < 1000000 {
+		// Degenerate gap should produce a huge but finite value.
+		t.Errorf("zero gap rounds = %d", got)
+	}
+	if got := EstimateRounds(2, 0.0, 0.001); got != 1 {
+		t.Errorf("floor at 1, got %d", got)
+	}
+}
+
+func TestNormalizedIndicator(t *testing.T) {
+	x := NormalizedIndicator(5, []int{1, 3})
+	if x[1] != 0.5 || x[3] != 0.5 || x[0] != 0 {
+		t.Errorf("indicator %v", x)
+	}
+	z := NormalizedIndicator(3, nil)
+	if linalg.Norm(z) != 0 {
+		t.Error("empty indicator should be zero")
+	}
+}
+
+func TestClusterMembers(t *testing.T) {
+	m := ClusterMembers([]int{0, 1, 0, 2}, 3)
+	if len(m[0]) != 2 || len(m[1]) != 1 || len(m[2]) != 1 {
+		t.Errorf("members %v", m)
+	}
+}
+
+func TestAnalyzeGoodNodes(t *testing.T) {
+	r := rng.New(11)
+	p, err := gen.ClusteredRing(3, 50, 8, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vecs, err := TopEigen(p.G, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := AnalyzeGoodNodes(p.G, p.Truth, 3, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ga.Alpha) != p.G.N() {
+		t.Fatalf("alpha length %d", len(ga.Alpha))
+	}
+	// Σ α_v² == Σ ‖χ̂_i − f_i‖² by definition.
+	sumAlpha := 0.0
+	for _, a := range ga.Alpha {
+		sumAlpha += a * a
+	}
+	if math.Abs(sumAlpha-ga.TotalErr) > 1e-9 {
+		t.Errorf("Σα² = %v vs TotalErr %v", sumAlpha, ga.TotalErr)
+	}
+	// On a strongly clustered graph, the indicators approximate the
+	// eigenvectors well: per-vector errors well below 1 (norm scale).
+	for i, e := range ga.VecErrors {
+		if e > 0.5 {
+			t.Errorf("‖χ̂_%d − f_%d‖ = %v too large", i, i, e)
+		}
+	}
+	// χ̂ vectors are orthonormal.
+	for i := 0; i < 3; i++ {
+		if math.Abs(linalg.Norm(ga.ChiHat[i])-1) > 1e-9 {
+			t.Errorf("χ̂_%d not unit", i)
+		}
+		for j := i + 1; j < 3; j++ {
+			if math.Abs(linalg.Dot(ga.ChiHat[i], ga.ChiHat[j])) > 1e-9 {
+				t.Errorf("χ̂_%d, χ̂_%d not orthogonal", i, j)
+			}
+		}
+	}
+}
+
+func TestAnalyzeGoodNodesErrors(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := AnalyzeGoodNodes(g, []int{0, 0, 1, 1}, 2, [][]float64{make([]float64, 4)}); err == nil {
+		t.Error("too few eigenvectors should fail")
+	}
+}
+
+func TestSpectralGapOrdering(t *testing.T) {
+	// A graph with 2 clusters: λ_2 close to 1, λ_3 clearly smaller.
+	r := rng.New(13)
+	p, err := gen.ClusteredRing(2, 80, 16, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := TopEigen(p.G, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For k=2 with one cross matching, the signed cluster-indicator vector is
+	// an exact eigenvector with λ2 = (dIn-1)/d; λ3 comes from the internal
+	// expanders and sits near 2√(dIn)/d.
+	gap21 := vals[0] - vals[1] // should be small (two clusters)
+	gap32 := vals[1] - vals[2] // should be large
+	if gap32 < 3*gap21 {
+		t.Errorf("expected λ2-λ3 gap to dominate: vals=%v", vals[:4])
+	}
+}
+
+var _ = graph.Graph{} // keep import for doc reference
