@@ -8,10 +8,12 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/graph/gen"
 	"repro/internal/linalg"
@@ -127,15 +129,22 @@ func BenchmarkClusterEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterDistributed runs the message-passing engine end to end on
+// a 50k-node two-cluster ring, sweeping the worker pool from the sequential
+// baseline to everything the hardware has (workers=1 vs workers=GOMAXPROCS
+// is the repo's parallel-speedup trajectory; see BENCH_dist.json).
 func BenchmarkClusterDistributed(b *testing.B) {
-	p := benchRing(b, 2, 150, 20, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.ClusterDistributed(p.G,
-			core.Params{Beta: 0.5, Rounds: 60, Seed: uint64(i)},
-			core.DistOptions{Workers: 2}); err != nil {
-			b.Fatal(err)
-		}
+	p := benchRing(b, 2, 25000, 16, 1)
+	params := core.Params{Beta: 0.5, Rounds: 20, Seed: 5}
+	for _, workers := range dist.WorkerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ClusterDistributed(p.G, params,
+					core.DistOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -50,6 +50,13 @@ type DistResult struct {
 	NetworkWords int64
 	// DroppedMatches counts matches lost to failure injection.
 	DroppedMatches int
+	// TotalMass is the total load over all nodes and coordinates after the
+	// final round. Averaging conserves mass and failure injection aborts
+	// matches atomically, so with PruneEpsilon == 0 it equals len(Seeds)
+	// up to float rounding — the conservation invariant tests assert
+	// against. Pruning deliberately discards mass, so a positive
+	// PruneEpsilon leaves TotalMass below the seed count.
+	TotalMass float64
 }
 
 // ClusterDistributed executes the algorithm with one logical process per
@@ -80,6 +87,7 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 	failRNGs := matching.NodeRNGs(n, opt.FailSeed^0x9e3779b97f4a7c15)
 
 	net := dist.NewNetwork[protoMsg](n, opt.Workers)
+	defer net.Close()
 	active := make([]bool, n)
 	dropped := 0
 	var droppedMu sync.Mutex
@@ -170,5 +178,6 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 		NetworkMessages: net.Counter().Messages(),
 		NetworkWords:    net.Counter().Words(),
 		DroppedMatches:  dropped,
+		TotalMass:       eng.TotalMass(),
 	}, nil
 }

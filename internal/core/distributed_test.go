@@ -77,16 +77,16 @@ func TestDistributedWithDropsConservesMass(t *testing.T) {
 	if dres.DroppedMatches == 0 {
 		t.Error("expected some dropped matches at p=0.3")
 	}
-	// Rebuild per-seed mass from the raw result: re-run an engine to check
-	// invariant directly instead.
-	e, err := NewEngine(p.G, params)
-	if err != nil {
-		t.Fatal(err)
+	// Conservation for real: the seeding procedure injects one unit of load
+	// per seed, and an aborted match must leave both sides untouched, so
+	// the final total mass equals the seed count exactly (all loads are
+	// dyadic rationals well inside float64 range; the tolerance only guards
+	// against summation order).
+	want := float64(len(dres.Seeds))
+	if math.Abs(dres.TotalMass-want) > 1e-9*want {
+		t.Errorf("total mass %v after drops, want %v (one unit per seed)", dres.TotalMass, want)
 	}
-	want := float64(len(e.seeds))
-	_ = want
-	// The distributed result can't expose states; instead verify the label
-	// structure is still sane (all labels in range, deterministic size).
+	// The label structure must also stay sane (all labels in range).
 	if len(dres.Labels) != p.G.N() {
 		t.Fatal("label vector wrong size")
 	}

@@ -1,0 +1,69 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// mix is a cheap splitmix-style scramble standing in for per-node compute.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// BenchmarkDistPhase measures one full phase — node execution, barrier,
+// delivery, mailbox ordering — on a 50k-node ring where every node does a
+// slice of hash work over its mail and forwards to two neighbours. This is
+// the runtime's hot path; the worker sweep is the repo's parallel-speedup
+// trajectory (on a multi-core host GOMAXPROCS should beat workers=1).
+func BenchmarkDistPhase(b *testing.B) {
+	const n = 50_000
+	for _, workers := range WorkerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			net := NewNetwork[uint64](n, workers)
+			defer net.Close()
+			// Prime one message per node so every measured phase both
+			// receives and sends.
+			net.Phase(func(v int) { net.Send(v, (v+1)%n, uint64(v), 1) })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Phase(func(v int) {
+					h := uint64(v)
+					for _, e := range net.Recv(v) {
+						h = mix(h ^ e.Body)
+					}
+					for k := 0; k < 24; k++ {
+						h = mix(h)
+					}
+					net.Send(v, (v+1)%n, h, 1)
+					net.Send(v, (v+7919)%n, h>>32, 2)
+				})
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
+		})
+	}
+}
+
+// BenchmarkDistSend measures a single-node 1024-message fan-out phase:
+// staging (outbox append plus sharded counter update) and the delivery of
+// those 1024 envelopes at the barrier. Phase always delivers, so the two
+// halves are measured together; compare against an idle phase on the same
+// network to attribute a regression.
+func BenchmarkDistSend(b *testing.B) {
+	const n = 1024
+	net := NewNetwork[uint64](n, 1)
+	defer net.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Phase(func(v int) {
+			if v == 0 {
+				for k := 0; k < n; k++ {
+					net.Send(0, k, uint64(k), 1)
+				}
+			}
+		})
+	}
+	b.ReportMetric(float64(n), "sends/phase")
+}

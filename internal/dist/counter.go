@@ -1,0 +1,49 @@
+package dist
+
+import "sync/atomic"
+
+// counterShard is one worker's private tally, padded out to its own cache
+// line so concurrent Sends on different workers never contend. Each shard
+// has a single writer; atomics make the totals safe to read at any time.
+type counterShard struct {
+	msgs  atomic.Int64
+	words atomic.Int64
+	_     [48]byte
+}
+
+// Counter accounts network traffic: one message per Send, plus the caller-
+// declared word size of each message. Totals are exact and deterministic
+// for any worker count, because every Send contributes a fixed amount
+// regardless of scheduling.
+type Counter struct {
+	shards []counterShard
+}
+
+func newCounter(workers int) *Counter {
+	return &Counter{shards: make([]counterShard, workers)}
+}
+
+// add records one message of the given word size on the worker's shard.
+func (c *Counter) add(shard int, words int64) {
+	s := &c.shards[shard]
+	s.msgs.Add(1)
+	s.words.Add(words)
+}
+
+// Messages returns the total number of messages sent.
+func (c *Counter) Messages() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].msgs.Load()
+	}
+	return t
+}
+
+// Words returns the total words sent on the wire.
+func (c *Counter) Words() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].words.Load()
+	}
+	return t
+}

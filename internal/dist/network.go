@@ -1,0 +1,185 @@
+// Package dist is a deterministic message-passing runtime for synchronous
+// distributed algorithms: n logical nodes exchange messages in phases, with
+// the work of each phase spread across a pool of worker goroutines.
+//
+// The execution model is bulk-synchronous. Phase(fn) runs fn(v) once for
+// every node v; inside the callback a node may read its mailbox with Recv
+// and stage messages with Send. A barrier separates phases: messages staged
+// during phase k are delivered at its end and become visible to Recv during
+// phase k+1, and mailboxes not read in phase k+1 are discarded at the next
+// delivery.
+//
+// Determinism is a hard contract. Results are bit-identical for any worker
+// count: nodes are partitioned into contiguous per-worker shards, each
+// worker stages outgoing messages in per-destination-shard outboxes (so Send
+// never takes a lock), and at the phase barrier every mailbox is merged and
+// stably ordered by sender ID — ties between messages from the same sender
+// keep their send order. Message and word counters are sharded per worker
+// and summed on read, so traffic accounting is equally schedule-independent.
+package dist
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Envelope is one delivered message: the sender's node ID and the payload.
+type Envelope[T any] struct {
+	From int
+	Body T
+}
+
+// staged is a message waiting in an outbox for the phase barrier.
+type staged[T any] struct {
+	to  int
+	env Envelope[T]
+}
+
+// outbox holds one worker's staged messages, bucketed by destination shard
+// so delivery can run in parallel with no worker writing another's bucket.
+type outbox[T any] struct {
+	shards [][]staged[T]
+}
+
+// Network connects n nodes, identified 0..n-1, through per-node mailboxes.
+// Create one with NewNetwork and drive it through Phase. Send may only be
+// called from inside a Phase callback (on behalf of the executing node);
+// Recv may be called from inside a callback or, for inspection, from the
+// driving goroutine between phases.
+type Network[T any] struct {
+	n       int
+	workers int
+	// bounds[w]..bounds[w+1] is the contiguous node range owned by worker w.
+	bounds []int
+	// shardOf maps a node to its owning worker.
+	shardOf []int32
+	inbox   [][]Envelope[T]
+	out     []outbox[T]
+	counter *Counter
+	pool    *pool
+}
+
+// NewNetwork creates a network of n nodes served by the given number of
+// worker goroutines. workers <= 0 means runtime.GOMAXPROCS(0); the count is
+// clamped to n so no worker owns an empty shard. The workers live until
+// Close (a runtime cleanup reclaims them if the network is dropped without
+// closing).
+func NewNetwork[T any](n, workers int) *Network[T] {
+	if n < 0 {
+		panic(fmt.Sprintf("dist: NewNetwork with n = %d", n))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	net := &Network[T]{
+		n:       n,
+		workers: workers,
+		bounds:  make([]int, workers+1),
+		shardOf: make([]int32, n),
+		inbox:   make([][]Envelope[T], n),
+		out:     make([]outbox[T], workers),
+		counter: newCounter(workers),
+		pool:    newPool(workers),
+	}
+	for w := 0; w <= workers; w++ {
+		net.bounds[w] = w * n / workers
+	}
+	for w := 0; w < workers; w++ {
+		for v := net.bounds[w]; v < net.bounds[w+1]; v++ {
+			net.shardOf[v] = int32(w)
+		}
+		net.out[w].shards = make([][]staged[T], workers)
+	}
+	// Reclaim the worker goroutines if the network is garbage-collected
+	// without Close. The cleanup may only reference the pool: if it (or its
+	// argument) kept the Network reachable, neither would ever be collected.
+	runtime.AddCleanup(net, func(p *pool) { p.close() }, net.pool)
+	return net
+}
+
+// N returns the number of nodes.
+func (net *Network[T]) N() int { return net.n }
+
+// Workers returns the effective worker count after defaulting and clamping.
+func (net *Network[T]) Workers() int { return net.workers }
+
+// Counter returns the network's traffic accounting. Totals are safe to read
+// at any time and deterministic once a phase has completed.
+func (net *Network[T]) Counter() *Counter { return net.counter }
+
+// Close stops the worker goroutines. It is idempotent; Phase must not be
+// called afterwards.
+func (net *Network[T]) Close() { net.pool.close() }
+
+// Phase runs fn(v) once for every node v in [0, n), partitioned across the
+// worker pool, then waits for all workers at a barrier and delivers every
+// staged message. fn must confine itself to node v's own data: it may call
+// Recv(v) and Send(v, ...), but must not touch another node's mailbox.
+// Undelivered mail from the previous phase is discarded.
+func (net *Network[T]) Phase(fn func(v int)) {
+	net.pool.run(func(w int) {
+		for v := net.bounds[w]; v < net.bounds[w+1]; v++ {
+			fn(v)
+		}
+	})
+	net.deliver()
+}
+
+// Send stages one message from node from to node to; it is delivered at the
+// end of the current phase. words is the accounted wire size of the message
+// (the message itself always counts once). Send must be called from within
+// the Phase callback currently executing node from — that callback runs on
+// the worker owning from's shard, which makes the outbox append lock-free.
+func (net *Network[T]) Send(from, to int, body T, words int64) {
+	if from < 0 || from >= net.n || to < 0 || to >= net.n {
+		panic(fmt.Sprintf("dist: Send(%d → %d) outside [0, %d)", from, to, net.n))
+	}
+	w := net.shardOf[from]
+	s := net.shardOf[to]
+	net.out[w].shards[s] = append(net.out[w].shards[s],
+		staged[T]{to: to, env: Envelope[T]{From: from, Body: body}})
+	net.counter.add(int(w), words)
+}
+
+// Recv returns the messages delivered to node v at the last phase boundary,
+// ordered by ascending sender ID (messages from the same sender keep their
+// send order). The slice is owned by the network and is valid only until
+// the end of the current phase; callers must not retain or mutate it.
+func (net *Network[T]) Recv(v int) []Envelope[T] {
+	return net.inbox[v]
+}
+
+// deliver is the phase barrier's second half: every worker clears the
+// mailboxes of its own shard and gathers the messages addressed to it from
+// all sender outboxes.
+//
+// The sorted-by-sender mailbox contract needs no sort here: Phase executes
+// each worker's contiguous node range in ascending ID order (so every
+// outbox bucket is already ascending in From), and the buckets are drained
+// in ascending worker order (whose sender ranges are themselves ascending
+// and disjoint). Concatenation therefore yields each mailbox in ascending
+// From order with same-sender send order preserved. Any change to the
+// execution order — work stealing, chunked scheduling — must restore the
+// ordering explicitly; the delivery-order and cross-worker-transcript
+// tests pin the contract.
+func (net *Network[T]) deliver() {
+	net.pool.run(func(w int) {
+		lo, hi := net.bounds[w], net.bounds[w+1]
+		for v := lo; v < hi; v++ {
+			net.inbox[v] = net.inbox[v][:0]
+		}
+		for src := range net.out {
+			box := net.out[src].shards[w]
+			for _, m := range box {
+				net.inbox[m.to] = append(net.inbox[m.to], m.env)
+			}
+			net.out[src].shards[w] = box[:0]
+		}
+	})
+}

@@ -1,0 +1,248 @@
+package dist
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func TestDeliveryOrderedBySender(t *testing.T) {
+	// Many senders converge on node 0; the mailbox must come back sorted by
+	// sender ID no matter how the senders were spread over workers.
+	const n = 100
+	for _, workers := range []int{1, 3, 8} {
+		net := NewNetwork[int](n, workers)
+		net.Phase(func(v int) {
+			if v != 0 {
+				net.Send(v, 0, v*10, 1)
+			}
+		})
+		var got []Envelope[int]
+		net.Phase(func(v int) {
+			if v == 0 {
+				got = append(got, net.Recv(0)...)
+			}
+		})
+		if len(got) != n-1 {
+			t.Fatalf("workers=%d: delivered %d of %d messages", workers, len(got), n-1)
+		}
+		for i, e := range got {
+			if e.From != i+1 || e.Body != (i+1)*10 {
+				t.Fatalf("workers=%d: slot %d holds {From:%d Body:%d}", workers, i, e.From, e.Body)
+			}
+		}
+		net.Close()
+	}
+}
+
+func TestSameSenderKeepsSendOrder(t *testing.T) {
+	// Ordering is stable: multiple messages from one sender arrive in the
+	// order they were sent, interleaved correctly with other senders.
+	net := NewNetwork[string](4, 2)
+	defer net.Close()
+	net.Phase(func(v int) {
+		switch v {
+		case 2:
+			net.Send(2, 0, "second-a", 1)
+			net.Send(2, 0, "second-b", 1)
+		case 1:
+			net.Send(1, 0, "first-a", 1)
+			net.Send(1, 0, "first-b", 1)
+		}
+	})
+	want := []Envelope[string]{
+		{From: 1, Body: "first-a"},
+		{From: 1, Body: "first-b"},
+		{From: 2, Body: "second-a"},
+		{From: 2, Body: "second-b"},
+	}
+	net.Phase(func(v int) {
+		if v != 0 {
+			return
+		}
+		got := net.Recv(0)
+		if len(got) != len(want) {
+			t.Errorf("got %d messages, want %d", len(got), len(want))
+			return
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("slot %d: got %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func TestMailboxClearedEachPhase(t *testing.T) {
+	// A message lives exactly one phase: visible in the phase after the
+	// send, discarded at the next barrier whether or not it was read.
+	net := NewNetwork[int](2, 2)
+	defer net.Close()
+	net.Phase(func(v int) {
+		if v == 0 {
+			net.Send(0, 1, 7, 1)
+		}
+	})
+	net.Phase(func(v int) {
+		if v == 1 && len(net.Recv(1)) != 1 {
+			t.Error("message not delivered in the following phase")
+		}
+	})
+	net.Phase(func(v int) {
+		if len(net.Recv(v)) != 0 {
+			t.Errorf("node %d still has mail two phases after the send", v)
+		}
+	})
+}
+
+func TestCounterTotalsUnderConcurrentSend(t *testing.T) {
+	// Every node fires a fan-out with distinct word sizes; totals must be
+	// exact and identical for every worker count.
+	const n = 10000
+	wantMsgs := int64(2 * n)
+	var wantWords int64
+	for v := 0; v < n; v++ {
+		wantWords += int64(v%7+1) + 3
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		net := NewNetwork[struct{}](n, workers)
+		net.Phase(func(v int) {
+			net.Send(v, (v+1)%n, struct{}{}, int64(v%7+1))
+			net.Send(v, (v+n/2)%n, struct{}{}, 3)
+		})
+		if got := net.Counter().Messages(); got != wantMsgs {
+			t.Errorf("workers=%d: %d messages, want %d", workers, got, wantMsgs)
+		}
+		if got := net.Counter().Words(); got != wantWords {
+			t.Errorf("workers=%d: %d words, want %d", workers, got, wantWords)
+		}
+		net.Close()
+	}
+}
+
+func TestEmptyPhase(t *testing.T) {
+	// A phase with no traffic must still run every node once and leave all
+	// mailboxes and counters empty.
+	const n = 50
+	net := NewNetwork[int](n, 4)
+	defer net.Close()
+	visited := make([]int, n)
+	net.Phase(func(v int) { visited[v]++ })
+	for v, c := range visited {
+		if c != 1 {
+			t.Fatalf("node %d visited %d times", v, c)
+		}
+	}
+	net.Phase(func(v int) {
+		if len(net.Recv(v)) != 0 {
+			t.Errorf("node %d received mail from an empty phase", v)
+		}
+	})
+	if net.Counter().Messages() != 0 || net.Counter().Words() != 0 {
+		t.Error("counters moved without any Send")
+	}
+}
+
+// transcript runs a fixed three-phase gossip workload and returns every
+// delivery observed, encoded as strings, plus the counter totals.
+func transcript(workers int) ([]string, int64, int64) {
+	const n = 257 // deliberately not a multiple of any worker count
+	net := NewNetwork[int](n, workers)
+	defer net.Close()
+	var log []string
+	record := func(v int) {
+		for _, e := range net.Recv(v) {
+			log = append(log, fmt.Sprintf("%d<-%d:%d", v, e.From, e.Body))
+		}
+	}
+	net.Phase(func(v int) {
+		for k := 0; k < v%4; k++ {
+			net.Send(v, (v*7+k*13)%n, v*100+k, int64(k+1))
+		}
+	})
+	// Collect sequentially after the phase (the log is shared), then relay.
+	for v := 0; v < n; v++ {
+		record(v)
+	}
+	net.Phase(func(v int) {
+		for _, e := range net.Recv(v) {
+			net.Send(v, e.From, e.Body+1, 2)
+		}
+	})
+	for v := 0; v < n; v++ {
+		record(v)
+	}
+	net.Phase(func(v int) {})
+	return log, net.Counter().Messages(), net.Counter().Words()
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The full delivery transcript — every (receiver, sender, body) in
+	// mailbox order — must be bit-identical for any worker count.
+	wantLog, wantMsgs, wantWords := transcript(1)
+	if len(wantLog) == 0 {
+		t.Fatal("workload produced no traffic")
+	}
+	for _, workers := range []int{2, 3, 8, 16} {
+		log, msgs, words := transcript(workers)
+		if msgs != wantMsgs || words != wantWords {
+			t.Errorf("workers=%d: counters (%d, %d) != (%d, %d)", workers, msgs, words, wantMsgs, wantWords)
+		}
+		if len(log) != len(wantLog) {
+			t.Fatalf("workers=%d: transcript length %d != %d", workers, len(log), len(wantLog))
+		}
+		for i := range log {
+			if log[i] != wantLog[i] {
+				t.Fatalf("workers=%d: transcript diverges at %d: %q != %q", workers, i, log[i], wantLog[i])
+			}
+		}
+	}
+}
+
+func TestWorkerDefaultsAndClamping(t *testing.T) {
+	net := NewNetwork[int](100, 0)
+	if got := net.Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("workers<=0 should default to GOMAXPROCS, got %d", got)
+	}
+	net.Close()
+	net = NewNetwork[int](3, 64)
+	if got := net.Workers(); got != 3 {
+		t.Errorf("workers should clamp to n=3, got %d", got)
+	}
+	if got := net.N(); got != 3 {
+		t.Errorf("N() = %d, want 3", got)
+	}
+	net.Close()
+	// A zero-node network must survive phases without dividing by zero.
+	empty := NewNetwork[int](0, 4)
+	empty.Phase(func(v int) { t.Errorf("phase callback ran on empty network (v=%d)", v) })
+	empty.Close()
+}
+
+func TestSendOutOfRangePanics(t *testing.T) {
+	// The panic must surface on the driving goroutine for every worker
+	// count — with workers > 1 it happens on a pool goroutine and is
+	// re-raised at the barrier rather than killing the process.
+	for _, workers := range []int{1, 3} {
+		func() {
+			net := NewNetwork[int](4, workers)
+			defer net.Close()
+			defer func() {
+				if recover() == nil {
+					t.Errorf("workers=%d: Send to an out-of-range node should panic", workers)
+				}
+			}()
+			net.Phase(func(v int) {
+				if v == 0 {
+					net.Send(0, 4, 1, 1)
+				}
+			})
+		}()
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	net := NewNetwork[int](10, 4)
+	net.Close()
+	net.Close() // must not panic
+}

@@ -1,0 +1,21 @@
+package dist
+
+import (
+	"runtime"
+	"slices"
+)
+
+// WorkerSweep is the benchmark grid shared by the repo's perf suites: the
+// sequential baseline, a small pool, and everything the hardware has, with
+// duplicates removed (on a 1- or 4-CPU host GOMAXPROCS collapses into an
+// earlier entry) so each configuration runs exactly once. Keeping the grid
+// in one place keeps BENCH_*.json rows comparable across suites.
+func WorkerSweep() []int {
+	out := []int{1}
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		if !slices.Contains(out, w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
