@@ -7,6 +7,9 @@
 //
 //	experiments [-run T1,F2,... | -run all] [-scale 1.0] [-seed 1] [-out results/]
 //
+// Experiment F9 runs both its synchronous and asynchronous executions as
+// real messages on the dist runtime, so its table includes wire traffic.
+//
 // Markdown is printed to stdout; with -out, per-experiment CSV and markdown
 // files are also written to the given directory.
 package main
@@ -23,7 +26,7 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiment ids (T1..T6, F1..F6) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (T1..T6, F1..F9) or 'all'")
 	scale := flag.Float64("scale", 1.0, "instance scale factor (1.0 = reference size)")
 	seed := flag.Uint64("seed", 1, "master random seed")
 	out := flag.String("out", "", "directory to write per-experiment .md and .csv files")

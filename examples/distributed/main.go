@@ -1,7 +1,10 @@
 // Message-passing execution: every graph node is a logical process; the
 // matching protocol runs as real propose/accept/exchange messages with word
-// accounting, and the same run is repeated under failure injection (dropped
-// matches and crashed nodes) to show graceful degradation.
+// accounting, and the same run is repeated under substrate fault injection
+// (dropped and delayed accept datagrams, crashed nodes) to show graceful
+// degradation. A final section runs the asynchronous push-sum gossip mode
+// on the same seeds, aligning its firing clock with the synchronous run's
+// averaging-event budget.
 package main
 
 import (
@@ -29,22 +32,26 @@ func main() {
 	params := core.Params{Beta: 0.5, Rounds: T, Seed: 9}
 	fmt.Printf("graph %v, T = %d rounds\n", g, T)
 
+	report := func(name string, res *core.DistResult) {
+		mis, err := metrics.MisclassificationRate(p.Truth, res.Labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s misclassified %6.2f%% | %7d msgs %8d words | %4d matches dropped %5d msgs lost\n",
+			name, 100*mis, res.NetworkMessages, res.NetworkWords, res.DroppedMatches, res.DroppedMessages)
+	}
 	run := func(name string, opt core.DistOptions) {
 		res, err := core.ClusterDistributed(g, params, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		mis, err := metrics.MisclassificationRate(p.Truth, res.Labels)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-28s misclassified %6.2f%% | %7d msgs %8d words | %4d matches dropped\n",
-			name, 100*mis, res.NetworkMessages, res.NetworkWords, res.DroppedMatches)
+		report(name, res)
 	}
 
 	run("fault-free", core.DistOptions{Workers: 4})
 	run("10% match drops", core.DistOptions{Workers: 4, DropProb: 0.1, FailSeed: 1})
 	run("30% match drops", core.DistOptions{Workers: 4, DropProb: 0.3, FailSeed: 2})
+	run("30% delays (≤2 phases)", core.DistOptions{Workers: 4, DelayProb: 0.3, MaxDelay: 2, FailSeed: 3})
 
 	// Crash 5% of the nodes before the run starts.
 	crashed := make([]bool, g.N())
@@ -76,4 +83,16 @@ func main() {
 		}
 	}
 	fmt.Printf("sequential == distributed (fault-free): %v\n", same)
+
+	// Asynchronous push-sum gossip on real messages: same seeding and
+	// query, randomized single-node firings, two firings per synchronous
+	// averaging event.
+	async, err := core.ClusterAsyncGossip(g, params, core.AsyncOptions{
+		Ticks:     2 * dres.Stats.Matches,
+		ClockSeed: 31,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("async gossip (equal budget)", async)
 }

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/loadbalance"
+	"repro/internal/matching"
+)
+
+// AsyncOptions configures ClusterAsyncGossip.
+type AsyncOptions struct {
+	// Ticks is the number of asynchronous firings; 0 derives the budget
+	// from Params.Rounds so the run performs as many half-exchanges as the
+	// synchronous protocol's expected matched pairs would (two firings per
+	// pairwise averaging event, n·d̄/4 events per round).
+	Ticks int
+	// ClockSeed drives the firing schedule, independently of protocol
+	// randomness. 0 is a valid stream.
+	ClockSeed uint64
+	// Model, when non-nil, injects substrate faults on the gossip pushes.
+	// Dropped pushes lose the mass they carry — asynchronous gossip has no
+	// two-sided abort — so conservation holds only when no messages are
+	// dropped. Delays are harmless: the network flushes in-flight messages
+	// when it quiesces and the final drain absorbs them.
+	Model dist.DeliveryModel
+	// Crashed marks nodes that never fire; pushes addressed to them are
+	// dropped by the substrate. nil means no crashes.
+	Crashed []bool
+}
+
+// gossipMsg is the wire format of the asynchronous mode: half of the
+// sender's load state and half of its push-sum weight, both absorbed
+// additively by the receiver.
+type gossipMsg struct {
+	state  State
+	weight float64
+}
+
+// ClusterAsyncGossip runs the algorithm in the asynchronous time model of
+// Boyd et al. on real dist messages, using weighted push-sum gossip (Kempe,
+// Dobra & Gehrke): nodes fire one at a time on a randomized clock; a firing
+// node absorbs the (state, weight) pushes accumulated in its mailbox, keeps
+// half of its own state and weight, and pushes the other halves to a
+// uniformly random neighbour. Every node starts with weight 1, so within a
+// cluster S the ratio estimate s_v(id)/w_v converges to Σs/Σw = 1/|S| —
+// the same target as the synchronous load — while total mass Σ_v s_v is
+// conserved to the bit (halving is exact). The query procedure therefore
+// thresholds the ratio estimates with the unchanged Threshold.
+//
+// Seeding, node IDs and the query are shared with the synchronous engines
+// (same Engine constructor, same per-node streams), so the comparison in
+// experiment F9 isolates exactly one variable: the synchrony of the
+// averaging schedule. Network traffic is accounted by the same counters as
+// ClusterDistributed — every push counts its state payload plus one weight
+// word.
+//
+// Two firings correspond to one synchronous pairwise averaging event (a
+// matched pair moves half the difference in both directions; a push moves
+// half of one side), which is how callers align the two clocks.
+func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistResult, error) {
+	if opt.Ticks < 0 {
+		return nil, fmt.Errorf("core: Ticks %d < 0", opt.Ticks)
+	}
+	if opt.Crashed != nil && len(opt.Crashed) != g.N() {
+		return nil, fmt.Errorf("core: Crashed length %d for n=%d", len(opt.Crashed), g.N())
+	}
+	eng, err := NewEngine(g, params)
+	if err != nil {
+		return nil, err
+	}
+	p := eng.params
+	n := g.N()
+	ticks := opt.Ticks
+	if ticks == 0 {
+		ticks = 2 * loadbalance.MatchingEventBudget(n, matching.DBar(p.DegreeBound), p.Rounds)
+	}
+
+	// Async execution is sequential (see dist.RunAsync); one shard keeps the
+	// substrate bookkeeping minimal.
+	net := dist.NewNetwork[gossipMsg](n, 1)
+	defer net.Close()
+	if opt.Model != nil {
+		net.SetDeliveryModel(opt.Model)
+	}
+	for v, down := range opt.Crashed {
+		if down {
+			net.Crash(v)
+		}
+	}
+
+	weights := make([]float64, n)
+	for v := range weights {
+		weights[v] = 1
+	}
+	absorb := func(v int) (State, float64) {
+		st, w := eng.states[v], weights[v]
+		for _, e := range net.Recv(v) {
+			st = AddStates(st, e.Body.state)
+			w += e.Body.weight
+		}
+		return st, w
+	}
+	net.RunAsync(ticks, opt.ClockSeed^0x5851f42d4c957f2d, func(v int) {
+		st, w := absorb(v)
+		if d := g.Degree(v); d > 0 {
+			st = st.Halve()
+			w /= 2
+			// The kept and pushed halves are identical; states are immutable
+			// once built, so sharing the slice with the in-flight message is
+			// safe.
+			net.Send(v, g.Neighbor(v, eng.rngs[v].Intn(d)), gossipMsg{state: st, weight: w},
+				1+int64(st.Words()))
+		}
+		if len(st) > eng.stats.MaxStateSize {
+			eng.stats.MaxStateSize = len(st)
+		}
+		eng.states[v] = st
+		weights[v] = w
+	})
+	// RunAsync flushed all in-flight (including delayed) messages into the
+	// mailboxes when it quiesced; absorb them so no mass is left on the
+	// wire — unless the model dropped it, this restores exact conservation.
+	for v := 0; v < n; v++ {
+		eng.states[v], weights[v] = absorb(v)
+	}
+
+	// Conservation is a property of the raw mass, measured before the query
+	// rescale below.
+	total := eng.TotalMass()
+	// Query thresholds the push-sum estimate s_v/w_v, the async analogue of
+	// the synchronous load (both converge to 1/|S| inside cluster S).
+	for v := range eng.states {
+		if weights[v] > 0 && weights[v] != 1 {
+			eng.states[v] = eng.states[v].Scale(1 / weights[v])
+		}
+	}
+	res := eng.Query()
+	res.Stats.ProtocolWords = 0 // network accounting below is authoritative
+	res.Stats.StateWords = 0
+	return &DistResult{
+		Result:          *res,
+		NetworkMessages: net.Counter().Messages(),
+		NetworkWords:    net.Counter().Words(),
+		DroppedMessages: net.Counter().Dropped(),
+		TotalMass:       total,
+	}, nil
+}

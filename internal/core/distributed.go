@@ -2,27 +2,39 @@ package core
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/dist"
 	"repro/internal/graph"
-	"repro/internal/matching"
 )
 
-// DistOptions configures the message-passing execution.
+// DistOptions configures the message-passing execution. Failure injection
+// is substrate policy, not protocol logic: the fields below assemble a
+// dist.DeliveryModel and crash set on the network, and the protocol merely
+// observes the consequences (matches that never complete).
 type DistOptions struct {
 	// Workers sizes the phase worker pool; <= 0 means GOMAXPROCS.
 	Workers int
 	// DropProb is the probability that a formed match is lost before the
-	// state exchange completes (modelling a lost accept/exchange message
-	// with a consistent two-sided abort). 0 disables failure injection.
+	// state exchange completes (the accept datagram vanishes in the
+	// substrate, aborting the match two-sided). 0 disables loss injection.
 	DropProb float64
-	// FailSeed drives the drop coins, independently of protocol randomness.
+	// DelayProb is the probability that an accept datagram is delivered
+	// late. A late accept misses its exchange phase and the match aborts
+	// two-sided, exactly like a loss, so delays degrade throughput without
+	// ever breaking mass conservation. 0 disables delay injection.
+	DelayProb float64
+	// MaxDelay is the largest injected delay in phases (uniform on
+	// 1..MaxDelay); 0 with a positive DelayProb means 1.
+	MaxDelay int
+	// FailSeed drives the substrate's fault coins, independently of
+	// protocol randomness.
 	FailSeed uint64
 	// Crashed marks nodes that never participate (their state is frozen).
 	// nil means no crashes.
 	Crashed []bool
+	// Model, when non-nil, overrides the LinkFaults model assembled from
+	// DropProb/DelayProb/MaxDelay/FailSeed with a custom delivery model.
+	Model dist.DeliveryModel
 }
 
 // msgKind discriminates protocol messages.
@@ -34,9 +46,13 @@ const (
 	msgState           // carries the proposer's state back to the acceptor
 )
 
-// protoMsg is the wire format of the distributed engine.
+// protoMsg is the wire format of the distributed engine. The round tag lets
+// receivers discard stale traffic: under delayed delivery a message can
+// surface phases after it was sent, and the protocol must not mistake last
+// round's accept for this round's.
 type protoMsg struct {
 	kind  msgKind
+	round int32
 	state State // nil for proposals
 }
 
@@ -48,7 +64,12 @@ type DistResult struct {
 	// NetworkWords is the total words on the wire (1 per proposal, 1+state
 	// for accepts, state size for exchanges).
 	NetworkWords int64
-	// DroppedMatches counts matches lost to failure injection.
+	// DroppedMessages is the number of sent messages the substrate lost
+	// (delivery-model drops and crashed destinations).
+	DroppedMessages int64
+	// DroppedMatches counts matches lost to failure injection, observed
+	// protocol-side: an acceptor that sent its state but never saw the
+	// exchange complete.
 	DroppedMatches int
 	// TotalMass is the total load over all nodes and coordinates after the
 	// final round. Averaging conserves mass and failure injection aborts
@@ -62,9 +83,17 @@ type DistResult struct {
 // ClusterDistributed executes the algorithm with one logical process per
 // node on the dist runtime. Each round runs the matching protocol as real
 // messages (propose → accept → state exchange) followed by local merges.
-// With DropProb == 0 and no crashes it reproduces exactly the same labels
-// and stats as the sequential Cluster for equal Params, because both draw
+// With a fault-free substrate it reproduces exactly the same labels and
+// stats as the sequential Cluster for equal Params, because both draw
 // protocol randomness from identical per-node streams.
+//
+// Reliability is per-leg: the propose and final state-exchange messages go
+// over the reliable channel (modelling an acknowledged, retransmitted RPC),
+// while the accept is a single unacknowledged datagram subject to the
+// delivery model. Losing or delaying an accept aborts the match on both
+// sides — the proposer sees no accept in its exchange phase, the acceptor
+// sees no reply in its commit phase — so every injected fault cancels a
+// match atomically and total mass is conserved exactly.
 func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistResult, error) {
 	p, err := params.withDefaults(g)
 	if err != nil {
@@ -72,6 +101,12 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 	}
 	if opt.DropProb < 0 || opt.DropProb > 1 {
 		return nil, fmt.Errorf("core: DropProb %v out of [0,1]", opt.DropProb)
+	}
+	if opt.DelayProb < 0 || opt.DelayProb > 1 {
+		return nil, fmt.Errorf("core: DelayProb %v out of [0,1]", opt.DelayProb)
+	}
+	if opt.MaxDelay < 0 {
+		return nil, fmt.Errorf("core: MaxDelay %d < 0", opt.MaxDelay)
 	}
 	if opt.Crashed != nil && len(opt.Crashed) != g.N() {
 		return nil, fmt.Errorf("core: Crashed length %d for n=%d", len(opt.Crashed), g.N())
@@ -83,25 +118,46 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 	if err != nil {
 		return nil, err
 	}
-	crashed := func(v int) bool { return opt.Crashed != nil && opt.Crashed[v] }
-	failRNGs := matching.NodeRNGs(n, opt.FailSeed^0x9e3779b97f4a7c15)
 
 	net := dist.NewNetwork[protoMsg](n, opt.Workers)
 	defer net.Close()
+	model := opt.Model
+	if model == nil && (opt.DropProb > 0 || opt.DelayProb > 0) {
+		model = dist.LinkFaults{
+			DropProb:  opt.DropProb,
+			DelayProb: opt.DelayProb,
+			MaxPhases: opt.MaxDelay,
+			Seed:      opt.FailSeed ^ 0x9e3779b97f4a7c15,
+		}
+	}
+	if model != nil {
+		net.SetDeliveryModel(model)
+	}
+	for v, down := range opt.Crashed {
+		if down {
+			net.Crash(v)
+		}
+	}
+
 	active := make([]bool, n)
-	dropped := 0
-	var droppedMu sync.Mutex
-	var pairs atomic.Int64
+	proposedTo := make([]int32, n)
+	acceptedFrom := make([]int32, n)
+	for v := range proposedTo {
+		proposedTo[v] = -1
+		acceptedFrom[v] = -1
+	}
+	dropped := dist.NewShardedInt(net.Workers())
+	pairs := dist.NewShardedInt(net.Workers())
 
 	for round := 0; round < p.Rounds; round++ {
+		cur := int32(round)
 		// Phase 1 — propose: active nodes draw a slot on the D-regular view
-		// and propose to the chosen real neighbour.
+		// and propose to the chosen real neighbour. The proposal is a
+		// retransmitted RPC (reliable); crashed nodes never execute, so they
+		// consume no randomness and send nothing.
 		net.Phase(func(v int) {
 			active[v] = false
-			if crashed(v) {
-				// Crashed nodes consume no randomness and send nothing.
-				return
-			}
+			proposedTo[v] = -1
 			r := eng.rngs[v]
 			active[v] = r.Bool()
 			if !active[v] {
@@ -109,54 +165,74 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 			}
 			slot := r.Intn(p.DegreeBound)
 			if slot < g.Degree(v) {
-				net.Send(v, g.Neighbor(v, slot), protoMsg{kind: msgPropose}, 1)
+				u := g.Neighbor(v, slot)
+				proposedTo[v] = int32(u)
+				net.SendReliable(v, u, protoMsg{kind: msgPropose, round: cur}, 1)
 			}
 		})
 		// Phase 2 — accept: a non-active node chosen by exactly one
-		// neighbour accepts, attaching its state. Failure injection cancels
-		// the match before anything is exchanged.
+		// neighbour accepts, attaching its state. The accept is the one
+		// unacknowledged datagram of the protocol: the delivery model may
+		// lose or delay it, which is what aborts the match.
 		net.Phase(func(v int) {
-			proposals := net.Recv(v)
-			if crashed(v) || active[v] || len(proposals) != 1 {
+			acceptedFrom[v] = -1
+			if active[v] {
 				return
 			}
-			u := proposals[0].From
-			if crashed(u) {
-				return
+			u, count := -1, 0
+			for _, e := range net.Recv(v) {
+				if e.Body.kind == msgPropose && e.Body.round == cur {
+					u = e.From
+					count++
+				}
 			}
-			if opt.DropProb > 0 && failRNGs[v].Bernoulli(opt.DropProb) {
-				droppedMu.Lock()
-				dropped++
-				droppedMu.Unlock()
+			if count != 1 {
 				return
 			}
 			st := eng.states[v]
-			net.Send(v, u, protoMsg{kind: msgAccept, state: st}, 1+int64(st.Words()))
+			acceptedFrom[v] = int32(u)
+			net.Send(v, u, protoMsg{kind: msgAccept, round: cur, state: st}, 1+int64(st.Words()))
 		})
-		// Phase 3 — exchange: the proposer merges and replies with its own
-		// pre-merge state.
+		// Phase 3 — exchange: a proposer whose accept arrived in time merges
+		// and replies (reliably) with its own pre-merge state. Stale or
+		// misrouted traffic — a delayed accept from an earlier round — fails
+		// the round/sender filter and the match silently aborts.
 		net.Phase(func(v int) {
-			accepts := net.Recv(v)
-			if len(accepts) == 0 {
+			target := proposedTo[v]
+			if target < 0 {
 				return
 			}
-			// A proposer contacted exactly one neighbour, so at most one
-			// accept can arrive.
-			acc := accepts[0]
-			st := eng.states[v]
-			net.Send(v, acc.From, protoMsg{kind: msgState, state: st}, int64(st.Words()))
-			eng.states[v] = eng.mergeForStorage(st, acc.Body.state)
+			for _, e := range net.Recv(v) {
+				if e.Body.kind != msgAccept || e.Body.round != cur || e.From != int(target) {
+					continue
+				}
+				st := eng.states[v]
+				net.SendReliable(v, e.From, protoMsg{kind: msgState, round: cur, state: st}, int64(st.Words()))
+				eng.states[v] = eng.mergeForStorage(st, e.Body.state)
+				break
+			}
 		})
-		// Phase 4 — merge on the acceptor side; each completed merge here
-		// accounts for exactly one matched pair.
+		// Phase 4 — commit on the acceptor side; each completed merge here
+		// accounts for exactly one matched pair, and an accept that went
+		// unanswered is exactly one match lost to failure injection.
 		net.Phase(func(v int) {
-			replies := net.Recv(v)
-			if len(replies) == 0 {
+			u := acceptedFrom[v]
+			if u < 0 {
 				return
 			}
-			rep := replies[0]
-			eng.states[v] = eng.mergeForStorage(eng.states[v], rep.Body.state)
-			pairs.Add(1)
+			done := false
+			for _, e := range net.Recv(v) {
+				if e.Body.kind == msgState && e.Body.round == cur && e.From == int(u) {
+					eng.states[v] = eng.mergeForStorage(eng.states[v], e.Body.state)
+					done = true
+					break
+				}
+			}
+			if done {
+				pairs.Add(net.ShardOf(v), 1)
+			} else {
+				dropped.Add(net.ShardOf(v), 1)
+			}
 		})
 		eng.round++
 		eng.stats.Rounds = eng.round
@@ -166,7 +242,7 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 			}
 		}
 	}
-	eng.stats.Matches = int(pairs.Load())
+	eng.stats.Matches = int(pairs.Total())
 	res := eng.Query()
 	// The sequential engine's word accounting is reconstructed from the
 	// network counters: proposals and accepts are protocol words; state
@@ -177,7 +253,8 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 		Result:          *res,
 		NetworkMessages: net.Counter().Messages(),
 		NetworkWords:    net.Counter().Words(),
-		DroppedMatches:  dropped,
+		DroppedMessages: net.Counter().Dropped(),
+		DroppedMatches:  int(dropped.Total()),
 		TotalMass:       eng.TotalMass(),
 	}, nil
 }

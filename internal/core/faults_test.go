@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// massConserved asserts the conservation invariant: one unit of load per
+// seed, exactly (the tolerance only guards against summation order).
+func massConserved(t *testing.T, res *DistResult, context string) {
+	t.Helper()
+	want := float64(len(res.Seeds))
+	if math.Abs(res.TotalMass-want) > 1e-9*want {
+		t.Errorf("%s: total mass %v, want %v (one unit per seed)", context, res.TotalMass, want)
+	}
+}
+
+func TestDistributedDelayedDeliveryConservesMass(t *testing.T) {
+	// A delayed accept misses its exchange phase, so the match aborts on
+	// both sides — delays must degrade throughput without ever moving or
+	// destroying load.
+	r := rng.New(71)
+	p, err := gen.ClusteredRing(2, 60, 16, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Beta: 0.5, Rounds: 50, Seed: 13}
+	dres, err := ClusterDistributed(p.G, params, DistOptions{
+		DelayProb: 0.5, MaxDelay: 3, FailSeed: 2, Workers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.DroppedMatches == 0 {
+		t.Error("DelayProb 0.5 should abort some matches")
+	}
+	massConserved(t, dres, "delayed delivery")
+	// Delays abort matches without losing messages unless the accept never
+	// surfaces inside the run; the substrate drop counter tracks only real
+	// losses (none here beyond crashed-destination drops, of which there
+	// are none).
+	if dres.DroppedMessages != 0 {
+		t.Errorf("pure delay model lost %d messages", dres.DroppedMessages)
+	}
+}
+
+func TestDistributedDropModelIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The drop coins live in the substrate and hash from message
+	// coordinates, so a faulty run must stay bit-identical for any worker
+	// count: same labels, same traffic, same dropped-match count.
+	r := rng.New(73)
+	p, err := gen.ClusteredRing(2, 40, 10, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Beta: 0.5, Rounds: 40, Seed: 17}
+	opt := func(workers int) DistOptions {
+		return DistOptions{Workers: workers, DropProb: 0.3, DelayProb: 0.2, MaxDelay: 2, FailSeed: 5}
+	}
+	a, err := ClusterDistributed(p.G, params, opt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DroppedMatches == 0 {
+		t.Fatal("fault injection idle at DropProb 0.3")
+	}
+	for _, workers := range []int{2, 8} {
+		b, err := ClusterDistributed(p.G, params, opt(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a.Labels {
+			if a.Labels[v] != b.Labels[v] {
+				t.Fatalf("workers=%d: labels differ at node %d under faults", workers, v)
+			}
+		}
+		if a.NetworkMessages != b.NetworkMessages || a.NetworkWords != b.NetworkWords {
+			t.Errorf("workers=%d: traffic (%d, %d) != (%d, %d)", workers,
+				b.NetworkMessages, b.NetworkWords, a.NetworkMessages, a.NetworkWords)
+		}
+		if a.DroppedMatches != b.DroppedMatches || a.DroppedMessages != b.DroppedMessages {
+			t.Errorf("workers=%d: fault accounting (%d, %d) != (%d, %d)", workers,
+				b.DroppedMatches, b.DroppedMessages, a.DroppedMatches, a.DroppedMessages)
+		}
+		if a.Stats.Matches != b.Stats.Matches {
+			t.Errorf("workers=%d: matches %d != %d", workers, b.Stats.Matches, a.Stats.Matches)
+		}
+	}
+	massConserved(t, a, "drop+delay model")
+}
+
+func TestDistributedCrashDropInterplay(t *testing.T) {
+	// Crashed nodes and a lossy substrate together: the run must stay
+	// deterministic, conserve mass (crashed seeds freeze their unit of
+	// load), account crashed-destination sends as dropped messages, and
+	// still cluster the surviving nodes reasonably.
+	r := rng.New(79)
+	p, err := gen.ClusteredRing(2, 100, 40, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := make([]bool, p.G.N())
+	cr := rng.New(83)
+	crashedCount := 0
+	for v := range crashed {
+		if cr.Bernoulli(0.05) {
+			crashed[v] = true
+			crashedCount++
+		}
+	}
+	if crashedCount == 0 {
+		crashed[0] = true
+		crashedCount = 1
+	}
+	params := Params{Beta: 0.5, Rounds: 140, Seed: 19}
+	opt := DistOptions{Workers: 4, DropProb: 0.2, FailSeed: 7, Crashed: crashed}
+	dres, err := ClusterDistributed(p.G, params, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	massConserved(t, dres, "crash × drop")
+	if dres.DroppedMatches == 0 {
+		t.Error("drop model idle despite DropProb 0.2")
+	}
+	if dres.DroppedMessages == 0 {
+		t.Error("no dropped messages despite crashes and drops")
+	}
+	// Crashed nodes freeze: proposals aimed at them exist (they are other
+	// nodes' neighbours) and are part of DroppedMessages; the run must not
+	// have matched a crashed node.
+	again, err := ClusterDistributed(p.G, params, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.DroppedMatches != dres.DroppedMatches || again.NetworkWords != dres.NetworkWords {
+		t.Error("crash × drop run is not reproducible")
+	}
+	var truthAlive, predAlive []int
+	for v := 0; v < p.G.N(); v++ {
+		if !crashed[v] {
+			truthAlive = append(truthAlive, p.Truth[v])
+			predAlive = append(predAlive, dres.Labels[v])
+		}
+	}
+	mis, err := metrics.MisclassificationRate(truthAlive, predAlive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis > 0.2 {
+		t.Errorf("alive-node misclassification %v with %d crashed and drops", mis, crashedCount)
+	}
+}
+
+func TestDistributedValidationOfFaultFields(t *testing.T) {
+	g := gen.Cycle(6)
+	if _, err := ClusterDistributed(g, Params{Beta: 0.5, Rounds: 2}, DistOptions{DelayProb: 1.5}); err == nil {
+		t.Error("DelayProb > 1 should fail")
+	}
+	if _, err := ClusterDistributed(g, Params{Beta: 0.5, Rounds: 2}, DistOptions{MaxDelay: -1}); err == nil {
+		t.Error("negative MaxDelay should fail")
+	}
+}

@@ -79,3 +79,43 @@ func MergeStates(a, b State) State {
 	}
 	return out
 }
+
+// AddStates sums two sparse states coordinate-wise (union of IDs) — the
+// absorption rule of the asynchronous push-gossip mode, where mass arrives
+// additively rather than by pairwise averaging. Both inputs must be sorted
+// by ID; the output is sorted by ID.
+func AddStates(a, b State) State {
+	out := make(State, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].ID == b[j].ID:
+			out = append(out, Entry{a[i].ID, a[i].Val + b[j].Val})
+			i++
+			j++
+		case a[i].ID < b[j].ID:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Scale returns a new state with every value multiplied by c.
+func (s State) Scale(c float64) State {
+	out := make(State, len(s))
+	for i, e := range s {
+		out[i] = Entry{e.ID, e.Val * c}
+	}
+	return out
+}
+
+// Halve returns a new state with every value halved — the half kept (and
+// the half pushed) by an asynchronous gossip firing. Halving is exact in
+// binary floating point, so push gossip conserves mass to the bit.
+func (s State) Halve() State { return s.Scale(0.5) }

@@ -46,6 +46,35 @@ func BenchmarkDistPhase(b *testing.B) {
 	}
 }
 
+// BenchmarkDistPhaseDelay runs the BenchmarkDistPhase workload with a
+// nonzero delay/drop model: the cost it adds over the plain phase is the
+// price of the delivery pipeline's fault layer (per-message hashed coins,
+// multi-slot rings, and the per-mailbox re-sort that delayed delivery
+// forces). CI smoke-runs this configuration so a regression in the fault
+// path cannot hide behind the fast path.
+func BenchmarkDistPhaseDelay(b *testing.B) {
+	const n = 50_000
+	net := NewNetwork[uint64](n, 0)
+	defer net.Close()
+	net.SetDeliveryModel(LinkFaults{DropProb: 0.01, DelayProb: 0.05, MaxPhases: 2, Seed: 1})
+	net.Phase(func(v int) { net.Send(v, (v+1)%n, uint64(v), 1) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Phase(func(v int) {
+			h := uint64(v)
+			for _, e := range net.Recv(v) {
+				h = mix(h ^ e.Body)
+			}
+			for k := 0; k < 24; k++ {
+				h = mix(h)
+			}
+			net.Send(v, (v+1)%n, h, 1)
+			net.Send(v, (v+7919)%n, h>>32, 2)
+		})
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
+}
+
 // BenchmarkDistSend measures a single-node 1024-message fan-out phase:
 // staging (outbox append plus sharded counter update) and the delivery of
 // those 1024 envelopes at the barrier. Phase always delivers, so the two

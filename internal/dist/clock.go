@@ -1,0 +1,83 @@
+package dist
+
+import "repro/internal/rng"
+
+// RunAsync leaves the bulk-synchronous regime: it fires nodes one at a time
+// for the given number of steps, in a randomized order drawn from a
+// dedicated clock stream (the asynchronous time model of Boyd et al., where
+// independent Poisson clocks serialise into a uniformly random firing
+// sequence). Each step one uniformly random node v fires: fn(v) reads the
+// node's accumulated mailbox with Recv(v) and stages messages with Send;
+// after fn returns, v's mailbox is consumed (cleared) and the due messages
+// are delivered. Messages staged with delay d become readable by their
+// destination's firings after d further steps.
+//
+// Async mailbox semantics deliberately differ from Phase: mail accumulates
+// in arrival order until the recipient fires (nothing expires at barriers),
+// and the sorted-by-sender contract does not apply. Crashed nodes never
+// fire — their steps are consumed idle, like clock ticks of a dead
+// processor — and messages addressed to them are dropped at send time.
+//
+// Execution is single-threaded on the driving goroutine: asynchrony is a
+// property of the time model, not of the implementation, and a serialized
+// event order keeps determinism trivial — a run is a pure function of
+// (steps, seed, the delivery model, and fn's own determinism). Traffic
+// accounting flows through the same counters and the same Transport as the
+// synchronous mode. When the run ends the network quiesces: delayed
+// messages still in flight are flushed into their mailboxes, where the
+// driving goroutine can collect them with Recv. A network that has run
+// async cannot go back to Phase.
+func (net *Network[T]) RunAsync(steps int, seed uint64, fn func(v int)) {
+	if net.n == 0 || steps <= 0 {
+		return
+	}
+	net.started = true
+	net.async = true
+	clock := rng.New(seed ^ 0xa0761d6478bd642f)
+	for t := 0; t < steps; t++ {
+		v := clock.Intn(net.n)
+		if net.crashed == nil || !net.crashed[v] {
+			fn(v)
+			net.inbox[v] = net.inbox[v][:0]
+		}
+		net.asyncDeliver()
+		net.phase++
+	}
+	// Quiesce: with a delay model, up to ringSize-1 slots still hold
+	// in-flight messages; deliver them in due order so no sent-and-not-
+	// dropped message is silently stranded in the rings.
+	for k := 1; k < net.ringSize; k++ {
+		net.asyncDeliver()
+		net.phase++
+	}
+}
+
+// asyncDeliver drains the due delivery-ring slot, appending to mailboxes
+// without clearing them (async mail persists until its owner fires). It
+// still routes through the Transport so the seam covers both time models.
+func (net *Network[T]) asyncDeliver() {
+	slot := int(net.phase % int64(net.ringSize))
+	for dst := 0; dst < net.workers; dst++ {
+		buckets := net.buckets[dst][:0]
+		empty := true
+		for src := range net.out {
+			b := net.out[src].slots[slot][dst]
+			if len(b) > 0 {
+				empty = false
+			}
+			buckets = append(buckets, b)
+		}
+		net.buckets[dst] = buckets
+		if empty {
+			continue
+		}
+		for _, b := range net.transport.Flush(dst, buckets) {
+			for _, m := range b {
+				net.inbox[m.To] = append(net.inbox[m.To], m.Env)
+			}
+		}
+		for src := range net.out {
+			net.out[src].slots[slot][dst] = net.out[src].slots[slot][dst][:0]
+		}
+	}
+}

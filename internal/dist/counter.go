@@ -6,15 +6,18 @@ import "sync/atomic"
 // line so concurrent Sends on different workers never contend. Each shard
 // has a single writer; atomics make the totals safe to read at any time.
 type counterShard struct {
-	msgs  atomic.Int64
-	words atomic.Int64
-	_     [48]byte
+	msgs    atomic.Int64
+	words   atomic.Int64
+	dropped atomic.Int64
+	_       [40]byte
 }
 
 // Counter accounts network traffic: one message per Send, plus the caller-
-// declared word size of each message. Totals are exact and deterministic
-// for any worker count, because every Send contributes a fixed amount
-// regardless of scheduling.
+// declared word size of each message, plus a tally of messages the
+// substrate lost (delivery-model drops and crashed destinations — always a
+// subset of the messages counted as sent, because the sender did put them
+// on the wire). Totals are exact and deterministic for any worker count,
+// because every Send contributes a fixed amount regardless of scheduling.
 type Counter struct {
 	shards []counterShard
 }
@@ -28,6 +31,11 @@ func (c *Counter) add(shard int, words int64) {
 	s := &c.shards[shard]
 	s.msgs.Add(1)
 	s.words.Add(words)
+}
+
+// drop records one substrate-lost message on the worker's shard.
+func (c *Counter) drop(shard int) {
+	c.shards[shard].dropped.Add(1)
 }
 
 // Messages returns the total number of messages sent.
@@ -44,6 +52,55 @@ func (c *Counter) Words() int64 {
 	var t int64
 	for i := range c.shards {
 		t += c.shards[i].words.Load()
+	}
+	return t
+}
+
+// Dropped returns the number of sent messages the substrate lost.
+func (c *Counter) Dropped() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].dropped.Load()
+	}
+	return t
+}
+
+// shardedCell is one padded tally slot of a ShardedInt.
+type shardedCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// ShardedInt is a lock-free tally sharded per worker, for protocol-level
+// counting inside Phase callbacks (the same pattern as the network's
+// traffic Counter). A callback executing node v must add on shard
+// Network.ShardOf(v): that worker is the only writer of the shard, so
+// increments never contend, and the per-shard subtotals — not just the sum
+// — are deterministic for any fixed worker count.
+type ShardedInt struct {
+	shards []shardedCell
+}
+
+// NewShardedInt creates a tally with the given number of shards (the
+// network's worker count).
+func NewShardedInt(shards int) *ShardedInt {
+	if shards < 1 {
+		shards = 1
+	}
+	return &ShardedInt{shards: make([]shardedCell, shards)}
+}
+
+// Add adds delta on the given shard.
+func (s *ShardedInt) Add(shard int, delta int64) {
+	s.shards[shard].v.Add(delta)
+}
+
+// Total returns the sum over all shards. It is safe to call at any time and
+// deterministic once a phase barrier has completed.
+func (s *ShardedInt) Total() int64 {
+	var t int64
+	for i := range s.shards {
+		t += s.shards[i].v.Load()
 	}
 	return t
 }

@@ -1,0 +1,80 @@
+package dist
+
+import "repro/internal/rng"
+
+// DeliveryModel is the substrate's failure-injection policy: it classifies
+// every unreliable message (staged with Send, not SendReliable) as
+// delivered on time, delivered late, or lost. Classification happens at
+// Send time on the sender's worker, so the model MUST be a pure function of
+// its arguments: it is called concurrently from all workers, and its
+// verdicts feed the deterministic delivery order. Randomness therefore
+// comes from hashing a dedicated seed with the message coordinates, never
+// from shared mutable generator state.
+type DeliveryModel interface {
+	// MaxDelay bounds the delay Classify may return. It sizes the network's
+	// delivery rings and must be constant over the model's lifetime.
+	MaxDelay() int
+	// Classify decides the fate of the seq-th unreliable message staged by
+	// node from addressed to node to: deliver reports whether the message
+	// arrives at all, and delay how many extra phase barriers it waits
+	// (0 = on time, k = readable k phases later than normal). delay must
+	// lie in [0, MaxDelay()].
+	Classify(from, to int, seq uint64) (delay int, deliver bool)
+}
+
+// LinkFaults is the standard DeliveryModel: every unreliable message is
+// dropped with probability DropProb; survivors are delayed with probability
+// DelayProb, uniformly by 1..MaxPhases extra barriers. Coins are hashed
+// from (Seed, from, to, seq) — a dedicated stream independent of protocol
+// randomness and of the execution schedule, so transcripts stay
+// bit-identical for every worker count.
+type LinkFaults struct {
+	// DropProb is the per-message loss probability, in [0, 1].
+	DropProb float64
+	// DelayProb is the probability a surviving message is late, in [0, 1].
+	DelayProb float64
+	// MaxPhases is the largest injected delay (the draw is uniform on
+	// 1..MaxPhases); 0 with a positive DelayProb means 1.
+	MaxPhases int
+	// Seed identifies the coin stream.
+	Seed uint64
+}
+
+// MaxDelay implements DeliveryModel.
+func (l LinkFaults) MaxDelay() int {
+	if l.DelayProb <= 0 {
+		return 0
+	}
+	if l.MaxPhases < 1 {
+		return 1
+	}
+	return l.MaxPhases
+}
+
+// Classify implements DeliveryModel with stateless hashed coins.
+func (l LinkFaults) Classify(from, to int, seq uint64) (int, bool) {
+	// Fold the message coordinates into a SplitMix64 walk; each fold is
+	// followed by a full scramble so nearby links get unrelated coins.
+	x := l.Seed ^ 0xd6e8feb86659fd93
+	rng.SplitMix64(&x)
+	x ^= uint64(from)
+	rng.SplitMix64(&x)
+	x ^= uint64(to)
+	rng.SplitMix64(&x)
+	x ^= seq
+	if l.DropProb > 0 && unit(rng.SplitMix64(&x)) < l.DropProb {
+		return 0, false
+	}
+	maxd := l.MaxDelay()
+	if maxd == 0 {
+		return 0, true
+	}
+	if unit(rng.SplitMix64(&x)) >= l.DelayProb {
+		return 0, true
+	}
+	// Modulo bias is ~maxd/2^64 — irrelevant for fault injection.
+	return 1 + int(rng.SplitMix64(&x)%uint64(maxd)), true
+}
+
+// unit maps 64 random bits to [0, 1) with 53-bit precision.
+func unit(u uint64) float64 { return float64(u>>11) / (1 << 53) }

@@ -1,0 +1,288 @@
+package dist
+
+import "testing"
+
+// fixedDelay delays every message from a configured sender by a fixed
+// number of phases and delivers everything else on time.
+type fixedDelay struct {
+	from  int
+	delay int
+}
+
+func (f fixedDelay) MaxDelay() int { return f.delay }
+func (f fixedDelay) Classify(from, to int, seq uint64) (int, bool) {
+	if from == f.from {
+		return f.delay, true
+	}
+	return 0, true
+}
+
+func TestDropModelLosesEverything(t *testing.T) {
+	// DropProb 1 must silence all unreliable traffic while the counters
+	// still account for every send (the sender put it on the wire).
+	const n = 64
+	net := NewNetwork[int](n, 4)
+	defer net.Close()
+	net.SetDeliveryModel(LinkFaults{DropProb: 1, Seed: 3})
+	net.Phase(func(v int) { net.Send(v, (v+1)%n, v, 2) })
+	net.Phase(func(v int) {
+		if len(net.Recv(v)) != 0 {
+			t.Errorf("node %d received mail through a DropProb=1 model", v)
+		}
+	})
+	if got := net.Counter().Messages(); got != n {
+		t.Errorf("messages = %d, want %d", got, n)
+	}
+	if got := net.Counter().Dropped(); got != n {
+		t.Errorf("dropped = %d, want %d", got, n)
+	}
+}
+
+func TestReliableSendBypassesModel(t *testing.T) {
+	const n = 16
+	net := NewNetwork[int](n, 2)
+	defer net.Close()
+	net.SetDeliveryModel(LinkFaults{DropProb: 1, Seed: 3})
+	net.Phase(func(v int) { net.SendReliable(v, (v+1)%n, v, 1) })
+	delivered := NewShardedInt(net.Workers())
+	net.Phase(func(v int) { delivered.Add(net.ShardOf(v), int64(len(net.Recv(v)))) })
+	if got := delivered.Total(); got != n {
+		t.Errorf("delivered %d reliable messages, want %d", got, n)
+	}
+	if got := net.Counter().Dropped(); got != 0 {
+		t.Errorf("dropped = %d, want 0", got)
+	}
+}
+
+func TestDelayedMessageArrivesExactlyLate(t *testing.T) {
+	// A message with delay d staged in phase p must surface in phase
+	// p+1+d — not earlier, not twice.
+	const d = 2
+	net := NewNetwork[int](4, 2)
+	defer net.Close()
+	net.SetDeliveryModel(fixedDelay{from: 0, delay: d})
+	net.Phase(func(v int) {
+		if v == 0 {
+			net.Send(0, 1, 42, 1)
+		}
+	})
+	for late := 0; late < d; late++ {
+		net.Phase(func(v int) {
+			if v == 1 && len(net.Recv(1)) != 0 {
+				t.Errorf("message surfaced %d phases early", d-late)
+			}
+		})
+	}
+	net.Phase(func(v int) {
+		if v == 1 {
+			got := net.Recv(1)
+			if len(got) != 1 || got[0].From != 0 || got[0].Body != 42 {
+				t.Errorf("delayed delivery got %+v", got)
+			}
+		}
+	})
+	net.Phase(func(v int) {
+		if len(net.Recv(v)) != 0 {
+			t.Errorf("node %d saw the delayed message twice", v)
+		}
+	})
+}
+
+func TestDelayedMailboxStaysSortedBySender(t *testing.T) {
+	// Sender 5's message is staged one phase before sender 3's but both are
+	// due at the same barrier; the mailbox must still come back ascending
+	// by sender ID, which with delays requires the explicit re-sort.
+	net := NewNetwork[int](6, 3)
+	defer net.Close()
+	net.SetDeliveryModel(fixedDelay{from: 5, delay: 1})
+	net.Phase(func(v int) {
+		if v == 5 {
+			net.Send(5, 0, 55, 1)
+		}
+	})
+	net.Phase(func(v int) {
+		if v == 3 {
+			net.Send(3, 0, 33, 1)
+		}
+	})
+	net.Phase(func(v int) {
+		if v != 0 {
+			return
+		}
+		got := net.Recv(0)
+		if len(got) != 2 || got[0].From != 3 || got[1].From != 5 {
+			t.Errorf("mailbox out of sender order: %+v", got)
+		}
+	})
+}
+
+func TestFaultTranscriptIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The determinism contract must survive a nonzero drop/delay model:
+	// coins hash from message coordinates, so the full delivery transcript
+	// and the drop tally are bit-identical for any worker count.
+	model := LinkFaults{DropProb: 0.3, DelayProb: 0.3, MaxPhases: 2, Seed: 17}
+	wantLog, wantMsgs, wantWords, wantDropped := faultTranscript(1, func(net *Network[int]) {
+		net.SetDeliveryModel(model)
+	})
+	if len(wantLog) == 0 {
+		t.Fatal("faulty workload delivered nothing")
+	}
+	if wantDropped == 0 {
+		t.Fatal("DropProb 0.3 dropped nothing")
+	}
+	for _, workers := range []int{2, 3, 8, 16} {
+		log, msgs, words, droppedN := faultTranscript(workers, func(net *Network[int]) {
+			net.SetDeliveryModel(model)
+		})
+		if msgs != wantMsgs || words != wantWords || droppedN != wantDropped {
+			t.Errorf("workers=%d: counters (%d, %d, %d) != (%d, %d, %d)",
+				workers, msgs, words, droppedN, wantMsgs, wantWords, wantDropped)
+		}
+		if len(log) != len(wantLog) {
+			t.Fatalf("workers=%d: transcript length %d != %d", workers, len(log), len(wantLog))
+		}
+		for i := range log {
+			if log[i] != wantLog[i] {
+				t.Fatalf("workers=%d: transcript diverges at %d: %q != %q",
+					workers, i, log[i], wantLog[i])
+			}
+		}
+	}
+}
+
+func TestLinkFaultsClassifyIsPureAndBounded(t *testing.T) {
+	model := LinkFaults{DropProb: 0.3, DelayProb: 0.5, MaxPhases: 3, Seed: 23}
+	drops, delays, total := 0, 0, 20000
+	for i := 0; i < total; i++ {
+		from, to, seq := i%97, (i*7)%89, uint64(i/13)
+		d1, ok1 := model.Classify(from, to, seq)
+		d2, ok2 := model.Classify(from, to, seq)
+		if d1 != d2 || ok1 != ok2 {
+			t.Fatal("Classify is not a pure function of its arguments")
+		}
+		if d1 < 0 || d1 > model.MaxDelay() {
+			t.Fatalf("delay %d outside [0, %d]", d1, model.MaxDelay())
+		}
+		if !ok1 {
+			drops++
+		} else if d1 > 0 {
+			delays++
+		}
+	}
+	if rate := float64(drops) / float64(total); rate < 0.27 || rate > 0.33 {
+		t.Errorf("drop rate %v far from 0.3", rate)
+	}
+	// Half of the survivors (~0.7 of all) should be delayed.
+	if rate := float64(delays) / float64(total); rate < 0.31 || rate > 0.39 {
+		t.Errorf("delay rate %v far from 0.35", rate)
+	}
+}
+
+func TestCrashedNodeIsSilenced(t *testing.T) {
+	const n = 32
+	net := NewNetwork[int](n, 4)
+	defer net.Close()
+	net.Crash(7)
+	if !net.Crashed(7) || net.Crashed(8) {
+		t.Fatal("Crashed() disagrees with Crash()")
+	}
+	fired := NewShardedInt(net.Workers())
+	net.Phase(func(v int) {
+		if v == 7 {
+			t.Error("crashed node executed a phase callback")
+		}
+		fired.Add(net.ShardOf(v), 1)
+		net.Send(v, 7, v, 1)
+	})
+	if got := fired.Total(); got != n-1 {
+		t.Errorf("%d callbacks ran, want %d", got, n-1)
+	}
+	net.Phase(func(v int) {})
+	if got := net.Recv(7); len(got) != 0 {
+		t.Errorf("crashed node received %d messages", len(got))
+	}
+	if got := net.Counter().Dropped(); got != n-1 {
+		t.Errorf("dropped = %d, want %d (every send aimed at the crashed node)", got, n-1)
+	}
+	if got := net.Counter().Messages(); got != n-1 {
+		t.Errorf("messages = %d, want %d (sends still count)", got, n-1)
+	}
+}
+
+func TestShardedIntTotals(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{1, 4} {
+		net := NewNetwork[struct{}](n, workers)
+		tally := NewShardedInt(net.Workers())
+		net.Phase(func(v int) { tally.Add(net.ShardOf(v), int64(v%3)) })
+		var want int64
+		for v := 0; v < n; v++ {
+			want += int64(v % 3)
+		}
+		if got := tally.Total(); got != want {
+			t.Errorf("workers=%d: total %d, want %d", workers, got, want)
+		}
+		net.Close()
+	}
+	if NewShardedInt(0) == nil {
+		t.Error("NewShardedInt should clamp, not fail")
+	}
+}
+
+func TestSetDeliveryModelAfterStartPanics(t *testing.T) {
+	net := NewNetwork[int](4, 2)
+	defer net.Close()
+	net.Phase(func(v int) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("SetDeliveryModel after the first phase should panic")
+		}
+	}()
+	net.SetDeliveryModel(LinkFaults{DropProb: 0.5})
+}
+
+func TestModelDelayBeyondMaxDelayPanics(t *testing.T) {
+	// A model whose Classify exceeds its declared MaxDelay corrupts the
+	// delivery rings; the network must reject it loudly.
+	net := NewNetwork[int](4, 1)
+	defer net.Close()
+	net.SetDeliveryModel(lyingModel{})
+	defer func() {
+		if recover() == nil {
+			t.Error("delay beyond MaxDelay should panic")
+		}
+	}()
+	net.Phase(func(v int) {
+		if v == 0 {
+			net.Send(0, 1, 1, 1)
+		}
+	})
+}
+
+type lyingModel struct{}
+
+func (lyingModel) MaxDelay() int                                 { return 1 }
+func (lyingModel) Classify(from, to int, seq uint64) (int, bool) { return 5, true }
+
+func TestFaultyRunsKeepCountersExact(t *testing.T) {
+	// Words/messages count at send time whatever the substrate then does,
+	// so totals must match the deterministic send schedule exactly.
+	model := LinkFaults{DropProb: 0.4, DelayProb: 0.4, MaxPhases: 2, Seed: 29}
+	_, msgs, words, droppedN := faultTranscript(4, func(net *Network[int]) {
+		net.SetDeliveryModel(model)
+	})
+	_, baseMsgs, baseWords, _ := faultTranscript(4, nil)
+	// The first phase's sends are schedule-fixed; the relay phase shrinks
+	// under drops, so the faulty run can only send less than the fault-free
+	// one, and drops are always a subset of sends.
+	if msgs > baseMsgs || words > baseWords {
+		t.Errorf("faulty run sent more than fault-free: (%d, %d) vs (%d, %d)",
+			msgs, words, baseMsgs, baseWords)
+	}
+	if droppedN <= 0 {
+		t.Error("expected drops at DropProb 0.4")
+	}
+	if droppedN > msgs {
+		t.Errorf("dropped %d exceeds messages %d", droppedN, msgs)
+	}
+}

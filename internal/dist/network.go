@@ -1,13 +1,22 @@
-// Package dist is a deterministic message-passing runtime for synchronous
-// distributed algorithms: n logical nodes exchange messages in phases, with
-// the work of each phase spread across a pool of worker goroutines.
+// Package dist is a deterministic message-passing runtime for distributed
+// algorithms: n logical nodes exchange messages in phases, with the work of
+// each phase spread across a pool of worker goroutines.
 //
-// The execution model is bulk-synchronous. Phase(fn) runs fn(v) once for
-// every node v; inside the callback a node may read its mailbox with Recv
-// and stage messages with Send. A barrier separates phases: messages staged
-// during phase k are delivered at its end and become visible to Recv during
-// phase k+1, and mailboxes not read in phase k+1 are discarded at the next
-// delivery.
+// The default execution model is bulk-synchronous. Phase(fn) runs fn(v) once
+// for every node v; inside the callback a node may read its mailbox with
+// Recv and stage messages with Send. A barrier separates phases: messages
+// staged during phase k are delivered at its end and become visible to Recv
+// during phase k+1, and mailboxes not read in phase k+1 are discarded at the
+// next delivery. RunAsync leaves this regime and fires nodes one at a time
+// in a randomized order instead (see clock.go).
+//
+// Delivery is a staged pipeline with two pluggable layers. A DeliveryModel
+// (delivery.go) classifies every unreliable message at Send time — on time,
+// k phases late, or lost — moving failure injection out of protocols and
+// into the substrate. A Transport (transport.go) then moves the surviving
+// staged buckets from sender shards to destination shards at the barrier;
+// the default in-process transport is zero-copy, and the loopback Ring
+// transport proves the seam tolerates a serialising wire.
 //
 // Determinism is a hard contract. Results are bit-identical for any worker
 // count: nodes are partitioned into contiguous per-worker shards, each
@@ -16,11 +25,15 @@
 // stably ordered by sender ID — ties between messages from the same sender
 // keep their send order. Message and word counters are sharded per worker
 // and summed on read, so traffic accounting is equally schedule-independent.
+// Delivery-model coins are hashed from the message coordinates rather than
+// drawn from shared generator state, so the contract survives failure
+// injection too.
 package dist
 
 import (
 	"fmt"
 	"runtime"
+	"slices"
 )
 
 // Envelope is one delivered message: the sender's node ID and the payload.
@@ -29,23 +42,21 @@ type Envelope[T any] struct {
 	Body T
 }
 
-// staged is a message waiting in an outbox for the phase barrier.
-type staged[T any] struct {
-	to  int
-	env Envelope[T]
-}
-
-// outbox holds one worker's staged messages, bucketed by destination shard
-// so delivery can run in parallel with no worker writing another's bucket.
+// outbox holds one worker's staged messages, bucketed by due slot (the
+// delivery ring: slot s collects messages due at phases ≡ s mod ringSize)
+// and then by destination shard, so delivery can run in parallel with no
+// worker writing another's bucket. With no delivery model the ring has a
+// single slot and the layout degenerates to the classic per-shard outbox.
 type outbox[T any] struct {
-	shards [][]staged[T]
+	slots [][][]Staged[T]
 }
 
 // Network connects n nodes, identified 0..n-1, through per-node mailboxes.
-// Create one with NewNetwork and drive it through Phase. Send may only be
-// called from inside a Phase callback (on behalf of the executing node);
-// Recv may be called from inside a callback or, for inspection, from the
-// driving goroutine between phases.
+// Create one with NewNetwork, optionally configure it with SetTransport,
+// SetDeliveryModel and Crash, and drive it through Phase (or RunAsync).
+// Send may only be called from inside a Phase callback (on behalf of the
+// executing node); Recv may be called from inside a callback or, for
+// inspection, from the driving goroutine between phases.
 type Network[T any] struct {
 	n       int
 	workers int
@@ -57,6 +68,25 @@ type Network[T any] struct {
 	out     []outbox[T]
 	counter *Counter
 	pool    *pool
+
+	transport Transport[T]
+	model     DeliveryModel
+	// ringSize is model.MaxDelay()+1: the number of live delivery slots.
+	ringSize int
+	// phase counts completed barriers (async steps in RunAsync); the current
+	// due slot is phase mod ringSize.
+	phase int64
+	// seq[v] numbers node v's unreliable sends for the model's hashed coins;
+	// allocated only when a model is set.
+	seq []uint64
+	// crashed marks failed nodes; nil means none.
+	crashed []bool
+	started bool
+	async   bool
+	// counts and buckets are per-worker delivery scratch: per-node mail
+	// tallies for the counting pass, and the gathered bucket views.
+	counts  [][]int32
+	buckets [][][]Staged[T]
 }
 
 // NewNetwork creates a network of n nodes served by the given number of
@@ -78,14 +108,18 @@ func NewNetwork[T any](n, workers int) *Network[T] {
 		workers = 1
 	}
 	net := &Network[T]{
-		n:       n,
-		workers: workers,
-		bounds:  make([]int, workers+1),
-		shardOf: make([]int32, n),
-		inbox:   make([][]Envelope[T], n),
-		out:     make([]outbox[T], workers),
-		counter: newCounter(workers),
-		pool:    newPool(workers),
+		n:         n,
+		workers:   workers,
+		bounds:    make([]int, workers+1),
+		shardOf:   make([]int32, n),
+		inbox:     make([][]Envelope[T], n),
+		out:       make([]outbox[T], workers),
+		counter:   newCounter(workers),
+		pool:      newPool(workers),
+		transport: InProcess[T]{},
+		ringSize:  1,
+		counts:    make([][]int32, workers),
+		buckets:   make([][][]Staged[T], workers),
 	}
 	for w := 0; w <= workers; w++ {
 		net.bounds[w] = w * n / workers
@@ -94,13 +128,26 @@ func NewNetwork[T any](n, workers int) *Network[T] {
 		for v := net.bounds[w]; v < net.bounds[w+1]; v++ {
 			net.shardOf[v] = int32(w)
 		}
-		net.out[w].shards = make([][]staged[T], workers)
+		net.counts[w] = make([]int32, net.bounds[w+1]-net.bounds[w])
+		net.buckets[w] = make([][]Staged[T], 0, workers)
 	}
+	net.initRings()
 	// Reclaim the worker goroutines if the network is garbage-collected
 	// without Close. The cleanup may only reference the pool: if it (or its
 	// argument) kept the Network reachable, neither would ever be collected.
 	runtime.AddCleanup(net, func(p *pool) { p.close() }, net.pool)
 	return net
+}
+
+// initRings (re)allocates the outbox delivery rings for the current
+// ringSize.
+func (net *Network[T]) initRings() {
+	for w := range net.out {
+		net.out[w].slots = make([][][]Staged[T], net.ringSize)
+		for s := range net.out[w].slots {
+			net.out[w].slots[s] = make([][]Staged[T], net.workers)
+		}
+	}
 }
 
 // N returns the number of nodes.
@@ -109,42 +156,139 @@ func (net *Network[T]) N() int { return net.n }
 // Workers returns the effective worker count after defaulting and clamping.
 func (net *Network[T]) Workers() int { return net.workers }
 
+// ShardOf returns the worker that owns node v — the shard index protocols
+// should use for their own per-shard accounting (see ShardedInt).
+func (net *Network[T]) ShardOf(v int) int { return int(net.shardOf[v]) }
+
 // Counter returns the network's traffic accounting. Totals are safe to read
 // at any time and deterministic once a phase has completed.
 func (net *Network[T]) Counter() *Counter { return net.counter }
+
+// SetTransport replaces the delivery transport. It must be called before
+// the first Phase or RunAsync.
+func (net *Network[T]) SetTransport(t Transport[T]) {
+	if net.started {
+		panic("dist: SetTransport after the network started")
+	}
+	if t == nil {
+		panic("dist: SetTransport(nil)")
+	}
+	net.transport = t
+}
+
+// SetDeliveryModel installs a failure-injection policy for unreliable
+// sends (nil restores perfect delivery). It must be called before the first
+// Phase or RunAsync: the model's MaxDelay sizes the delivery rings.
+func (net *Network[T]) SetDeliveryModel(m DeliveryModel) {
+	if net.started {
+		panic("dist: SetDeliveryModel after the network started")
+	}
+	net.model = m
+	net.ringSize = 1
+	net.seq = nil
+	if m != nil {
+		maxd := m.MaxDelay()
+		if maxd < 0 {
+			panic(fmt.Sprintf("dist: DeliveryModel MaxDelay %d < 0", maxd))
+		}
+		net.ringSize = maxd + 1
+		net.seq = make([]uint64, net.n)
+	}
+	net.initRings()
+}
+
+// Crash permanently fails node v: from the next phase (or async step) on it
+// executes no callbacks, and every message addressed to it is dropped at
+// send time — counted as sent and as dropped, because the sender did put it
+// on the wire. Messages already staged for v keep travelling and are
+// silently discarded. Crash may be called before the run or between phases.
+func (net *Network[T]) Crash(v int) {
+	if v < 0 || v >= net.n {
+		panic(fmt.Sprintf("dist: Crash(%d) outside [0, %d)", v, net.n))
+	}
+	if net.crashed == nil {
+		net.crashed = make([]bool, net.n)
+	}
+	net.crashed[v] = true
+}
+
+// Crashed reports whether node v has been crashed.
+func (net *Network[T]) Crashed(v int) bool { return net.crashed != nil && net.crashed[v] }
 
 // Close stops the worker goroutines. It is idempotent; Phase must not be
 // called afterwards.
 func (net *Network[T]) Close() { net.pool.close() }
 
-// Phase runs fn(v) once for every node v in [0, n), partitioned across the
-// worker pool, then waits for all workers at a barrier and delivers every
-// staged message. fn must confine itself to node v's own data: it may call
-// Recv(v) and Send(v, ...), but must not touch another node's mailbox.
-// Undelivered mail from the previous phase is discarded.
+// Phase runs fn(v) once for every live (non-crashed) node v in [0, n),
+// partitioned across the worker pool, then waits for all workers at a
+// barrier and delivers every staged message that is due. fn must confine
+// itself to node v's own data: it may call Recv(v) and Send(v, ...), but
+// must not touch another node's mailbox. Undelivered mail from the previous
+// phase is discarded.
 func (net *Network[T]) Phase(fn func(v int)) {
+	if net.async {
+		panic("dist: Phase after RunAsync (the mailbox contracts differ)")
+	}
+	net.started = true
+	crashed := net.crashed
 	net.pool.run(func(w int) {
 		for v := net.bounds[w]; v < net.bounds[w+1]; v++ {
+			if crashed != nil && crashed[v] {
+				continue
+			}
 			fn(v)
 		}
 	})
 	net.deliver()
+	net.phase++
 }
 
-// Send stages one message from node from to node to; it is delivered at the
-// end of the current phase. words is the accounted wire size of the message
-// (the message itself always counts once). Send must be called from within
-// the Phase callback currently executing node from — that callback runs on
-// the worker owning from's shard, which makes the outbox append lock-free.
+// Send stages one unreliable message from node from to node to; subject to
+// the delivery model, it is delivered at the end of the current phase (or k
+// barriers later, or never). words is the accounted wire size of the
+// message (the message itself always counts once, even if the substrate
+// then loses it). Send must be called from within the Phase callback
+// currently executing node from — that callback runs on the worker owning
+// from's shard, which makes the outbox append lock-free.
 func (net *Network[T]) Send(from, to int, body T, words int64) {
+	net.send(from, to, body, words, false)
+}
+
+// SendReliable stages a message exempt from the delivery model — the
+// abstraction of a link layer with acknowledgement and retransmission.
+// Crash policy still applies: a crashed destination receives nothing.
+func (net *Network[T]) SendReliable(from, to int, body T, words int64) {
+	net.send(from, to, body, words, true)
+}
+
+func (net *Network[T]) send(from, to int, body T, words int64, reliable bool) {
 	if from < 0 || from >= net.n || to < 0 || to >= net.n {
 		panic(fmt.Sprintf("dist: Send(%d → %d) outside [0, %d)", from, to, net.n))
 	}
-	w := net.shardOf[from]
+	w := int(net.shardOf[from])
+	net.counter.add(w, words)
+	if net.crashed != nil && net.crashed[to] {
+		net.counter.drop(w)
+		return
+	}
+	delay := 0
+	if net.model != nil && !reliable {
+		seq := net.seq[from]
+		net.seq[from] = seq + 1
+		d, ok := net.model.Classify(from, to, seq)
+		if !ok {
+			net.counter.drop(w)
+			return
+		}
+		if d < 0 || d >= net.ringSize {
+			panic(fmt.Sprintf("dist: DeliveryModel delay %d outside [0, %d]", d, net.ringSize-1))
+		}
+		delay = d
+	}
+	slot := int((net.phase + int64(delay)) % int64(net.ringSize))
 	s := net.shardOf[to]
-	net.out[w].shards[s] = append(net.out[w].shards[s],
-		staged[T]{to: to, env: Envelope[T]{From: from, Body: body}})
-	net.counter.add(int(w), words)
+	net.out[w].slots[slot][s] = append(net.out[w].slots[slot][s],
+		Staged[T]{To: to, Env: Envelope[T]{From: from, Body: body}})
 }
 
 // Recv returns the messages delivered to node v at the last phase boundary,
@@ -156,30 +300,64 @@ func (net *Network[T]) Recv(v int) []Envelope[T] {
 }
 
 // deliver is the phase barrier's second half: every worker clears the
-// mailboxes of its own shard and gathers the messages addressed to it from
-// all sender outboxes.
+// mailboxes of its own shard, flushes the due delivery-ring slot through the
+// transport, and merges the result into its mailboxes with a counting pass
+// followed by a single bulk copy (each mailbox is sized once, so high
+// fan-in destinations never reallocate mid-merge).
 //
-// The sorted-by-sender mailbox contract needs no sort here: Phase executes
-// each worker's contiguous node range in ascending ID order (so every
-// outbox bucket is already ascending in From), and the buckets are drained
-// in ascending worker order (whose sender ranges are themselves ascending
-// and disjoint). Concatenation therefore yields each mailbox in ascending
-// From order with same-sender send order preserved. Any change to the
-// execution order — work stealing, chunked scheduling — must restore the
-// ordering explicitly; the delivery-order and cross-worker-transcript
-// tests pin the contract.
+// The sorted-by-sender mailbox contract needs no sort on the default path:
+// Phase executes each worker's contiguous node range in ascending ID order
+// (so every outbox bucket is already ascending in From), and the buckets
+// are drained in ascending worker order (whose sender ranges are themselves
+// ascending and disjoint). Concatenation therefore yields each mailbox in
+// ascending From order with same-sender send order preserved. Delayed
+// delivery breaks the premise — one slot can hold messages staged at
+// different phases — so with a multi-slot ring the mailboxes are stably
+// re-sorted by sender after the copy. Any change to the execution order —
+// work stealing, chunked scheduling — must restore the ordering explicitly;
+// the delivery-order and cross-worker-transcript tests pin the contract.
 func (net *Network[T]) deliver() {
+	slot := int(net.phase % int64(net.ringSize))
 	net.pool.run(func(w int) {
 		lo, hi := net.bounds[w], net.bounds[w+1]
+		buckets := net.buckets[w][:0]
+		for src := range net.out {
+			buckets = append(buckets, net.out[src].slots[slot][w])
+		}
+		net.buckets[w] = buckets
+		wire := net.transport.Flush(w, buckets)
+		counts := net.counts[w]
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, b := range wire {
+			for _, m := range b {
+				counts[m.To-lo]++
+			}
+		}
 		for v := lo; v < hi; v++ {
-			net.inbox[v] = net.inbox[v][:0]
+			if c := int(counts[v-lo]); cap(net.inbox[v]) < c {
+				net.inbox[v] = make([]Envelope[T], 0, c)
+			} else {
+				net.inbox[v] = net.inbox[v][:0]
+			}
+		}
+		for _, b := range wire {
+			for _, m := range b {
+				net.inbox[m.To] = append(net.inbox[m.To], m.Env)
+			}
+		}
+		if net.ringSize > 1 {
+			for v := lo; v < hi; v++ {
+				if len(net.inbox[v]) > 1 {
+					slices.SortStableFunc(net.inbox[v], func(a, b Envelope[T]) int {
+						return a.From - b.From
+					})
+				}
+			}
 		}
 		for src := range net.out {
-			box := net.out[src].shards[w]
-			for _, m := range box {
-				net.inbox[m.to] = append(net.inbox[m.to], m.env)
-			}
-			net.out[src].shards[w] = box[:0]
+			net.out[src].slots[slot][w] = net.out[src].slots[slot][w][:0]
 		}
 	})
 }

@@ -1,0 +1,100 @@
+package dist
+
+import "fmt"
+
+// Staged is one staged message as it crosses a Transport: the destination
+// node and the envelope to deliver there.
+type Staged[T any] struct {
+	To  int
+	Env Envelope[T]
+}
+
+// Transport is the seam between outbox staging and mailbox delivery: at
+// every barrier the network hands each destination shard the buckets staged
+// for it and merges whatever the transport returns into that shard's
+// mailboxes. The default InProcess transport hands the buckets over
+// zero-copy; a multi-process implementation would serialise them onto a
+// wire (RPC, shared-memory rings) and return the decoded copies.
+//
+// Determinism is a hard contract. An implementation MUST:
+//
+//  1. return every staged message exactly once, preserving the bucket
+//     partition (result bucket i holds exactly the messages of input bucket
+//     i) and the order within each bucket — the network relies on this,
+//     plus the ascending-sender-shard bucket order it establishes itself,
+//     to keep mailboxes sorted by sender without a sort on the default
+//     path;
+//  2. never reorder, duplicate, drop, or mutate messages — loss and delay
+//     are the DeliveryModel's job, upstream of the transport;
+//  3. tolerate Flush being called concurrently for distinct dst shards
+//     (once per shard per barrier): any mutable state must be per-shard;
+//  4. keep the returned buckets valid until the next Flush for the same
+//     shard; the network finishes reading them before that.
+type Transport[T any] interface {
+	Flush(dst int, buckets [][]Staged[T]) [][]Staged[T]
+}
+
+// InProcess is the default Transport: source and destination shards share
+// one address space, so staged buckets are handed to delivery unchanged.
+type InProcess[T any] struct{}
+
+// Flush returns the staged buckets zero-copy.
+func (InProcess[T]) Flush(dst int, buckets [][]Staged[T]) [][]Staged[T] { return buckets }
+
+// Ring is a loopback stand-in for a multi-process transport: every envelope
+// bound for a destination shard is copied through that shard's fixed-size
+// ring buffer — the way a shared-memory or RPC transport would serialise it
+// onto a bounded wire — and reassembled on the far side. It proves the
+// Transport seam carries the full delivery contract without the in-process
+// shortcut of sharing slices; transcripts under Ring are bit-identical to
+// InProcess for any ring capacity.
+type Ring[T any] struct {
+	rings []ringShard[T]
+}
+
+// ringShard is one destination shard's wire: the bounded ring and the
+// reusable reassembly buckets. Flush is per-shard, so no locking is needed.
+type ringShard[T any] struct {
+	buf []Staged[T]
+	out [][]Staged[T]
+}
+
+// NewRing creates a loopback ring transport for the given number of
+// destination shards (the network's worker count) with the given per-shard
+// ring capacity.
+func NewRing[T any](shards, capacity int) *Ring[T] {
+	if shards < 1 || capacity < 1 {
+		panic(fmt.Sprintf("dist: NewRing(%d, %d)", shards, capacity))
+	}
+	t := &Ring[T]{rings: make([]ringShard[T], shards)}
+	for i := range t.rings {
+		t.rings[i].buf = make([]Staged[T], 0, capacity)
+	}
+	return t
+}
+
+// Flush pushes every message through the destination shard's ring: the near
+// side writes until the ring fills, the far side drains it FIFO into the
+// reassembled bucket. Bucket boundaries and intra-bucket order survive the
+// trip, which is exactly the Transport contract.
+func (t *Ring[T]) Flush(dst int, buckets [][]Staged[T]) [][]Staged[T] {
+	r := &t.rings[dst]
+	for len(r.out) < len(buckets) {
+		r.out = append(r.out, nil)
+	}
+	out := r.out[:len(buckets)]
+	for i, b := range buckets {
+		ob := out[i][:0]
+		ring := r.buf[:0]
+		for _, m := range b {
+			if len(ring) == cap(ring) {
+				ob = append(ob, ring...)
+				ring = ring[:0]
+			}
+			ring = append(ring, m)
+		}
+		ob = append(ob, ring...)
+		out[i] = ob
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// faultTranscript runs a fixed three-phase gossip workload on a network
+// configured by the caller and returns every delivery observed, encoded as
+// strings, plus the counter totals (messages, words, dropped). It mirrors
+// the transcript helper of the core network tests but leaves room for a
+// transport, delivery model, or crash set.
+func faultTranscript(workers int, configure func(net *Network[int])) ([]string, int64, int64, int64) {
+	const n = 257 // deliberately not a multiple of any worker count
+	net := NewNetwork[int](n, workers)
+	defer net.Close()
+	if configure != nil {
+		configure(net)
+	}
+	var log []string
+	record := func(v int) {
+		for _, e := range net.Recv(v) {
+			log = append(log, fmt.Sprintf("%d<-%d:%d", v, e.From, e.Body))
+		}
+	}
+	net.Phase(func(v int) {
+		for k := 0; k < v%4; k++ {
+			net.Send(v, (v*7+k*13)%n, v*100+k, int64(k+1))
+		}
+	})
+	for v := 0; v < n; v++ {
+		record(v)
+	}
+	net.Phase(func(v int) {
+		for _, e := range net.Recv(v) {
+			net.Send(v, e.From, e.Body+1, 2)
+		}
+	})
+	for v := 0; v < n; v++ {
+		record(v)
+	}
+	// Extra idle phases drain any delayed traffic a delivery model injected.
+	for p := 0; p < 4; p++ {
+		net.Phase(func(v int) {})
+		for v := 0; v < n; v++ {
+			record(v)
+		}
+	}
+	return log, net.Counter().Messages(), net.Counter().Words(), net.Counter().Dropped()
+}
+
+func TestRingTransportMatchesInProcess(t *testing.T) {
+	// The loopback ring transport serialises every envelope through a
+	// bounded per-shard ring; the delivery transcript must be bit-identical
+	// to the zero-copy in-process transport for any capacity and worker
+	// count — that is the Transport determinism contract.
+	wantLog, wantMsgs, wantWords, _ := faultTranscript(3, nil)
+	if len(wantLog) == 0 {
+		t.Fatal("workload produced no traffic")
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, capacity := range []int{1, 7, 4096} {
+			log, msgs, words, _ := faultTranscript(workers, func(net *Network[int]) {
+				net.SetTransport(NewRing[int](net.Workers(), capacity))
+			})
+			if msgs != wantMsgs || words != wantWords {
+				t.Errorf("workers=%d cap=%d: counters (%d, %d) != (%d, %d)",
+					workers, capacity, msgs, words, wantMsgs, wantWords)
+			}
+			if len(log) != len(wantLog) {
+				t.Fatalf("workers=%d cap=%d: transcript length %d != %d",
+					workers, capacity, len(log), len(wantLog))
+			}
+			for i := range log {
+				if log[i] != wantLog[i] {
+					t.Fatalf("workers=%d cap=%d: transcript diverges at %d: %q != %q",
+						workers, capacity, i, log[i], wantLog[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRingTransportWithFaultsMatchesInProcess(t *testing.T) {
+	// Transport and delivery model compose: the model classifies upstream,
+	// the transport only moves survivors, so swapping transports must not
+	// change a faulty transcript either.
+	model := LinkFaults{DropProb: 0.2, DelayProb: 0.3, MaxPhases: 2, Seed: 11}
+	wantLog, wantMsgs, _, wantDropped := faultTranscript(2, func(net *Network[int]) {
+		net.SetDeliveryModel(model)
+	})
+	log, msgs, _, droppedN := faultTranscript(5, func(net *Network[int]) {
+		net.SetDeliveryModel(model)
+		net.SetTransport(NewRing[int](net.Workers(), 3))
+	})
+	if msgs != wantMsgs || droppedN != wantDropped {
+		t.Errorf("counters (%d msgs, %d dropped) != (%d, %d)", msgs, droppedN, wantMsgs, wantDropped)
+	}
+	if fmt.Sprint(log) != fmt.Sprint(wantLog) {
+		t.Errorf("ring transcript diverges from in-process under faults")
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 4}, {4, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRing(%d, %d) should panic", bad[0], bad[1])
+				}
+			}()
+			NewRing[int](bad[0], bad[1])
+		}()
+	}
+}
+
+func TestSetTransportAfterStartPanics(t *testing.T) {
+	net := NewNetwork[int](4, 2)
+	defer net.Close()
+	net.Phase(func(v int) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("SetTransport after the first phase should panic")
+		}
+	}()
+	net.SetTransport(NewRing[int](2, 4))
+}

@@ -2,18 +2,35 @@ package loadbalance
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
 
-// AsyncGossip is the asynchronous time model of Boyd–Ghosh–Prabhakar–Shah:
-// each tick one edge, chosen uniformly at random, fires and its endpoints
-// average their values. One synchronous matching round corresponds to about
-// n·d̄/4 asynchronous ticks (the expected number of matched pairs), which is
-// how the F9 ablation aligns the two clocks. The paper analyses the
-// synchronous matching model; this substrate quantifies that nothing about
-// the clustering behaviour depends on the synchrony assumption.
+// MatchingEventBudget returns the expected number of pairwise averaging
+// events performed by `rounds` synchronous matching rounds on an n-node
+// graph with matching density d̄ (≈ n·d̄/4 matched pairs per round) — the
+// clock-alignment constant between the synchronous and asynchronous time
+// models. Message-level async gossip spends two half-pushes per pairwise
+// event, so its firing budget is twice this number.
+func MatchingEventBudget(n int, dbar float64, rounds int) int {
+	return int(math.Ceil(float64(rounds) * float64(n) * dbar / 4))
+}
+
+// AsyncGossip is the closed-form reference simulator for the asynchronous
+// time model of Boyd–Ghosh–Prabhakar–Shah: each tick one edge, chosen
+// uniformly at random, fires and its endpoints average their values. One
+// synchronous matching round corresponds to about n·d̄/4 asynchronous ticks
+// (see MatchingEventBudget). The paper analyses the synchronous matching
+// model; this process quantifies that nothing about the balancing behaviour
+// depends on the synchrony assumption.
+//
+// This simulator averages scalar vectors in place with no messages; the
+// message-level counterpart — real envelopes, traffic accounting, delivery
+// faults — is core.ClusterAsyncGossip on dist.RunAsync, which is what
+// experiment F9 runs. AsyncGossip remains the idealised baseline those
+// message-level runs are sanity-checked against.
 type AsyncGossip struct {
 	g    *graph.Graph
 	ys   [][]float64

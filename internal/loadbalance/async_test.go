@@ -9,6 +9,23 @@ import (
 	"repro/internal/rng"
 )
 
+func TestMatchingEventBudget(t *testing.T) {
+	// 100 nodes at density 0.6 match 15 pairs per round in expectation;
+	// budgets round up and scale linearly in the round count.
+	if got := MatchingEventBudget(100, 0.6, 1); got != 15 {
+		t.Errorf("budget = %d, want 15", got)
+	}
+	if got := MatchingEventBudget(100, 0.6, 10); got != 150 {
+		t.Errorf("budget = %d, want 150", got)
+	}
+	if got := MatchingEventBudget(3, 1, 1); got != 1 {
+		t.Errorf("budget = %d, want 1 (ceil of 0.75)", got)
+	}
+	if got := MatchingEventBudget(0, 1, 5); got != 0 {
+		t.Errorf("budget = %d, want 0", got)
+	}
+}
+
 func TestAsyncGossipConservesMass(t *testing.T) {
 	r := rng.New(1)
 	g, err := gen.RandomRegular(40, 4, r)
