@@ -9,6 +9,7 @@ package repro
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/baselines"
@@ -22,7 +23,15 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/spectral"
+	"repro/internal/wire"
 )
+
+// TestMain lets the socket-transport benchmarks re-exec this test binary as
+// their worker processes (see wire.ServeIfWorker).
+func TestMain(m *testing.M) {
+	wire.ServeIfWorker()
+	os.Exit(m.Run())
+}
 
 // benchExperiment runs one experiment end to end at a reduced scale.
 func benchExperiment(b *testing.B, id string, scale float64) {
@@ -141,6 +150,36 @@ func BenchmarkClusterDistributed(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.ClusterDistributed(p.G, params,
 					core.DistOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterDistributedSocket is the end-to-end run over the real
+// multi-process socket transport: same graph and params as the in-process
+// sweep above (at the 2-machine × workers split), so the ratio between the
+// two is the full price of serialising every barrier through worker OS
+// processes. The transcript is bit-identical either way.
+func BenchmarkClusterDistributedSocket(b *testing.B) {
+	p := benchRing(b, 2, 25000, 16, 1)
+	params := core.Params{Beta: 0.5, Rounds: 20, Seed: 5}
+	// Spawn the worker processes once, outside the timed loop: the rows
+	// should price steady-state barrier traffic, not process startup.
+	cluster, err := wire.Spawn(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	spec := core.TransportSpec{Kind: "socket", Addrs: cluster.Addrs()}
+	for _, workers := range dist.WorkerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ClusterDistributed(p.G, params, core.DistOptions{
+					Workers:   workers,
+					Transport: spec,
+				}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,27 @@
+// Command benchenv emits the host-environment block the BENCH_*.json
+// baselines embed (see dist.HostEnv): Go toolchain, CPU model, logical CPU
+// count, and effective GOMAXPROCS. Re-recording a baseline starts here —
+//
+//	go run ./cmd/benchenv
+//
+// — and pastes the object into the file's "environment" field (keeping the
+// free-text "note"), so numbers from a 1-CPU shared container can never
+// masquerade as a real worker-sweep speedup: num_cpu is in the record.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	out, err := json.MarshalIndent(dist.CaptureHostEnv(), "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchenv: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}

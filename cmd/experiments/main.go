@@ -6,9 +6,13 @@
 // Usage:
 //
 //	experiments [-run T1,F2,... | -run all] [-scale 1.0] [-seed 1] [-out results/]
+//	            [-transport inprocess|ring[:cap]|socket[:machines]]
 //
 // Experiment F9 runs both its synchronous and asynchronous executions as
-// real messages on the dist runtime, so its table includes wire traffic.
+// real messages on the dist runtime, so its table includes wire traffic;
+// -transport selects the delivery transport for those runs (with "socket"
+// the barriers cross real worker OS processes — the tables are bit-identical
+// either way).
 //
 // Markdown is printed to stdout; with -out, per-experiment CSV and markdown
 // files are also written to the given directory.
@@ -22,17 +26,27 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/wire"
 )
 
 func main() {
+	wire.ServeIfWorker()
 	runFlag := flag.String("run", "all", "comma-separated experiment ids (T1..T6, F1..F9) or 'all'")
 	scale := flag.Float64("scale", 1.0, "instance scale factor (1.0 = reference size)")
 	seed := flag.Uint64("seed", 1, "master random seed")
 	out := flag.String("out", "", "directory to write per-experiment .md and .csv files")
+	transport := flag.String("transport", "inprocess",
+		"dist-runtime delivery transport: inprocess, ring[:capacity], or socket[:machines]")
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	spec, err := core.ParseTransportSpec(*transport)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Transport: spec}
 	var selected []experiments.Experiment
 	if strings.EqualFold(*runFlag, "all") {
 		selected = experiments.All()

@@ -4,11 +4,19 @@
 // Usage:
 //
 //	lbcluster -in graph.txt -beta 0.25 [-rounds 0 -k 4] [-seed 1] [-out labels.txt]
+//	lbcluster serve -listen unix:/tmp/w0.sock
 //
 // The input is an edge list with an "n m" header (see internal/graph).
 // With -rounds 0 the round budget T = Θ(log n/(1−λ_{k+1})) is estimated
 // from the spectrum, which requires -k. Labels are written one per line in
 // node order; run statistics go to stderr.
+//
+// With -distributed the run executes on the message-passing engine, and
+// -transport selects its delivery transport: "inprocess" (default), the
+// loopback "ring", or "socket[:machines]" for real multi-process execution.
+// "socket" spawns its own worker processes; to place workers by hand (other
+// cores, other hosts via TCP), start daemons with `lbcluster serve` and
+// list them in -transport-addrs.
 package main
 
 import (
@@ -16,13 +24,23 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/spectral"
+	"repro/internal/wire"
 )
 
 func main() {
+	wire.ServeIfWorker()
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := serve(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "lbcluster serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	in := flag.String("in", "-", "input edge-list file ('-' = stdin)")
 	out := flag.String("out", "-", "output label file ('-' = stdout)")
 	beta := flag.Float64("beta", 0.1, "lower bound on the minimum cluster size fraction")
@@ -31,15 +49,39 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	thresholdScale := flag.Float64("threshold-scale", 1, "multiplier on the query threshold 1/(sqrt(2β)n)")
 	distributed := flag.Bool("distributed", false, "run on the message-passing engine and report network traffic")
+	transport := flag.String("transport", "inprocess",
+		"delivery transport for -distributed: inprocess, ring[:capacity], or socket[:machines]")
+	transportAddrs := flag.String("transport-addrs", "",
+		"comma-separated `lbcluster serve` daemon addresses for -transport socket (overrides spawning)")
 	flag.Parse()
 
-	if err := run(*in, *out, *beta, *rounds, *k, *seed, *thresholdScale, *distributed); err != nil {
+	if err := run(*in, *out, *beta, *rounds, *k, *seed, *thresholdScale, *distributed,
+		*transport, *transportAddrs); err != nil {
 		fmt.Fprintf(os.Stderr, "lbcluster: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, beta float64, rounds, k int, seed uint64, thresholdScale float64, distributed bool) error {
+// serve runs the worker daemon mode: a process other coordinators dial as a
+// machine shard of their socket transport.
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "", "wire address to listen on (unix:/path/to.sock or tcp:host:port)")
+	fs.Parse(args)
+	if *listen == "" {
+		return fmt.Errorf("-listen is required")
+	}
+	ln, err := wire.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving wire payloads [%s] on %s\n",
+		strings.Join(wire.Payloads(), " "), *listen)
+	return wire.Serve(ln)
+}
+
+func run(in, out string, beta float64, rounds, k int, seed uint64, thresholdScale float64,
+	distributed bool, transport, transportAddrs string) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -74,7 +116,14 @@ func run(in, out string, beta float64, rounds, k int, seed uint64, thresholdScal
 	}
 	var labels []int
 	if distributed {
-		res, err := core.ClusterDistributed(g, params, core.DistOptions{})
+		spec, err := core.ParseTransportSpec(transport)
+		if err != nil {
+			return err
+		}
+		if transportAddrs != "" {
+			spec.Addrs = strings.Split(transportAddrs, ",")
+		}
+		res, err := core.ClusterDistributed(g, params, core.DistOptions{Transport: spec})
 		if err != nil {
 			return err
 		}

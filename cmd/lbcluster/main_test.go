@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 func writeTestGraph(t *testing.T, dir string) (string, *gen.Planted) {
@@ -56,7 +57,7 @@ func TestRunFixedRounds(t *testing.T) {
 	dir := t.TempDir()
 	in, p := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "labels.txt")
-	if err := run(in, out, 0.5, 80, 0, 1, 1, false); err != nil {
+	if err := run(in, out, 0.5, 80, 0, 1, 1, false, "inprocess", ""); err != nil {
 		t.Fatal(err)
 	}
 	labels := readLabels(t, out, p.G.N())
@@ -71,7 +72,7 @@ func TestRunAutoRounds(t *testing.T) {
 	dir := t.TempDir()
 	in, p := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "labels.txt")
-	if err := run(in, out, 0.5, 0, 2, 1, 1, false); err != nil {
+	if err := run(in, out, 0.5, 0, 2, 1, 1, false, "inprocess", ""); err != nil {
 		t.Fatal(err)
 	}
 	readLabels(t, out, p.G.N())
@@ -81,25 +82,69 @@ func TestRunDistributed(t *testing.T) {
 	dir := t.TempDir()
 	in, p := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "labels.txt")
-	if err := run(in, out, 0.5, 60, 0, 1, 1, true); err != nil {
+	if err := run(in, out, 0.5, 60, 0, 1, 1, true, "inprocess", ""); err != nil {
 		t.Fatal(err)
 	}
 	readLabels(t, out, p.G.N())
+}
+
+// TestRunDistributedTransports: the CLI's -transport selections agree bit
+// for bit. The socket run serves its machine shards in-process via a
+// `serve`-equivalent wire daemon (spawning would re-exec the test binary
+// into the test suite, since package main cannot host the worker hook).
+func TestRunDistributedTransports(t *testing.T) {
+	dir := t.TempDir()
+	in, p := writeTestGraph(t, dir)
+	want := filepath.Join(dir, "want.txt")
+	if err := run(in, want, 0.5, 60, 0, 1, 1, true, "inprocess", ""); err != nil {
+		t.Fatal(err)
+	}
+	wantLabels := readLabels(t, want, p.G.N())
+
+	addr := "unix:" + filepath.Join(dir, "w0.sock")
+	ln, err := wire.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go wire.Serve(ln)
+
+	for _, tc := range []struct{ transport, addrs string }{
+		{"ring:64", ""},
+		{"socket", addr},
+	} {
+		out := filepath.Join(dir, "got.txt")
+		if err := run(in, out, 0.5, 60, 0, 1, 1, true, tc.transport, tc.addrs); err != nil {
+			t.Fatalf("transport %s: %v", tc.transport, err)
+		}
+		got := readLabels(t, out, p.G.N())
+		for v := range wantLabels {
+			if got[v] != wantLabels[v] {
+				t.Fatalf("transport %s: label of node %d differs", tc.transport, v)
+			}
+		}
+	}
+}
+
+func TestServeRequiresListen(t *testing.T) {
+	if err := serve(nil); err == nil {
+		t.Fatal("serve without -listen should fail")
+	}
 }
 
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in, _ := writeTestGraph(t, dir)
 	// Auto rounds without k.
-	if err := run(in, filepath.Join(dir, "x"), 0.5, 0, 0, 1, 1, false); err == nil {
+	if err := run(in, filepath.Join(dir, "x"), 0.5, 0, 0, 1, 1, false, "inprocess", ""); err == nil {
 		t.Error("auto rounds without -k should fail")
 	}
 	// Missing input file.
-	if err := run(filepath.Join(dir, "nope.txt"), "-", 0.5, 10, 0, 1, 1, false); err == nil {
+	if err := run(filepath.Join(dir, "nope.txt"), "-", 0.5, 10, 0, 1, 1, false, "inprocess", ""); err == nil {
 		t.Error("missing input should fail")
 	}
 	// Invalid beta propagates from core.
-	if err := run(in, filepath.Join(dir, "y"), 0, 10, 0, 1, 1, false); err == nil {
+	if err := run(in, filepath.Join(dir, "y"), 0, 10, 0, 1, 1, false, "inprocess", ""); err == nil {
 		t.Error("beta=0 should fail")
 	}
 }

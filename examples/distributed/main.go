@@ -5,9 +5,16 @@
 // degradation. A final section runs the asynchronous push-sum gossip mode
 // on the same seeds, aligning its firing clock with the synchronous run's
 // averaging-event budget.
+//
+// Every scenario accepts -transport: "inprocess" (default), the loopback
+// "ring", or "socket[:machines]", which runs each barrier's traffic through
+// real worker OS processes spawned from this binary — all three produce
+// bit-identical tables, which the final sequential-equality check confirms
+// on whichever transport was selected.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,9 +23,20 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/spectral"
+	"repro/internal/wire"
 )
 
 func main() {
+	wire.ServeIfWorker()
+	transport := flag.String("transport", "inprocess",
+		"delivery transport: inprocess, ring[:capacity], or socket[:machines]")
+	flag.Parse()
+	spec, err := core.ParseTransportSpec(*transport)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transport: %s\n", *transport)
+
 	p, err := gen.ClusteredRing(2, 150, 40, 1, rng.New(23))
 	if err != nil {
 		log.Fatal(err)
@@ -41,6 +59,7 @@ func main() {
 			name, 100*mis, res.NetworkMessages, res.NetworkWords, res.DroppedMatches, res.DroppedMessages)
 	}
 	run := func(name string, opt core.DistOptions) {
+		opt.Transport = spec
 		res, err := core.ClusterDistributed(g, params, opt)
 		if err != nil {
 			log.Fatal(err)
@@ -71,7 +90,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dres, err := core.ClusterDistributed(g, params, core.DistOptions{Workers: 4})
+	dres, err := core.ClusterDistributed(g, params, core.DistOptions{Workers: 4, Transport: spec})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +101,7 @@ func main() {
 			break
 		}
 	}
-	fmt.Printf("sequential == distributed (fault-free): %v\n", same)
+	fmt.Printf("sequential == distributed (fault-free, transport=%s): %v\n", *transport, same)
 
 	// Asynchronous push-sum gossip on real messages: same seeding and
 	// query, randomized single-node firings, two firings per synchronous
@@ -90,6 +109,7 @@ func main() {
 	async, err := core.ClusterAsyncGossip(g, params, core.AsyncOptions{
 		Ticks:     2 * dres.Stats.Matches,
 		ClockSeed: 31,
+		Transport: spec,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -28,6 +28,11 @@ type AsyncOptions struct {
 	// Crashed marks nodes that never fire; pushes addressed to them are
 	// dropped by the substrate. nil means no crashes.
 	Crashed []bool
+	// Transport selects the delivery transport, exactly as in DistOptions;
+	// the asynchronous transcript is equally transport-independent. Async
+	// execution runs on a single delivery shard, so a socket run dials
+	// exactly one worker process regardless of Machines.
+	Transport TransportSpec
 }
 
 // gossipMsg is the wire format of the asynchronous mode: half of the
@@ -81,6 +86,14 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	// substrate bookkeeping minimal.
 	net := dist.NewNetwork[gossipMsg](n, 1)
 	defer net.Close()
+	transport, closeTransport, err := openTransport(opt.Transport, net.Workers(), GossipPayload, gossipCodec{})
+	if err != nil {
+		return nil, err
+	}
+	defer closeTransport()
+	if transport != nil {
+		net.SetTransport(transport)
+	}
 	if opt.Model != nil {
 		net.SetDeliveryModel(opt.Model)
 	}

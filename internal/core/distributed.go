@@ -35,6 +35,10 @@ type DistOptions struct {
 	// Model, when non-nil, overrides the LinkFaults model assembled from
 	// DropProb/DelayProb/MaxDelay/FailSeed with a custom delivery model.
 	Model dist.DeliveryModel
+	// Transport selects the delivery transport (in-process, loopback ring,
+	// or multi-process sockets). The transcript is bit-identical across all
+	// of them; see core.TransportSpec.
+	Transport TransportSpec
 }
 
 // msgKind discriminates protocol messages.
@@ -121,6 +125,14 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 
 	net := dist.NewNetwork[protoMsg](n, opt.Workers)
 	defer net.Close()
+	transport, closeTransport, err := openTransport(opt.Transport, net.Workers(), ProtoPayload, protoCodec{})
+	if err != nil {
+		return nil, err
+	}
+	defer closeTransport()
+	if transport != nil {
+		net.SetTransport(transport)
+	}
 	model := opt.Model
 	if model == nil && (opt.DropProb > 0 || opt.DelayProb > 0) {
 		model = dist.LinkFaults{

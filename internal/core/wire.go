@@ -1,0 +1,213 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/wire"
+)
+
+// Wire payload names under which the engines' message types are registered.
+// Any binary that imports core (coordinator or spawned worker) can serve
+// both payloads; external daemons (`lbcluster serve`) link core too.
+const (
+	// ProtoPayload is the matching protocol's propose/accept/exchange
+	// message (ClusterDistributed).
+	ProtoPayload = "core.proto"
+	// GossipPayload is the asynchronous push-sum message
+	// (ClusterAsyncGossip).
+	GossipPayload = "core.gossip"
+)
+
+func init() {
+	wire.Register(ProtoPayload, protoCodec{})
+	wire.Register(GossipPayload, gossipCodec{})
+}
+
+// appendState encodes a sparse state: uvarint entry count, then 16 fixed
+// bytes per entry (little-endian ID, IEEE-754 bits of the value). Fixed
+// width keeps the float round-trip bit-exact — the transcript-equality
+// contract — and spares the hot path any reflection or text formatting.
+func appendState(buf []byte, s State) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	for _, e := range s {
+		buf = binary.LittleEndian.AppendUint64(buf, e.ID)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Val))
+	}
+	return buf
+}
+
+// decodeState decodes appendState's encoding, returning the state (nil for
+// an empty one, matching the senders' representation) and bytes consumed.
+func decodeState(data []byte) (State, int, error) {
+	cnt, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("core: truncated state count")
+	}
+	if cnt > uint64(len(data)-k)/16 {
+		return nil, 0, fmt.Errorf("core: state count %d exceeds payload", cnt)
+	}
+	if cnt == 0 {
+		return nil, k, nil
+	}
+	s := make(State, cnt)
+	for i := range s {
+		s[i].ID = binary.LittleEndian.Uint64(data[k:])
+		s[i].Val = math.Float64frombits(binary.LittleEndian.Uint64(data[k+8:]))
+		k += 16
+	}
+	return s, k, nil
+}
+
+// protoCodec serialises the matching protocol message: kind byte, round
+// uvarint, state.
+type protoCodec struct{}
+
+func (protoCodec) Append(buf []byte, m protoMsg) []byte {
+	buf = append(buf, byte(m.kind))
+	buf = binary.AppendUvarint(buf, uint64(uint32(m.round)))
+	return appendState(buf, m.state)
+}
+
+func (protoCodec) Decode(data []byte) (protoMsg, int, error) {
+	var m protoMsg
+	if len(data) < 1 {
+		return m, 0, fmt.Errorf("core: empty proto message")
+	}
+	m.kind = msgKind(data[0])
+	round, k := binary.Uvarint(data[1:])
+	if k <= 0 {
+		return m, 0, fmt.Errorf("core: truncated proto round")
+	}
+	m.round = int32(uint32(round))
+	st, sk, err := decodeState(data[1+k:])
+	if err != nil {
+		return m, 0, err
+	}
+	m.state = st
+	return m, 1 + k + sk, nil
+}
+
+// gossipCodec serialises the push-sum message: weight bits, state.
+type gossipCodec struct{}
+
+func (gossipCodec) Append(buf []byte, m gossipMsg) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.weight))
+	return appendState(buf, m.state)
+}
+
+func (gossipCodec) Decode(data []byte) (gossipMsg, int, error) {
+	var m gossipMsg
+	if len(data) < 8 {
+		return m, 0, fmt.Errorf("core: truncated gossip weight")
+	}
+	m.weight = math.Float64frombits(binary.LittleEndian.Uint64(data))
+	st, k, err := decodeState(data[8:])
+	if err != nil {
+		return m, 0, err
+	}
+	m.state = st
+	return m, 8 + k, nil
+}
+
+// TransportSpec selects and configures the delivery transport of a
+// distributed run. The zero value is the default zero-copy in-process
+// transport; "ring" is the loopback serialising transport; "socket" runs
+// every barrier's traffic through real worker OS processes over
+// unix-domain sockets (or TCP, when dialing pre-started daemons).
+type TransportSpec struct {
+	// Kind is "", "inprocess", "ring", or "socket".
+	Kind string
+	// Machines is the number of worker processes a socket run spawns when
+	// Addrs is empty (default 2, clamped to the worker-shard count). The
+	// coordinator binary must call wire.ServeIfWorker at the top of main.
+	Machines int
+	// Addrs, when non-empty, are pre-started `lbcluster serve` daemon
+	// addresses ("unix:/path" or "tcp:host:port"), one per machine shard;
+	// it overrides Machines and nothing is spawned.
+	Addrs []string
+	// RingCapacity is the per-shard ring size of the loopback transport
+	// (default 4096).
+	RingCapacity int
+}
+
+// ParseTransportSpec parses the CLI syntax shared by the repo's commands:
+// "inprocess" (or ""), "ring[:capacity]", or "socket[:machines]".
+func ParseTransportSpec(s string) (TransportSpec, error) {
+	kind, arg, hasArg := strings.Cut(s, ":")
+	spec := TransportSpec{Kind: kind}
+	n := 0
+	if hasArg {
+		var err error
+		if n, err = strconv.Atoi(arg); err != nil || n < 1 {
+			return TransportSpec{}, fmt.Errorf("core: bad transport argument %q", s)
+		}
+	}
+	switch kind {
+	case "", "inprocess":
+		if hasArg {
+			return TransportSpec{}, fmt.Errorf("core: transport %q takes no argument", kind)
+		}
+	case "ring":
+		spec.RingCapacity = n
+	case "socket":
+		spec.Machines = n
+	default:
+		return TransportSpec{}, fmt.Errorf("core: unknown transport %q (inprocess, ring, socket)", kind)
+	}
+	return spec, nil
+}
+
+// openTransport realises a TransportSpec for a network with the given
+// effective worker-shard count. It returns a nil transport for the
+// in-process default (the network's own zero-copy path) and a cleanup that
+// tears down whatever was opened or spawned.
+func openTransport[T any](spec TransportSpec, shards int, payload string, c wire.Codec[T]) (dist.Transport[T], func(), error) {
+	noop := func() {}
+	switch spec.Kind {
+	case "", "inprocess":
+		return nil, noop, nil
+	case "ring":
+		capacity := spec.RingCapacity
+		if capacity <= 0 {
+			capacity = 4096
+		}
+		return dist.NewRing[T](shards, capacity), noop, nil
+	case "socket":
+		addrs := spec.Addrs
+		var cluster *wire.Cluster
+		if len(addrs) == 0 {
+			machines := spec.Machines
+			if machines <= 0 {
+				machines = 2
+			}
+			if machines > shards {
+				machines = shards
+			}
+			var err error
+			if cluster, err = wire.Spawn(machines); err != nil {
+				return nil, noop, err
+			}
+			addrs = cluster.Addrs()
+		}
+		sock, err := wire.DialSocket(c, payload, addrs, shards)
+		if err != nil {
+			if cluster != nil {
+				cluster.Close()
+			}
+			return nil, noop, err
+		}
+		return sock, func() {
+			sock.Close()
+			if cluster != nil {
+				cluster.Close()
+			}
+		}, nil
+	default:
+		return nil, noop, fmt.Errorf("core: unknown transport kind %q", spec.Kind)
+	}
+}

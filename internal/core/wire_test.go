@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randState draws a random sorted sparse state, sometimes empty, with
+// adversarial float values (zero, subnormal, huge, negative) mixed in.
+func randState(r *rng.RNG) State {
+	n := r.Intn(9)
+	if n == 0 {
+		return nil
+	}
+	s := make(State, 0, n)
+	id := uint64(0)
+	for i := 0; i < n; i++ {
+		id += 1 + uint64(r.Intn(1<<20))
+		var v float64
+		switch r.Intn(5) {
+		case 0:
+			v = 0
+		case 1:
+			v = -r.Float64()
+		case 2:
+			v = r.Float64() * 1e300
+		case 3:
+			v = math.Float64frombits(uint64(r.Intn(1 << 10))) // subnormals
+		default:
+			v = r.Float64()
+		}
+		s = append(s, Entry{ID: id, Val: v})
+	}
+	return s
+}
+
+func statesEqual(a, b State) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// Bit comparison: the wire must preserve -0, subnormals, everything.
+		if a[i].ID != b[i].ID || math.Float64bits(a[i].Val) != math.Float64bits(b[i].Val) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestProtoCodecRoundTrip(t *testing.T) {
+	r := rng.New(41)
+	c := protoCodec{}
+	for i := 0; i < 2000; i++ {
+		m := protoMsg{
+			kind:  msgKind(r.Intn(3)),
+			round: int32(r.Intn(1 << 30)),
+			state: randState(r),
+		}
+		enc := c.Append(nil, m)
+		got, k, err := c.Decode(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if k != len(enc) {
+			t.Fatalf("consumed %d of %d bytes", k, len(enc))
+		}
+		if got.kind != m.kind || got.round != m.round || !statesEqual(got.state, m.state) {
+			t.Fatalf("round trip mismatch: %+v != %+v", got, m)
+		}
+	}
+}
+
+func TestGossipCodecRoundTrip(t *testing.T) {
+	r := rng.New(43)
+	c := gossipCodec{}
+	for i := 0; i < 2000; i++ {
+		m := gossipMsg{state: randState(r), weight: r.Float64() * 2}
+		enc := c.Append(nil, m)
+		got, k, err := c.Decode(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if k != len(enc) {
+			t.Fatalf("consumed %d of %d bytes", k, len(enc))
+		}
+		if math.Float64bits(got.weight) != math.Float64bits(m.weight) || !statesEqual(got.state, m.state) {
+			t.Fatalf("round trip mismatch: %+v != %+v", got, m)
+		}
+	}
+}
+
+// TestCodecFrameBoundarySafety pins the self-delimiting property the wire
+// framing relies on: decoding a concatenation of encodings consumes exactly
+// the first one, so messages never bleed into each other inside a frame.
+func TestCodecFrameBoundarySafety(t *testing.T) {
+	r := rng.New(47)
+	c := protoCodec{}
+	for i := 0; i < 500; i++ {
+		m1 := protoMsg{kind: msgAccept, round: int32(r.Intn(100)), state: randState(r)}
+		m2 := protoMsg{kind: msgState, round: int32(r.Intn(100)), state: randState(r)}
+		e1 := c.Append(nil, m1)
+		joined := c.Append(bytes.Clone(e1), m2)
+		got, k, err := c.Decode(joined)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if k != len(e1) {
+			t.Fatalf("consumed %d bytes, first encoding is %d", k, len(e1))
+		}
+		if got.round != m1.round || !statesEqual(got.state, m1.state) {
+			t.Fatal("first value corrupted by concatenation")
+		}
+		rest, k2, err := c.Decode(joined[k:])
+		if err != nil || k2 != len(joined)-k {
+			t.Fatalf("second decode: %v (consumed %d of %d)", err, k2, len(joined)-k)
+		}
+		if rest.round != m2.round || !statesEqual(rest.state, m2.state) {
+			t.Fatal("second value corrupted by concatenation")
+		}
+	}
+}
+
+// TestCodecRejectsCorruptInput: truncations and inflated counts must come
+// back as errors, not panics or giant allocations.
+func TestCodecRejectsCorruptInput(t *testing.T) {
+	c := protoCodec{}
+	m := protoMsg{kind: msgAccept, round: 7, state: State{{ID: 3, Val: 1.5}, {ID: 9, Val: -2}}}
+	enc := c.Append(nil, m)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := c.Decode(enc[:cut]); err == nil && cut < len(enc) {
+			// Some prefixes are valid encodings of smaller messages (e.g. a
+			// zero-entry state); they must at least not over-consume.
+			if _, k, _ := c.Decode(enc[:cut]); k > cut {
+				t.Fatalf("cut %d: consumed %d > input", cut, k)
+			}
+		}
+	}
+	// A state count far beyond the buffer must be rejected before allocating.
+	bad := []byte{byte(msgAccept), 0, 0xff, 0xff, 0xff, 0xff, 0x0f}
+	if _, _, err := c.Decode(bad); err == nil {
+		t.Fatal("inflated state count accepted")
+	}
+	if _, _, err := (gossipCodec{}).Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated gossip weight accepted")
+	}
+}

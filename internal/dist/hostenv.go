@@ -1,0 +1,51 @@
+package dist
+
+import (
+	"os"
+	"runtime"
+	"strings"
+)
+
+// HostEnv describes the hardware and runtime configuration a benchmark ran
+// under. The BENCH_*.json baselines embed it so numbers recorded on a 1-CPU
+// shared container are self-identifying: a worker-sweep row with NumCPU == 1
+// measures pool/barrier overhead, not parallel speedup, and readers (and the
+// next re-record) can tell without archaeology.
+type HostEnv struct {
+	// Go is the toolchain and platform, e.g. "go1.24.0 linux/amd64".
+	Go string `json:"go"`
+	// CPU is the processor model from /proc/cpuinfo ("" if unavailable).
+	CPU string `json:"cpu,omitempty"`
+	// NumCPU is the number of logical CPUs usable by the process.
+	NumCPU int `json:"num_cpu"`
+	// GoMaxProcs is the effective GOMAXPROCS at capture time — the worker
+	// count the sweep's top row actually used.
+	GoMaxProcs int `json:"gomaxprocs"`
+}
+
+// CaptureHostEnv records the current process's host environment.
+func CaptureHostEnv() HostEnv {
+	return HostEnv{
+		Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPU:        cpuModel(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
+
+// cpuModel extracts the first "model name" from /proc/cpuinfo; best effort,
+// empty on platforms without it.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}

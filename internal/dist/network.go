@@ -110,7 +110,7 @@ func NewNetwork[T any](n, workers int) *Network[T] {
 	net := &Network[T]{
 		n:         n,
 		workers:   workers,
-		bounds:    make([]int, workers+1),
+		bounds:    Partition(n, workers),
 		shardOf:   make([]int32, n),
 		inbox:     make([][]Envelope[T], n),
 		out:       make([]outbox[T], workers),
@@ -120,9 +120,6 @@ func NewNetwork[T any](n, workers int) *Network[T] {
 		ringSize:  1,
 		counts:    make([][]int32, workers),
 		buckets:   make([][][]Staged[T], workers),
-	}
-	for w := 0; w <= workers; w++ {
-		net.bounds[w] = w * n / workers
 	}
 	for w := 0; w < workers; w++ {
 		for v := net.bounds[w]; v < net.bounds[w+1]; v++ {

@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition returns the contiguous shard bounds the runtime uses for every
+// sharded structure: shard i owns the index range [bounds[i], bounds[i+1]),
+// with len(bounds) == shards+1, bounds[0] == 0 and bounds[shards] == n.
+// Sizes differ by at most one, and no shard is empty when shards <= n. The
+// network partitions nodes across workers with exactly this rule, so
+// external shardings built from Partition line up with its ownership map.
+func Partition(n, shards int) []int {
+	if n < 0 || shards < 1 {
+		panic(fmt.Sprintf("dist: Partition(%d, %d)", n, shards))
+	}
+	bounds := make([]int, shards+1)
+	for i := 0; i <= shards; i++ {
+		bounds[i] = i * n / shards
+	}
+	return bounds
+}
+
+// MachineMap assigns the worker pool's delivery shards to machine shards:
+// the runtime's unit of parallel delivery is the destination worker shard
+// (Transport.Flush is called once per worker shard per barrier), while a
+// multi-process deployment is sized in machines — OS processes that each
+// host a contiguous group of worker shards. Decoupling the two lets M
+// machines × W workers compose: the same (n, W) network, with its
+// bit-identical transcript, can be served by any machine count 1 <= M <= W,
+// and a wire transport uses MachineOf to route each shard's traffic to the
+// process that owns it.
+//
+// The grouping is the same balanced contiguous rule as Partition, so machine
+// boundaries always align with worker-shard boundaries (never splitting a
+// shard across processes).
+type MachineMap struct {
+	// bounds[m]..bounds[m+1] is the worker-shard range owned by machine m.
+	bounds []int
+}
+
+// NewMachineMap distributes the given number of worker shards over the given
+// number of machines. machines is clamped to shards so no machine owns an
+// empty shard range.
+func NewMachineMap(machines, shards int) MachineMap {
+	if machines < 1 || shards < 1 {
+		panic(fmt.Sprintf("dist: NewMachineMap(%d, %d)", machines, shards))
+	}
+	if machines > shards {
+		machines = shards
+	}
+	return MachineMap{bounds: Partition(shards, machines)}
+}
+
+// Machines returns the effective machine count after clamping.
+func (m MachineMap) Machines() int { return len(m.bounds) - 1 }
+
+// Shards returns the worker-shard count the map distributes.
+func (m MachineMap) Shards() int { return m.bounds[len(m.bounds)-1] }
+
+// MachineOf returns the machine that owns the given worker shard.
+func (m MachineMap) MachineOf(shard int) int {
+	if shard < 0 || shard >= m.Shards() {
+		panic(fmt.Sprintf("dist: MachineOf(%d) outside [0, %d)", shard, m.Shards()))
+	}
+	return sort.SearchInts(m.bounds, shard+1) - 1
+}
+
+// ShardRange returns the contiguous worker-shard range [lo, hi) owned by the
+// given machine.
+func (m MachineMap) ShardRange(machine int) (lo, hi int) {
+	if machine < 0 || machine >= m.Machines() {
+		panic(fmt.Sprintf("dist: ShardRange(%d) outside [0, %d)", machine, m.Machines()))
+	}
+	return m.bounds[machine], m.bounds[machine+1]
+}

@@ -1,0 +1,100 @@
+package dist
+
+import "testing"
+
+func TestPartitionProperties(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{0, 1}, {1, 1}, {5, 3}, {7, 7}, {257, 4}, {1000, 7}, {3, 8},
+	} {
+		b := Partition(tc.n, tc.shards)
+		if len(b) != tc.shards+1 || b[0] != 0 || b[tc.shards] != tc.n {
+			t.Fatalf("Partition(%d, %d) = %v: bad frame", tc.n, tc.shards, b)
+		}
+		for i := 0; i < tc.shards; i++ {
+			size := b[i+1] - b[i]
+			if size < 0 {
+				t.Fatalf("Partition(%d, %d): shard %d has negative size", tc.n, tc.shards, i)
+			}
+			if tc.shards <= tc.n && size == 0 {
+				t.Fatalf("Partition(%d, %d): shard %d empty", tc.n, tc.shards, i)
+			}
+			if min := tc.n / tc.shards; size != min && size != min+1 {
+				t.Fatalf("Partition(%d, %d): shard %d size %d not balanced", tc.n, tc.shards, i, size)
+			}
+		}
+	}
+}
+
+func TestPartitionMatchesNetworkBounds(t *testing.T) {
+	// External shardings built from Partition must line up with the
+	// network's ownership map — that is what lets a wire transport reason
+	// about which nodes a destination shard holds.
+	net := NewNetwork[int](257, 5)
+	defer net.Close()
+	bounds := Partition(257, 5)
+	for v := 0; v < 257; v++ {
+		w := net.ShardOf(v)
+		if v < bounds[w] || v >= bounds[w+1] {
+			t.Fatalf("node %d: ShardOf %d but Partition bounds %v", v, w, bounds)
+		}
+	}
+}
+
+func TestMachineMap(t *testing.T) {
+	for _, tc := range []struct{ machines, shards int }{
+		{1, 1}, {1, 8}, {2, 8}, {3, 8}, {8, 8}, {5, 3}, // 5,3 clamps to 3
+	} {
+		m := NewMachineMap(tc.machines, tc.shards)
+		wantM := tc.machines
+		if wantM > tc.shards {
+			wantM = tc.shards
+		}
+		if m.Machines() != wantM || m.Shards() != tc.shards {
+			t.Fatalf("NewMachineMap(%d, %d): got %d machines, %d shards",
+				tc.machines, tc.shards, m.Machines(), m.Shards())
+		}
+		// Every shard maps to exactly the machine whose range contains it,
+		// and the ranges tile [0, shards) contiguously.
+		next := 0
+		for mc := 0; mc < m.Machines(); mc++ {
+			lo, hi := m.ShardRange(mc)
+			if lo != next || hi <= lo {
+				t.Fatalf("machines=%d shards=%d: machine %d range [%d,%d) not contiguous",
+					tc.machines, tc.shards, mc, lo, hi)
+			}
+			next = hi
+			for s := lo; s < hi; s++ {
+				if got := m.MachineOf(s); got != mc {
+					t.Fatalf("machines=%d shards=%d: MachineOf(%d) = %d, want %d",
+						tc.machines, tc.shards, s, got, mc)
+				}
+			}
+		}
+		if next != tc.shards {
+			t.Fatalf("machines=%d shards=%d: ranges cover %d shards", tc.machines, tc.shards, next)
+		}
+	}
+}
+
+func TestMachineMapValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 4}, {4, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMachineMap(%d, %d) should panic", bad[0], bad[1])
+				}
+			}()
+			NewMachineMap(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestCaptureHostEnv(t *testing.T) {
+	env := CaptureHostEnv()
+	if env.NumCPU < 1 || env.GoMaxProcs < 1 {
+		t.Fatalf("implausible host env: %+v", env)
+	}
+	if env.Go == "" {
+		t.Fatal("empty Go version")
+	}
+}

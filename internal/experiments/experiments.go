@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // Config controls experiment scale and reproducibility.
@@ -22,6 +24,11 @@ type Config struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Transport selects the delivery transport for every experiment that
+	// runs on the dist runtime (currently F9). Every table is bit-identical
+	// across transports — that is the Transport seam's contract — so this
+	// exists to demonstrate it, not to change results.
+	Transport core.TransportSpec
 }
 
 func (c Config) scale() float64 {

@@ -36,7 +36,7 @@ func F9AsyncGossip(cfg Config) (*Table, error) {
 
 	// Synchronous run on the message substrate (bit-identical to the
 	// sequential engine, with network accounting for free).
-	sync, err := core.ClusterDistributed(p.G, params, core.DistOptions{})
+	sync, err := core.ClusterDistributed(p.G, params, core.DistOptions{Transport: cfg.Transport})
 	if err != nil {
 		return nil, err
 	}
@@ -58,6 +58,7 @@ func F9AsyncGossip(cfg Config) (*Table, error) {
 	async, err := core.ClusterAsyncGossip(p.G, params, core.AsyncOptions{
 		Ticks:     2 * events,
 		ClockSeed: cfg.Seed + 9,
+		Transport: cfg.Transport,
 	})
 	if err != nil {
 		return nil, err

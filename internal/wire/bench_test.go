@@ -1,0 +1,67 @@
+package wire_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/wire"
+)
+
+// BenchmarkSocketFlush measures one barrier's wire round-trip for a single
+// destination shard — encode, frame, cross into the worker process, decode
+// + re-encode there, cross back, decode — as a function of batch size.
+// Compare against BenchmarkRingFlush on the same batches to price the
+// process boundary itself (syscalls + codec) over the loopback copy.
+func BenchmarkSocketFlush(b *testing.B) {
+	cluster, err := wire.Spawn(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	for _, msgs := range []int{16, 1024, 16384} {
+		b.Run(fmt.Sprintf("msgs=%d", msgs), func(b *testing.B) {
+			sock, err := wire.DialSocket(wire.Uint64Codec{}, "wire.uint64", cluster.Addrs(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sock.Close()
+			buckets := makeBuckets(4, msgs/4)
+			b.SetBytes(int64(msgs))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sock.Flush(0, buckets)
+			}
+			b.ReportMetric(float64(msgs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmsgs/s")
+		})
+	}
+}
+
+// BenchmarkRingFlush is the loopback baseline for BenchmarkSocketFlush.
+func BenchmarkRingFlush(b *testing.B) {
+	for _, msgs := range []int{16, 1024, 16384} {
+		b.Run(fmt.Sprintf("msgs=%d", msgs), func(b *testing.B) {
+			ring := dist.NewRing[uint64](1, 4096)
+			buckets := makeBuckets(4, msgs/4)
+			b.SetBytes(int64(msgs))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ring.Flush(0, buckets)
+			}
+			b.ReportMetric(float64(msgs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmsgs/s")
+		})
+	}
+}
+
+func makeBuckets(nb, per int) [][]dist.Staged[uint64] {
+	buckets := make([][]dist.Staged[uint64], nb)
+	for i := range buckets {
+		for j := 0; j < per; j++ {
+			buckets[i] = append(buckets[i], dist.Staged[uint64]{
+				To:  j,
+				Env: dist.Envelope[uint64]{From: i*per + j, Body: uint64(i)<<32 | uint64(j)},
+			})
+		}
+	}
+	return buckets
+}

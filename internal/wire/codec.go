@@ -1,0 +1,152 @@
+// Package wire carries the dist runtime's delivery across real process
+// boundaries: a compact binary codec with a payload registry, a length-
+// prefixed frame protocol for staged-bucket batches, a Socket transport
+// implementing dist.Transport over unix-domain sockets (or TCP), and a
+// worker daemon that serves a machine shard's side of the wire from another
+// OS process.
+//
+// The division of labour with dist: the Transport seam (dist/transport.go)
+// defines WHAT must cross the barrier — every staged bucket, exactly once,
+// partition- and order-preserving, per-shard concurrency-safe — and this
+// package defines HOW it crosses when the far side does not share the
+// coordinator's address space. Because the codec is exact (fixed-width
+// floats, varint integers, no reflection or text formatting on the hot
+// path), a run over sockets is bit-identical to the in-process transport;
+// the transcript-equality tests in this package pin that for real
+// multi-process clusters.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Codec serialises one payload type T. Implementations must be exact
+// (decode(encode(v)) == v for every value, bit-for-bit) and self-delimiting
+// (Decode knows where the encoding ends without out-of-band length), and
+// must be safe for concurrent use — one instance is shared by all shard
+// connections.
+type Codec[T any] interface {
+	// Append appends the encoding of v to buf and returns the extended
+	// slice.
+	Append(buf []byte, v T) []byte
+	// Decode reads one value from the front of data, returning the value
+	// and the number of bytes consumed. Malformed input must return an
+	// error, never panic — frames cross a trust boundary.
+	Decode(data []byte) (T, int, error)
+}
+
+// IntCodec encodes int payloads as zigzag varints.
+type IntCodec struct{}
+
+// Append implements Codec.
+func (IntCodec) Append(buf []byte, v int) []byte {
+	return binary.AppendVarint(buf, int64(v))
+}
+
+// Decode implements Codec.
+func (IntCodec) Decode(data []byte) (int, int, error) {
+	v, k := binary.Varint(data)
+	if k <= 0 {
+		return 0, 0, fmt.Errorf("wire: truncated int payload")
+	}
+	return int(v), k, nil
+}
+
+// Uint64Codec encodes uint64 payloads as varints.
+type Uint64Codec struct{}
+
+// Append implements Codec.
+func (Uint64Codec) Append(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// Decode implements Codec.
+func (Uint64Codec) Decode(data []byte) (uint64, int, error) {
+	v, k := binary.Uvarint(data)
+	if k <= 0 {
+		return 0, 0, fmt.Errorf("wire: truncated uint64 payload")
+	}
+	return v, k, nil
+}
+
+// RelayFunc is the type-erased far side of one payload type: it decodes a
+// staged-bucket frame body, materialises every message, and re-encodes the
+// batch onto dst. A RelayFunc is stateful (it reuses decode scratch across
+// calls) and must only be used from one goroutine; get a fresh one per
+// connection from NewRelay.
+type RelayFunc func(dst, src []byte) ([]byte, error)
+
+// payloadEntry is one registered payload type. The registry is type-erased:
+// the daemon side of the wire picks codecs by handshake name at runtime, so
+// a worker process can serve any payload its binary registered without the
+// generic type appearing in its serve loop.
+type payloadEntry struct {
+	newRelay func() RelayFunc
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]payloadEntry{}
+)
+
+// Register associates a payload name with its codec. The name travels in
+// the connection handshake, so coordinator and worker binaries must
+// register the same (name, codec) pair — importing the package that calls
+// Register is enough, which is how core's message types serialise without
+// reflection on the hot path. Register panics on empty or duplicate names;
+// call it from init.
+func Register[T any](name string, c Codec[T]) {
+	if name == "" {
+		panic("wire: Register with empty payload name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("wire: payload %q registered twice", name))
+	}
+	registry[name] = payloadEntry{newRelay: func() RelayFunc {
+		var scratch bucketScratch[T]
+		return func(dst, src []byte) ([]byte, error) {
+			buckets, err := decodeBuckets(c, src, &scratch)
+			if err != nil {
+				return nil, err
+			}
+			return appendBuckets(c, dst, buckets), nil
+		}
+	}}
+}
+
+// NewRelay returns a fresh relay for the named payload, or false if the
+// name is not registered (the binary on this side never imported the
+// package that defines it).
+func NewRelay(name string) (RelayFunc, bool) {
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return e.newRelay(), true
+}
+
+// Payloads returns the sorted names of all registered payload types.
+func Payloads() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin payloads for the primitive message types the dist tests and
+// benchmarks use.
+func init() {
+	Register("wire.int", IntCodec{})
+	Register("wire.uint64", Uint64Codec{})
+}

@@ -1,0 +1,174 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+func TestIntCodecRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	c := wire.IntCodec{}
+	vals := []int{0, 1, -1, 63, 64, -64, -65, math.MaxInt32, math.MinInt32, math.MaxInt64, math.MinInt64}
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, int(r.Uint64()))
+	}
+	for _, v := range vals {
+		enc := c.Append(nil, v)
+		got, k, err := c.Decode(enc)
+		if err != nil || got != v || k != len(enc) {
+			t.Fatalf("round trip %d: got %d, consumed %d/%d, err %v", v, got, k, len(enc), err)
+		}
+		// Frame-boundary safety: decoding a concatenation consumes exactly
+		// the first encoding.
+		joined := c.Append(bytes.Clone(enc), v+1)
+		if _, k, err := c.Decode(joined); err != nil || k != len(enc) {
+			t.Fatalf("concat decode of %d consumed %d, want %d (err %v)", v, k, len(enc), err)
+		}
+	}
+	if _, _, err := c.Decode(nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}
+
+func TestUint64CodecRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	c := wire.Uint64Codec{}
+	vals := []uint64{0, 1, 127, 128, math.MaxUint64}
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, r.Uint64())
+	}
+	for _, v := range vals {
+		enc := c.Append(nil, v)
+		got, k, err := c.Decode(enc)
+		if err != nil || got != v || k != len(enc) {
+			t.Fatalf("round trip %d: got %d, consumed %d/%d, err %v", v, got, k, len(enc), err)
+		}
+	}
+}
+
+// intBatch hand-assembles a staged-bucket batch body for the wire.int
+// payload, following the documented frame spec — an independent encoder, so
+// the test fails if the implementation drifts from the spec.
+func intBatch(buckets [][][3]int) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(buckets)))
+	for _, b := range buckets {
+		buf = binary.AppendUvarint(buf, uint64(len(b)))
+		for _, m := range b {
+			buf = binary.AppendUvarint(buf, uint64(m[0])) // To
+			buf = binary.AppendUvarint(buf, uint64(m[1])) // From
+			buf = binary.AppendVarint(buf, int64(m[2]))   // body, zigzag
+		}
+	}
+	return buf
+}
+
+// TestRelayRoundTripsEveryRegisteredPayload: for every payload type in the
+// registry, relaying a structurally valid batch succeeds and is idempotent
+// (relay(relay(x)) == relay(x)) — the property the worker daemon's serve
+// loop depends on. Batches of int messages decode under every registered
+// codec only by accident, so non-int payloads are exercised through the
+// always-valid empty batch plus idempotence on whatever else decodes.
+func TestRelayRoundTripsEveryRegisteredPayload(t *testing.T) {
+	names := wire.Payloads()
+	if len(names) < 4 {
+		// wire.int, wire.uint64 (builtin) + core.proto, core.gossip
+		// (registered by importing core in this test binary).
+		t.Fatalf("registry has %v — expected builtins plus core payloads", names)
+	}
+	empty := intBatch([][][3]int{{}, {}, {}})
+	valid := intBatch([][][3]int{
+		{{0, 1, 42}, {3, 1, -7}},
+		{},
+		{{250, 199, 1 << 40}},
+	})
+	for _, name := range names {
+		relay, ok := wire.NewRelay(name)
+		if !ok {
+			t.Fatalf("registered payload %q has no relay", name)
+		}
+		out, err := relay(nil, empty)
+		if err != nil {
+			t.Errorf("%s: empty batch rejected: %v", name, err)
+			continue
+		}
+		again, err := relay(nil, out)
+		if err != nil || !bytes.Equal(out, again) {
+			t.Errorf("%s: relay not idempotent on empty batch (err %v)", name, err)
+		}
+		if out2, err := relay(nil, valid); err == nil {
+			again, err := relay(nil, out2)
+			if err != nil || !bytes.Equal(out2, again) {
+				t.Errorf("%s: relay not idempotent (err %v)", name, err)
+			}
+		}
+	}
+	// For the int payload the valid batch must round-trip exactly: the
+	// hand-assembled encoding is already canonical.
+	relay, _ := wire.NewRelay("wire.int")
+	out, err := relay(nil, valid)
+	if err != nil || !bytes.Equal(out, valid) {
+		t.Errorf("wire.int relay altered a canonical batch (err %v)", err)
+	}
+}
+
+func TestRelayRejectsCorruptBatches(t *testing.T) {
+	relay, _ := wire.NewRelay("wire.int")
+	bad := [][]byte{
+		{},                             // no bucket count
+		{0xff, 0xff, 0xff, 0xff, 0x7f}, // inflated bucket count
+		binary.AppendUvarint(nil, 2),   // bucket count without buckets
+		append(binary.AppendUvarint(binary.AppendUvarint(nil, 1), 3), 1), // count 3, one truncated message
+		append(intBatch([][][3]int{{{1, 2, 3}}}), 0x9),                   // trailing bytes
+	}
+	for i, data := range bad {
+		if _, err := relay(nil, data); err == nil {
+			t.Errorf("corrupt batch %d accepted", i)
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	for _, name := range []string{"", "wire.int"} { // empty and duplicate
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) should panic", name)
+				}
+			}()
+			wire.Register(name, wire.IntCodec{})
+		}()
+	}
+}
+
+// FuzzFrameRelay throws arbitrary bytes at every registered payload's
+// relay: it must never panic, and whenever it accepts an input, its output
+// must be a fixed point (the daemon may serve a re-encoded batch, so
+// re-encoding must be stable).
+func FuzzFrameRelay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(intBatch([][][3]int{{}, {}}))
+	f.Add(intBatch([][][3]int{{{0, 1, 42}}, {{3, 2, -9}, {4, 2, 0}}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, name := range wire.Payloads() {
+			relay, _ := wire.NewRelay(name)
+			out, err := relay(nil, data)
+			if err != nil {
+				continue
+			}
+			again, err := relay(nil, out)
+			if err != nil {
+				t.Fatalf("%s: accepted input but rejected own output: %v", name, err)
+			}
+			if !bytes.Equal(out, again) {
+				t.Fatalf("%s: relay output is not a fixed point", name)
+			}
+		}
+	})
+}

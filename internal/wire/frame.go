@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/dist"
+)
+
+// Frame protocol: every message on a wire connection is a frame — a 4-byte
+// little-endian length followed by that many body bytes. The first frame in
+// each direction is the handshake (see serve.go); every following exchange
+// is one staged-bucket batch per barrier, request and response.
+//
+// A batch body is:
+//
+//	uvarint bucketCount
+//	per bucket:  uvarint msgCount
+//	per message: uvarint To | uvarint From | payload (codec-delimited)
+//
+// The encoding preserves exactly the structure the Transport contract
+// demands: the bucket partition (bucket i of the response holds the
+// messages of bucket i of the request) and the message order within each
+// bucket. There is no per-message framing beyond the codec itself — the
+// boundary-safety property (a codec consumes exactly its own bytes) is what
+// the codec fuzz tests pin.
+
+// maxFrame bounds a frame body: 1 GiB is far beyond any real barrier batch
+// and keeps a corrupt length prefix from looking like an allocation demand.
+const maxFrame = 1 << 30
+
+// appendFrame appends a length-prefixed frame containing body to buf.
+func appendFrame(buf, body []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	return append(buf, body...)
+}
+
+// writeFrame writes one frame. The header and body go out in a single Write
+// so a frame is one syscall on an unbuffered connection.
+func writeFrame(w io.Writer, scratch, body []byte) ([]byte, error) {
+	if len(body) > maxFrame {
+		return scratch, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	scratch = appendFrame(scratch[:0], body)
+	_, err := w.Write(scratch)
+	return scratch, err
+}
+
+// readFrame reads one frame body, reusing buf's capacity.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("wire: frame length %d exceeds limit", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// appendBuckets encodes one staged-bucket batch onto buf.
+func appendBuckets[T any](c Codec[T], buf []byte, buckets [][]dist.Staged[T]) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(buckets)))
+	for _, b := range buckets {
+		buf = binary.AppendUvarint(buf, uint64(len(b)))
+		for _, m := range b {
+			buf = binary.AppendUvarint(buf, uint64(m.To))
+			buf = binary.AppendUvarint(buf, uint64(m.Env.From))
+			buf = c.Append(buf, m.Env.Body)
+		}
+	}
+	return buf
+}
+
+// bucketScratch is the reusable decode arena of one wire endpoint: the
+// outer bucket slice and each bucket's backing array survive across calls,
+// so a steady-state barrier allocates nothing.
+type bucketScratch[T any] struct {
+	buckets [][]dist.Staged[T]
+}
+
+// decodeBuckets decodes a staged-bucket batch, reusing scratch. The
+// returned slices are valid until the next call with the same scratch. All
+// structural errors are returned (never panics): frames cross a process
+// boundary, so corrupt input must fail loudly but safely.
+func decodeBuckets[T any](c Codec[T], data []byte, scratch *bucketScratch[T]) ([][]dist.Staged[T], error) {
+	nb, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("wire: truncated bucket count")
+	}
+	data = data[k:]
+	// Every bucket costs at least one count byte, so a bucket count beyond
+	// the remaining bytes is corrupt — reject before allocating.
+	if nb > uint64(len(data))+1 {
+		return nil, fmt.Errorf("wire: bucket count %d exceeds frame", nb)
+	}
+	for uint64(len(scratch.buckets)) < nb {
+		scratch.buckets = append(scratch.buckets, nil)
+	}
+	out := scratch.buckets[:nb]
+	for i := range out {
+		cnt, k := binary.Uvarint(data)
+		if k <= 0 {
+			return nil, fmt.Errorf("wire: truncated count for bucket %d", i)
+		}
+		data = data[k:]
+		// A message is at least two varint bytes plus payload; bound the
+		// allocation by what the frame can actually hold.
+		if cnt > uint64(len(data)/2)+1 {
+			return nil, fmt.Errorf("wire: message count %d exceeds frame", cnt)
+		}
+		b := out[i][:0]
+		for j := uint64(0); j < cnt; j++ {
+			to, k := binary.Uvarint(data)
+			if k <= 0 {
+				return nil, fmt.Errorf("wire: truncated To in bucket %d", i)
+			}
+			data = data[k:]
+			from, k := binary.Uvarint(data)
+			if k <= 0 {
+				return nil, fmt.Errorf("wire: truncated From in bucket %d", i)
+			}
+			data = data[k:]
+			body, k, err := c.Decode(data)
+			if err != nil {
+				return nil, fmt.Errorf("wire: bucket %d message %d: %w", i, j, err)
+			}
+			if k < 0 || k > len(data) {
+				return nil, fmt.Errorf("wire: codec consumed %d of %d bytes", k, len(data))
+			}
+			data = data[k:]
+			b = append(b, dist.Staged[T]{To: int(to), Env: dist.Envelope[T]{From: int(from), Body: body}})
+		}
+		out[i] = b
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after batch", len(data))
+	}
+	return out, nil
+}

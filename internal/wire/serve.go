@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// Connection handshake: the dialer's first frame identifies what the
+// connection will carry —
+//
+//	uvarint shard | payload name (rest of the frame)
+//
+// — and the server answers one status frame: 0x00 for accepted, or 0x01
+// followed by an error message (unknown payload name, i.e. the worker
+// binary never registered it). The shard index is diagnostic: it names the
+// destination worker shard this connection serves, which makes one-shard-
+// per-connection the unit of concurrency on both sides.
+const (
+	handshakeOK  = 0x00
+	handshakeErr = 0x01
+	// handshakeTimeout bounds the handshake round-trip, so dialing a
+	// process that is not actually a wire worker fails with a clear error
+	// instead of hanging.
+	handshakeTimeout = 10 * time.Second
+)
+
+// Listen opens a listener for the given wire address. Addresses name their
+// network with a scheme prefix — "unix:/path/to.sock" or
+// "tcp:host:port" — and a bare path containing a slash is taken as a unix
+// socket path.
+func Listen(addr string) (net.Listener, error) {
+	network, target, err := splitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.Listen(network, target)
+}
+
+// splitAddr parses the scheme convention shared by Listen and the dialer.
+func splitAddr(addr string) (network, target string, err error) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", addr[len("unix:"):], nil
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", addr[len("tcp:"):], nil
+	case strings.Contains(addr, "/"):
+		return "unix", addr, nil
+	default:
+		return "", "", fmt.Errorf("wire: address %q needs a unix: or tcp: scheme", addr)
+	}
+}
+
+// Serve accepts wire connections until the listener closes and serves each
+// in its own goroutine: handshake, then one relay round per frame — decode
+// the staged-bucket batch with the registered codec, re-encode it, send it
+// back. This process is the far side of the Transport seam for every shard
+// that dials it: messages bound for its machine genuinely leave the
+// coordinator's address space, are materialised here, and the coordinator
+// only ever delivers what survived the wire round-trip.
+//
+// Serve returns nil when the listener closes, and the first accept error
+// otherwise.
+func Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go serveConn(conn)
+	}
+}
+
+// serveConn drives one connection; any protocol error closes it (the dialer
+// sees EOF and fails its barrier loudly).
+func serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	relay, err := acceptHandshake(conn, br)
+	if err != nil {
+		return
+	}
+	var in, out, frame []byte
+	for {
+		in, err = readFrame(br, in)
+		if err != nil {
+			return
+		}
+		out, err = relay(out[:0], in)
+		if err != nil {
+			return
+		}
+		if frame, err = writeFrame(conn, frame, out); err != nil {
+			return
+		}
+	}
+}
+
+// acceptHandshake validates the dialer's opening frame and answers it,
+// returning the relay for the connection's payload type.
+func acceptHandshake(conn net.Conn, br *bufio.Reader) (RelayFunc, error) {
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer conn.SetDeadline(time.Time{})
+	body, err := readFrame(br, nil)
+	if err != nil {
+		return nil, err
+	}
+	_, k := binary.Uvarint(body) // shard index, diagnostic only
+	if k <= 0 {
+		return nil, fmt.Errorf("wire: malformed handshake")
+	}
+	name := string(body[k:])
+	relay, ok := NewRelay(name)
+	var status []byte
+	if ok {
+		status = []byte{handshakeOK}
+	} else {
+		status = append([]byte{handshakeErr},
+			fmt.Sprintf("payload %q not registered in worker (known: %s)",
+				name, strings.Join(Payloads(), ", "))...)
+	}
+	if _, err := writeFrame(conn, nil, status); err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown payload %q", name)
+	}
+	return relay, nil
+}

@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// Socket is a dist.Transport whose far side lives in other OS processes:
+// at every barrier, each destination shard's staged buckets are encoded,
+// framed onto that shard's dedicated connection to the worker process
+// owning its machine shard, decoded and re-encoded over there, and read
+// back for delivery. The coordinator keeps the authoritative node state —
+// what crosses the wire is exactly the per-barrier message traffic, which
+// is the paper's unit of communication accounting.
+//
+// The Transport determinism contract holds structurally: one synchronous
+// request/response per shard per barrier gives exactly-once; the batch
+// encoding preserves the bucket partition and intra-bucket order; each
+// destination shard owns a private connection and scratch, so concurrent
+// Flush calls for distinct shards never share state; and the decoded
+// buckets stay valid until the shard's next Flush. A wire or codec failure
+// mid-run is unrecoverable for the barrier, so Flush panics with context
+// (the dist pool surfaces the panic on the driving goroutine).
+type Socket[T any] struct {
+	codec  Codec[T]
+	shards []socketShard[T]
+}
+
+// socketShard is one destination worker shard's private endpoint.
+type socketShard[T any] struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	enc     []byte // encode scratch (frame header + body)
+	in      []byte // response frame scratch
+	scratch bucketScratch[T]
+}
+
+// DialSocket connects a Socket transport for the given worker-shard count:
+// addrs lists one wire address per machine process (see Listen for the
+// scheme convention), worker shards are assigned to machines by
+// dist.NewMachineMap, and every shard dials its machine once. payload
+// names the registered codec on both sides of the handshake. On error,
+// any connections already made are closed.
+func DialSocket[T any](codec Codec[T], payload string, addrs []string, shards int) (*Socket[T], error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("wire: DialSocket with no machine addresses")
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("wire: DialSocket with %d shards", shards)
+	}
+	mm := dist.NewMachineMap(len(addrs), shards)
+	s := &Socket[T]{codec: codec, shards: make([]socketShard[T], shards)}
+	for shard := 0; shard < shards; shard++ {
+		conn, err := dialShard(addrs[mm.MachineOf(shard)], payload, shard)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.shards[shard] = socketShard[T]{conn: conn, br: bufio.NewReaderSize(conn, 1<<16)}
+	}
+	return s, nil
+}
+
+// dialShard opens and handshakes one shard connection, retrying the dial
+// briefly so externally started daemons may still be coming up.
+func dialShard(addr, payload string, shard int) (net.Conn, error) {
+	network, target, err := splitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	var conn net.Conn
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err = net.Dial(network, target)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("wire: dial %s for shard %d: %w", addr, shard, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := handshake(conn, payload, shard); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: handshake with %s for shard %d: %w", addr, shard, err)
+	}
+	return conn, nil
+}
+
+// handshake performs the dialer's side of the connection handshake.
+func handshake(conn net.Conn, payload string, shard int) error {
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer conn.SetDeadline(time.Time{})
+	body := binary.AppendUvarint(nil, uint64(shard))
+	body = append(body, payload...)
+	if _, err := writeFrame(conn, nil, body); err != nil {
+		return err
+	}
+	status, err := readFrame(conn, nil)
+	if err != nil {
+		return fmt.Errorf("no handshake reply (is the far side a wire worker? %w)", err)
+	}
+	if len(status) < 1 || status[0] != handshakeOK {
+		if len(status) > 1 {
+			return fmt.Errorf("rejected: %s", status[1:])
+		}
+		return fmt.Errorf("rejected")
+	}
+	return nil
+}
+
+// flushTimeout bounds one barrier round-trip per shard. Real batches
+// complete in microseconds to milliseconds; the deadline exists so a
+// wedged (stopped, not dead) worker process turns into a loud panic on the
+// coordinator instead of a silent barrier hang — the same fail-loudly
+// policy as every other wire failure mode.
+const flushTimeout = 60 * time.Second
+
+// Flush implements dist.Transport: it round-trips the staged buckets
+// through the destination shard's worker process.
+func (s *Socket[T]) Flush(dst int, buckets [][]dist.Staged[T]) [][]dist.Staged[T] {
+	sh := &s.shards[dst]
+	sh.conn.SetDeadline(time.Now().Add(flushTimeout))
+	// Encode the batch directly after a reserved frame header, so request
+	// framing costs no copy and the frame goes out in one Write.
+	enc := append(sh.enc[:0], 0, 0, 0, 0)
+	enc = appendBuckets(s.codec, enc, buckets)
+	sh.enc = enc
+	if len(enc)-4 > maxFrame {
+		panic(fmt.Sprintf("wire: shard %d batch of %d bytes exceeds frame limit", dst, len(enc)-4))
+	}
+	binary.LittleEndian.PutUint32(enc[:4], uint32(len(enc)-4))
+	if _, err := sh.conn.Write(enc); err != nil {
+		panic(fmt.Sprintf("wire: shard %d send: %v", dst, err))
+	}
+	in, err := readFrame(sh.br, sh.in)
+	if err != nil {
+		panic(fmt.Sprintf("wire: shard %d receive: %v", dst, err))
+	}
+	sh.in = in
+	out, err := decodeBuckets(s.codec, in, &sh.scratch)
+	if err != nil {
+		panic(fmt.Sprintf("wire: shard %d decode: %v", dst, err))
+	}
+	if len(out) != len(buckets) {
+		panic(fmt.Sprintf("wire: shard %d returned %d buckets for %d", dst, len(out), len(buckets)))
+	}
+	return out
+}
+
+// Close closes every shard connection. The transport must not be flushed
+// afterwards.
+func (s *Socket[T]) Close() {
+	for i := range s.shards {
+		if s.shards[i].conn != nil {
+			s.shards[i].conn.Close()
+		}
+	}
+}

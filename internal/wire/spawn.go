@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// workerEnv marks a process as a spawned wire worker. Its value is
+// informational (the machine index); presence is what matters.
+const workerEnv = "LBWIRE_WORKER"
+
+// ServeIfWorker is the re-exec hook for worker daemon mode: a binary that
+// may host spawned machine shards must call it first thing in main. In a
+// normal process it returns immediately; in a process spawned by Spawn it
+// never returns — it serves the wire listener inherited on fd 3 until its
+// parent closes the stdin pipe or kills it, then exits. Spawning re-execs
+// the current binary, so one executable (a CLI, an example, even a test
+// binary whose TestMain calls this) plays both coordinator and worker.
+func ServeIfWorker() {
+	if os.Getenv(workerEnv) == "" {
+		return
+	}
+	ln, err := net.FileListener(os.NewFile(3, "wire-listener"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wire worker: inherit listener: %v\n", err)
+		os.Exit(1)
+	}
+	// Exit when the coordinator goes away: the spawner holds our stdin
+	// pipe, so EOF means it closed us deliberately or died. This keeps a
+	// crashed coordinator from leaking daemons.
+	go func() {
+		io.Copy(io.Discard, os.Stdin)
+		os.Exit(0)
+	}()
+	if err := Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "wire worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// Cluster is a set of spawned worker processes, one per machine shard, each
+// serving a unix-socket listener created by the coordinator. Dial a
+// transport onto it with DialSocket(..., c.Addrs(), shards) — any shard
+// count at least the machine count composes, per dist.MachineMap.
+type Cluster struct {
+	dir       string
+	addrs     []string
+	cmds      []*exec.Cmd
+	stdins    []io.Closer
+	listeners []net.Listener
+}
+
+// Spawn starts one worker process per machine shard by re-executing the
+// current binary (which must call ServeIfWorker at the top of main — Spawn
+// fails cleanly, rather than serving garbage, if it does not, because the
+// child then never answers the connection handshake). The coordinator
+// creates each machine's unix listener itself and passes it to the child as
+// an inherited file descriptor, so the cluster is dialable the moment Spawn
+// returns, with no readiness polling.
+func Spawn(machines int) (*Cluster, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("wire: Spawn(%d)", machines)
+	}
+	if os.Getenv(workerEnv) != "" {
+		// A worker must never spawn sub-workers: that means the binary did
+		// not call ServeIfWorker before reaching coordinator code.
+		return nil, fmt.Errorf("wire: recursive Spawn inside a worker process — does main call wire.ServeIfWorker?")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("wire: locate executable: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "lbwire")
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{dir: dir}
+	for m := 0; m < machines; m++ {
+		path := filepath.Join(dir, fmt.Sprintf("m%d.sock", m))
+		ln, err := net.Listen("unix", path)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("wire: listen %s: %w", path, err)
+		}
+		f, err := ln.(*net.UnixListener).File()
+		if err != nil {
+			ln.Close()
+			c.Close()
+			return nil, err
+		}
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%d", workerEnv, m))
+		cmd.ExtraFiles = []*os.File{f}
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err == nil {
+			err = cmd.Start()
+		}
+		f.Close() // the child holds its own dup now
+		if err != nil {
+			ln.Close()
+			c.Close()
+			return nil, fmt.Errorf("wire: spawn machine %d: %w", m, err)
+		}
+		// Keep the coordinator-side listener open but never accept on it:
+		// closing it would unlink the socket path under the child. It is
+		// closed (and the path unlinked) by Cluster.Close.
+		c.listeners = append(c.listeners, ln)
+		c.addrs = append(c.addrs, "unix:"+path)
+		c.cmds = append(c.cmds, cmd)
+		c.stdins = append(c.stdins, stdin)
+	}
+	return c, nil
+}
+
+// Addrs returns the wire address of each machine process, in machine order.
+func (c *Cluster) Addrs() []string { return c.addrs }
+
+// Pids returns the OS process ID of each machine process.
+func (c *Cluster) Pids() []int {
+	pids := make([]int, len(c.cmds))
+	for i, cmd := range c.cmds {
+		pids[i] = cmd.Process.Pid
+	}
+	return pids
+}
+
+// Machines returns the number of worker processes.
+func (c *Cluster) Machines() int { return len(c.cmds) }
+
+// Map returns the machine map for a run with the given worker-shard count.
+func (c *Cluster) Map(shards int) dist.MachineMap {
+	return dist.NewMachineMap(len(c.cmds), shards)
+}
+
+// Close shuts the cluster down: it closes every worker's stdin pipe (the
+// exit signal), waits briefly, kills stragglers, and removes the socket
+// directory. Close is safe to call on a partially constructed cluster.
+func (c *Cluster) Close() {
+	for _, in := range c.stdins {
+		if in != nil {
+			in.Close()
+		}
+	}
+	for _, cmd := range c.cmds {
+		if cmd == nil || cmd.Process == nil {
+			continue
+		}
+		done := make(chan struct{})
+		go func(cmd *exec.Cmd) {
+			cmd.Wait()
+			close(done)
+		}(cmd)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+	for _, ln := range c.listeners {
+		ln.Close()
+	}
+	if c.dir != "" {
+		os.RemoveAll(c.dir)
+	}
+	c.cmds, c.stdins, c.listeners = nil, nil, nil
+}

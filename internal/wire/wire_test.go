@@ -1,0 +1,306 @@
+// Tests for the multi-process socket transport. The test binary is its own
+// worker: TestMain calls wire.ServeIfWorker, so wire.Spawn re-execs this
+// binary and the spawned copies serve machine shards instead of running
+// tests. Everything here therefore exercises REAL OS process boundaries —
+// the pid assertions pin that it is not loopback in disguise.
+package wire_test
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph/gen"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+func TestMain(m *testing.M) {
+	wire.ServeIfWorker()
+	os.Exit(m.Run())
+}
+
+// transcript runs the dist package's fixed gossip workload (mirrored from
+// its transport tests) on a network configured by the caller, returning
+// every delivery observed plus counter totals.
+func transcript(workers int, configure func(net *dist.Network[int])) ([]string, int64, int64, int64) {
+	const n = 257
+	net := dist.NewNetwork[int](n, workers)
+	defer net.Close()
+	if configure != nil {
+		configure(net)
+	}
+	var log []string
+	record := func(v int) {
+		for _, e := range net.Recv(v) {
+			log = append(log, fmt.Sprintf("%d<-%d:%d", v, e.From, e.Body))
+		}
+	}
+	net.Phase(func(v int) {
+		for k := 0; k < v%4; k++ {
+			net.Send(v, (v*7+k*13)%n, v*100+k, int64(k+1))
+		}
+	})
+	for v := 0; v < n; v++ {
+		record(v)
+	}
+	net.Phase(func(v int) {
+		for _, e := range net.Recv(v) {
+			net.Send(v, e.From, e.Body+1, 2)
+		}
+	})
+	for v := 0; v < n; v++ {
+		record(v)
+	}
+	for p := 0; p < 4; p++ {
+		net.Phase(func(v int) {})
+		for v := 0; v < n; v++ {
+			record(v)
+		}
+	}
+	return log, net.Counter().Messages(), net.Counter().Words(), net.Counter().Dropped()
+}
+
+// assertRealProcesses pins that the cluster's machines are live OS
+// processes distinct from the coordinator.
+func assertRealProcesses(t *testing.T, c *wire.Cluster, want int) {
+	t.Helper()
+	pids := c.Pids()
+	if len(pids) != want {
+		t.Fatalf("cluster has %d processes, want %d", len(pids), want)
+	}
+	for _, pid := range pids {
+		if pid == os.Getpid() {
+			t.Fatalf("machine shares the coordinator's pid %d", pid)
+		}
+		if err := syscall.Kill(pid, 0); err != nil {
+			t.Fatalf("machine pid %d not alive: %v", pid, err)
+		}
+	}
+}
+
+func TestSocketTranscriptMatchesInProcess(t *testing.T) {
+	// The determinism contract across genuine process boundaries: for any
+	// (machines, workers) split, the delivery transcript and counters over
+	// sockets are bit-identical to the zero-copy in-process transport.
+	wantLog, wantMsgs, wantWords, _ := transcript(3, nil)
+	if len(wantLog) == 0 {
+		t.Fatal("workload produced no traffic")
+	}
+	for _, split := range [][2]int{{2, 2}, {2, 3}, {3, 8}} {
+		machines, workers := split[0], split[1]
+		cluster, err := wire.Spawn(machines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertRealProcesses(t, cluster, machines)
+		log, msgs, words, _ := transcript(workers, func(net *dist.Network[int]) {
+			sock, err := wire.DialSocket(wire.IntCodec{}, "wire.int", cluster.Addrs(), net.Workers())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(sock.Close)
+			net.SetTransport(sock)
+		})
+		cluster.Close()
+		if msgs != wantMsgs || words != wantWords {
+			t.Errorf("machines=%d workers=%d: counters (%d, %d) != (%d, %d)",
+				machines, workers, msgs, words, wantMsgs, wantWords)
+		}
+		if fmt.Sprint(log) != fmt.Sprint(wantLog) {
+			t.Errorf("machines=%d workers=%d: transcript diverges from in-process", machines, workers)
+		}
+	}
+}
+
+func TestSocketTranscriptWithFaultsMatchesInProcess(t *testing.T) {
+	// DeliveryModel faults compose with the wire unchanged: the model
+	// classifies at Send time, upstream of the transport, so a faulty
+	// transcript over real processes still matches in-process exactly.
+	model := dist.LinkFaults{DropProb: 0.2, DelayProb: 0.3, MaxPhases: 2, Seed: 11}
+	wantLog, wantMsgs, _, wantDropped := transcript(2, func(net *dist.Network[int]) {
+		net.SetDeliveryModel(model)
+	})
+	cluster, err := wire.Spawn(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	log, msgs, _, dropped := transcript(5, func(net *dist.Network[int]) {
+		net.SetDeliveryModel(model)
+		sock, err := wire.DialSocket(wire.IntCodec{}, "wire.int", cluster.Addrs(), net.Workers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(sock.Close)
+		net.SetTransport(sock)
+	})
+	if msgs != wantMsgs || dropped != wantDropped {
+		t.Errorf("counters (%d msgs, %d dropped) != (%d, %d)", msgs, dropped, wantMsgs, wantDropped)
+	}
+	if fmt.Sprint(log) != fmt.Sprint(wantLog) {
+		t.Error("faulty socket transcript diverges from in-process")
+	}
+}
+
+// runHash condenses a clustering run into one comparable transcript hash:
+// every label plus the network counters.
+func runHash(res *core.DistResult) string {
+	h := sha256.New()
+	for _, l := range res.Labels {
+		fmt.Fprintf(h, "%d,", l)
+	}
+	fmt.Fprintf(h, "|%d|%d|%d|%d|%v",
+		res.NetworkMessages, res.NetworkWords, res.DroppedMessages, res.DroppedMatches, res.TotalMass)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestSocketSBMClusterMatchesInProcess is the end-to-end acceptance pin
+// (and the CI socket smoke): the full clustering pipeline on a seeded SBM
+// graph, run across real worker processes, must produce bit-identical
+// cluster assignments and message counts to the in-process engine — for
+// multiple (machine, worker) splits, fault-free and under a LinkFaults
+// delivery model.
+func TestSocketSBMClusterMatchesInProcess(t *testing.T) {
+	p, err := gen.SBMBalanced(2, 60, 12, 2, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{Beta: 0.5, Rounds: 25, Seed: 9}
+	faults := func(opt core.DistOptions) core.DistOptions {
+		opt.DropProb, opt.DelayProb, opt.MaxDelay, opt.FailSeed = 0.2, 0.2, 2, 7
+		return opt
+	}
+
+	baseline, err := core.ClusterDistributed(p.G, params, core.DistOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineFaulty, err := core.ClusterDistributed(p.G, params, faults(core.DistOptions{Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runHash(baseline) == runHash(baselineFaulty) {
+		t.Fatal("fault injection changed nothing; the comparison below would be vacuous")
+	}
+
+	const machines = 2
+	cluster, err := wire.Spawn(machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	assertRealProcesses(t, cluster, machines)
+	spec := core.TransportSpec{Kind: "socket", Addrs: cluster.Addrs()}
+
+	for _, workers := range []int{2, 4} {
+		res, err := core.ClusterDistributed(p.G, params,
+			core.DistOptions{Workers: workers, Transport: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := runHash(res), runHash(baseline); got != want {
+			t.Errorf("workers=%d over %d processes: transcript hash %s != in-process %s",
+				workers, machines, got, want)
+		}
+		faulty, err := core.ClusterDistributed(p.G, params,
+			faults(core.DistOptions{Workers: workers, Transport: spec}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := runHash(faulty), runHash(baselineFaulty); got != want {
+			t.Errorf("workers=%d over %d processes with LinkFaults: transcript hash %s != in-process %s",
+				workers, machines, got, want)
+		}
+	}
+}
+
+// TestSocketSpawnThroughSpec exercises the spawn-on-demand path: a
+// TransportSpec with no Addrs makes core spawn its own cluster (and tear it
+// down), and the run still matches in-process bit for bit.
+func TestSocketSpawnThroughSpec(t *testing.T) {
+	p, err := gen.SBMBalanced(2, 40, 10, 2, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{Beta: 0.5, Rounds: 15, Seed: 3}
+	baseline, err := core.ClusterDistributed(p.G, params, core.DistOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ClusterDistributed(p.G, params, core.DistOptions{
+		Workers:   3,
+		Transport: core.TransportSpec{Kind: "socket", Machines: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runHash(res) != runHash(baseline) {
+		t.Error("spawned socket run diverges from in-process")
+	}
+}
+
+// TestAsyncGossipSocketMatchesInProcess covers the asynchronous clock's
+// delivery path (asyncDeliver routes through the same Transport seam).
+// ClusterAsyncGossip runs on a single delivery shard (async execution is
+// serialised), so exactly one worker process serves the wire — Machines: 1
+// states that honestly rather than requesting a clamp-to-1.
+func TestAsyncGossipSocketMatchesInProcess(t *testing.T) {
+	p, err := gen.SBMBalanced(2, 40, 10, 2, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{Beta: 0.5, Rounds: 10, Seed: 4}
+	opt := core.AsyncOptions{Ticks: 4000, ClockSeed: 21}
+	baseline, err := core.ClusterAsyncGossip(p.G, params, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sopt := opt
+	sopt.Transport = core.TransportSpec{Kind: "socket", Machines: 1}
+	res, err := core.ClusterAsyncGossip(p.G, params, sopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runHash(res) != runHash(baseline) {
+		t.Error("async gossip over sockets diverges from in-process")
+	}
+}
+
+func TestServeRejectsUnknownPayload(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := wire.Listen("unix:" + dir + "/w.sock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go wire.Serve(ln)
+	_, err = wire.DialSocket(wire.IntCodec{}, "no.such.payload", []string{"unix:" + dir + "/w.sock"}, 1)
+	if err == nil {
+		t.Fatal("dial with unregistered payload should fail")
+	}
+	if want := "not registered"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestSpawnRecursionGuard(t *testing.T) {
+	t.Setenv("LBWIRE_WORKER", "0")
+	if _, err := wire.Spawn(1); err == nil {
+		t.Fatal("Spawn inside a worker environment should fail")
+	}
+}
+
+func TestDialBadAddress(t *testing.T) {
+	if _, err := wire.DialSocket(wire.IntCodec{}, "wire.int", []string{"bogus"}, 1); err == nil {
+		t.Fatal("schemeless non-path address should fail")
+	}
+	if _, err := wire.Listen("bogus"); err == nil {
+		t.Fatal("Listen on schemeless non-path address should fail")
+	}
+}
