@@ -22,6 +22,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/sched"
 	"repro/internal/spectral"
 	"repro/internal/wire"
 )
@@ -112,6 +113,53 @@ func BenchmarkEngineRound(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Step()
+	}
+}
+
+// BenchmarkEngineStepParallel sweeps the sequential engine's averaging
+// round over the shared worker pool (matching generation and pair merges
+// both partition; workers=1 is the single-threaded baseline). The output is
+// bit-identical across the sweep — the rows measure wall clock only.
+func BenchmarkEngineStepParallel(b *testing.B) {
+	p := benchRing(b, 2, 25000, 16, 1)
+	for _, workers := range dist.WorkerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := core.NewEngine(p.G, core.Params{Beta: 0.5, Rounds: 1, Seed: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if workers > 1 {
+				pool := sched.NewPool(workers)
+				defer pool.Close()
+				eng.SetPool(pool)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+			b.ReportMetric(float64(p.G.N())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
+		})
+	}
+}
+
+// BenchmarkAsyncGossipParallel sweeps the asynchronous push-sum run over
+// the independent-set batch scheduler (workers=1 is the serial RunAsync
+// baseline). Every row replays the same bit-identical transcript; the
+// spread is the price/payoff of speculation and serial-order commit.
+func BenchmarkAsyncGossipParallel(b *testing.B) {
+	p := benchRing(b, 2, 25000, 16, 1)
+	params := core.Params{Beta: 0.5, Rounds: 20, Seed: 5}
+	for _, workers := range dist.WorkerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ClusterAsyncGossip(p.G, params, core.AsyncOptions{
+					ClockSeed: 9,
+					Parallel:  workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

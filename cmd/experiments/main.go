@@ -6,13 +6,16 @@
 // Usage:
 //
 //	experiments [-run T1,F2,... | -run all] [-scale 1.0] [-seed 1] [-out results/]
-//	            [-transport inprocess|ring[:cap]|socket[:machines]]
+//	            [-transport inprocess|ring[:cap]|socket[:machines]] [-parallel N|auto]
 //
 // Experiment F9 runs both its synchronous and asynchronous executions as
 // real messages on the dist runtime, so its table includes wire traffic;
 // -transport selects the delivery transport for those runs (with "socket"
 // the barriers cross real worker OS processes — the tables are bit-identical
-// either way).
+// either way), and -parallel executes the asynchronous firing schedule with
+// the independent-set batch scheduler on that many workers ("auto" =
+// GOMAXPROCS; tables are again bit-identical, the scheduler replays the
+// serial transcript).
 //
 // Markdown is printed to stdout; with -out, per-experiment CSV and markdown
 // files are also written to the given directory.
@@ -28,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/sched"
 	"repro/internal/wire"
 )
 
@@ -39,6 +43,8 @@ func main() {
 	out := flag.String("out", "", "directory to write per-experiment .md and .csv files")
 	transport := flag.String("transport", "inprocess",
 		"dist-runtime delivery transport: inprocess, ring[:capacity], or socket[:machines]")
+	parallel := flag.String("parallel", "0",
+		"workers for the parallel async scheduler: a count, \"auto\" (GOMAXPROCS), or \"off\"")
 	flag.Parse()
 
 	spec, err := core.ParseTransportSpec(*transport)
@@ -46,7 +52,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Transport: spec}
+	workers, err := sched.ParseWorkers(*parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Transport: spec, Parallel: workers}
 	var selected []experiments.Experiment
 	if strings.EqualFold(*runFlag, "all") {
 		selected = experiments.All()

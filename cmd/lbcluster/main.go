@@ -17,6 +17,12 @@
 // "socket" spawns its own worker processes; to place workers by hand (other
 // cores, other hosts via TCP), start daemons with `lbcluster serve` and
 // list them in -transport-addrs.
+//
+// -parallel sizes the worker pool the hot paths partition over: the
+// sequential engine's matching generation and pair merges, or the
+// distributed engine's phase workers. "auto" (the default) means GOMAXPROCS,
+// "off" forces single-threaded execution. Labels are bit-identical for every
+// setting — parallelism changes the wall clock, never the run.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/spectral"
 	"repro/internal/wire"
 )
@@ -53,10 +60,17 @@ func main() {
 		"delivery transport for -distributed: inprocess, ring[:capacity], or socket[:machines]")
 	transportAddrs := flag.String("transport-addrs", "",
 		"comma-separated `lbcluster serve` daemon addresses for -transport socket (overrides spawning)")
+	parallel := flag.String("parallel", "auto",
+		"worker pool size for the hot paths: a count, \"auto\" (GOMAXPROCS), or \"off\"")
 	flag.Parse()
 
+	workers, err := sched.ParseWorkers(*parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbcluster: %v\n", err)
+		os.Exit(2)
+	}
 	if err := run(*in, *out, *beta, *rounds, *k, *seed, *thresholdScale, *distributed,
-		*transport, *transportAddrs); err != nil {
+		*transport, *transportAddrs, workers); err != nil {
 		fmt.Fprintf(os.Stderr, "lbcluster: %v\n", err)
 		os.Exit(1)
 	}
@@ -81,7 +95,7 @@ func serve(args []string) error {
 }
 
 func run(in, out string, beta float64, rounds, k int, seed uint64, thresholdScale float64,
-	distributed bool, transport, transportAddrs string) error {
+	distributed bool, transport, transportAddrs string, workers int) error {
 	var r io.Reader = os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -123,7 +137,12 @@ func run(in, out string, beta float64, rounds, k int, seed uint64, thresholdScal
 		if transportAddrs != "" {
 			spec.Addrs = strings.Split(transportAddrs, ",")
 		}
-		res, err := core.ClusterDistributed(g, params, core.DistOptions{Transport: spec})
+		// The phase pool needs at least one worker; -parallel off degrades
+		// to a single-worker (still deterministic) network.
+		if workers < 1 {
+			workers = 1
+		}
+		res, err := core.ClusterDistributed(g, params, core.DistOptions{Workers: workers, Transport: spec})
 		if err != nil {
 			return err
 		}
@@ -131,7 +150,7 @@ func run(in, out string, beta float64, rounds, k int, seed uint64, thresholdScal
 		fmt.Fprintf(os.Stderr, "seeds=%d labels=%d rounds=%d network: %d messages, %d words\n",
 			len(res.Seeds), res.NumLabels, res.Stats.Rounds, res.NetworkMessages, res.NetworkWords)
 	} else {
-		res, err := core.Cluster(g, params)
+		res, err := core.ClusterParallel(g, params, workers)
 		if err != nil {
 			return err
 		}

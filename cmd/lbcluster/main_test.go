@@ -57,7 +57,7 @@ func TestRunFixedRounds(t *testing.T) {
 	dir := t.TempDir()
 	in, p := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "labels.txt")
-	if err := run(in, out, 0.5, 80, 0, 1, 1, false, "inprocess", ""); err != nil {
+	if err := run(in, out, 0.5, 80, 0, 1, 1, false, "inprocess", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	labels := readLabels(t, out, p.G.N())
@@ -72,7 +72,7 @@ func TestRunAutoRounds(t *testing.T) {
 	dir := t.TempDir()
 	in, p := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "labels.txt")
-	if err := run(in, out, 0.5, 0, 2, 1, 1, false, "inprocess", ""); err != nil {
+	if err := run(in, out, 0.5, 0, 2, 1, 1, false, "inprocess", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	readLabels(t, out, p.G.N())
@@ -82,7 +82,7 @@ func TestRunDistributed(t *testing.T) {
 	dir := t.TempDir()
 	in, p := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "labels.txt")
-	if err := run(in, out, 0.5, 60, 0, 1, 1, true, "inprocess", ""); err != nil {
+	if err := run(in, out, 0.5, 60, 0, 1, 1, true, "inprocess", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	readLabels(t, out, p.G.N())
@@ -96,7 +96,7 @@ func TestRunDistributedTransports(t *testing.T) {
 	dir := t.TempDir()
 	in, p := writeTestGraph(t, dir)
 	want := filepath.Join(dir, "want.txt")
-	if err := run(in, want, 0.5, 60, 0, 1, 1, true, "inprocess", ""); err != nil {
+	if err := run(in, want, 0.5, 60, 0, 1, 1, true, "inprocess", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	wantLabels := readLabels(t, want, p.G.N())
@@ -114,7 +114,7 @@ func TestRunDistributedTransports(t *testing.T) {
 		{"socket", addr},
 	} {
 		out := filepath.Join(dir, "got.txt")
-		if err := run(in, out, 0.5, 60, 0, 1, 1, true, tc.transport, tc.addrs); err != nil {
+		if err := run(in, out, 0.5, 60, 0, 1, 1, true, tc.transport, tc.addrs, 0); err != nil {
 			t.Fatalf("transport %s: %v", tc.transport, err)
 		}
 		got := readLabels(t, out, p.G.N())
@@ -136,15 +136,42 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in, _ := writeTestGraph(t, dir)
 	// Auto rounds without k.
-	if err := run(in, filepath.Join(dir, "x"), 0.5, 0, 0, 1, 1, false, "inprocess", ""); err == nil {
+	if err := run(in, filepath.Join(dir, "x"), 0.5, 0, 0, 1, 1, false, "inprocess", "", 0); err == nil {
 		t.Error("auto rounds without -k should fail")
 	}
 	// Missing input file.
-	if err := run(filepath.Join(dir, "nope.txt"), "-", 0.5, 10, 0, 1, 1, false, "inprocess", ""); err == nil {
+	if err := run(filepath.Join(dir, "nope.txt"), "-", 0.5, 10, 0, 1, 1, false, "inprocess", "", 0); err == nil {
 		t.Error("missing input should fail")
 	}
 	// Invalid beta propagates from core.
-	if err := run(in, filepath.Join(dir, "y"), 0, 10, 0, 1, 1, false, "inprocess", ""); err == nil {
+	if err := run(in, filepath.Join(dir, "y"), 0, 10, 0, 1, 1, false, "inprocess", "", 0); err == nil {
 		t.Error("beta=0 should fail")
+	}
+}
+
+// TestRunParallelMatchesSerial: -parallel is a wall-clock knob, never a
+// result knob — the sequential and distributed paths both emit identical
+// labels for every worker count.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	dir := t.TempDir()
+	in, p := writeTestGraph(t, dir)
+	for _, distributed := range []bool{false, true} {
+		want := filepath.Join(dir, "want.txt")
+		if err := run(in, want, 0.5, 60, 0, 1, 1, distributed, "inprocess", "", 0); err != nil {
+			t.Fatal(err)
+		}
+		wantLabels := readLabels(t, want, p.G.N())
+		for _, workers := range []int{2, 4} {
+			out := filepath.Join(dir, "got.txt")
+			if err := run(in, out, 0.5, 60, 0, 1, 1, distributed, "inprocess", "", workers); err != nil {
+				t.Fatalf("distributed=%v workers=%d: %v", distributed, workers, err)
+			}
+			got := readLabels(t, out, p.G.N())
+			for v := range wantLabels {
+				if got[v] != wantLabels[v] {
+					t.Fatalf("distributed=%v workers=%d: label of node %d differs", distributed, workers, v)
+				}
+			}
+		}
 	}
 }

@@ -2,12 +2,23 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/loadbalance"
 	"repro/internal/matching"
+	"repro/internal/sched"
 )
+
+// parallelWorkers normalises the Parallel option shared by the async modes:
+// < 0 means GOMAXPROCS, 0 and 1 mean serial.
+func parallelWorkers(p int) int {
+	if p < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
 
 // AsyncOptions configures ClusterAsyncGossip.
 type AsyncOptions struct {
@@ -33,6 +44,14 @@ type AsyncOptions struct {
 	// execution runs on a single delivery shard, so a socket run dials
 	// exactly one worker process regardless of Machines.
 	Transport TransportSpec
+	// Parallel, when >= 2 (or < 0 for GOMAXPROCS), executes the firing
+	// schedule with the independent-set batch scheduler: pairwise
+	// non-adjacent firings run concurrently on a sched.Pool while their
+	// effects commit in serial schedule order, so the run — labels, traffic
+	// counters, ClockSeed semantics, mass — is bit-identical to the serial
+	// execution (pinned by TestAsyncGossipParallelMatchesSerial). 0 and 1
+	// mean serial.
+	Parallel int
 }
 
 // gossipMsg is the wire format of the asynchronous mode: half of the
@@ -115,7 +134,22 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 		}
 		return st, w
 	}
-	net.RunAsync(ticks, opt.ClockSeed^0x5851f42d4c957f2d, func(v int) {
+	// The firing callback confines every write to node v's own slots —
+	// states[v], weights[v], maxSeen[v], rngs[v] — which is what lets the
+	// batch scheduler run non-adjacent firings concurrently. MaxStateSize
+	// in particular is tracked per node and folded after the run: the
+	// global running max would be a data race under speculation, and the
+	// max of per-node maxima is the same number.
+	maxSeen := make([]int, n)
+	var sch dist.AsyncSched
+	if workers := parallelWorkers(opt.Parallel); workers > 1 {
+		pool := sched.NewPool(workers)
+		defer pool.Close()
+		// Conflict oracle: a firing of v pushes only to graph neighbours
+		// of v, so graph adjacency is exactly the batching relation.
+		sch = dist.AsyncSched{Adjacency: g.Neighbors, Pool: pool}
+	}
+	net.RunAsyncSched(ticks, opt.ClockSeed^0x5851f42d4c957f2d, sch, func(v int) {
 		st, w := absorb(v)
 		if d := g.Degree(v); d > 0 {
 			st = st.Halve()
@@ -126,12 +160,17 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 			net.Send(v, g.Neighbor(v, eng.rngs[v].Intn(d)), gossipMsg{state: st, weight: w},
 				1+int64(st.Words()))
 		}
-		if len(st) > eng.stats.MaxStateSize {
-			eng.stats.MaxStateSize = len(st)
+		if len(st) > maxSeen[v] {
+			maxSeen[v] = len(st)
 		}
 		eng.states[v] = st
 		weights[v] = w
 	})
+	for _, m := range maxSeen {
+		if m > eng.stats.MaxStateSize {
+			eng.stats.MaxStateSize = m
+		}
+	}
 	// RunAsync flushed all in-flight (including delayed) messages into the
 	// mailboxes when it quiesced; absorb them so no mass is left on the
 	// wire — unless the model dropped it, this restores exact conservation.

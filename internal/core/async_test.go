@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"repro/internal/dist"
@@ -148,5 +150,112 @@ func TestAsyncGossipDefaultTickBudget(t *testing.T) {
 	}
 	if res.NetworkMessages == 0 {
 		t.Error("default tick budget ran no firings")
+	}
+}
+
+// asyncFingerprint collapses a DistResult into the fields the parallel
+// scheduler must reproduce bit for bit.
+type asyncFingerprint struct {
+	messages, words, dropped int64
+	mass                     float64
+	numLabels, maxState      int
+}
+
+func fingerprint(res *DistResult) asyncFingerprint {
+	return asyncFingerprint{
+		messages:  res.NetworkMessages,
+		words:     res.NetworkWords,
+		dropped:   res.DroppedMessages,
+		mass:      res.TotalMass,
+		numLabels: res.NumLabels,
+		maxState:  res.Stats.MaxStateSize,
+	}
+}
+
+// TestAsyncGossipParallelMatchesSerial pins the tentpole contract end to
+// end: ClusterAsyncGossip with Parallel workers produces a byte-identical
+// run to the serial execution — labels, raw labels, traffic counters,
+// dropped tally, total mass, max state size — for clustered-ring and SBM
+// instances, fault-free and under link faults, across GOMAXPROCS settings.
+func TestAsyncGossipParallelMatchesSerial(t *testing.T) {
+	ring, err := gen.ClusteredRing(2, 50, 12, 1, rng.New(131))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbm, err := gen.SBMBalanced(2, 60, 14, 2, rng.New(137))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := dist.LinkFaults{DropProb: 0.05, DelayProb: 0.3, MaxPhases: 2, Seed: 5}
+	for _, tc := range []struct {
+		name  string
+		g     *gen.Planted
+		model dist.DeliveryModel
+	}{
+		{"ring fault-free", ring, nil},
+		{"ring link-faults", ring, faults},
+		{"sbm fault-free", sbm, nil},
+		{"sbm link-faults", sbm, faults},
+	} {
+		params := Params{Beta: 0.5, Rounds: 30, Seed: 19}
+		serial, err := ClusterAsyncGossip(tc.g.G, params, AsyncOptions{ClockSeed: 7, Model: tc.model})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fingerprint(serial)
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+			for _, workers := range []int{2, 4, -1} {
+				par, err := ClusterAsyncGossip(tc.g.G, params, AsyncOptions{
+					ClockSeed: 7, Model: tc.model, Parallel: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				id := tc.name + " procs=" + strconv.Itoa(procs) + " workers=" + strconv.Itoa(workers)
+				if got := fingerprint(par); got != want {
+					t.Errorf("%s: fingerprint %+v != serial %+v", id, got, want)
+				}
+				for v := range serial.Labels {
+					if par.Labels[v] != serial.Labels[v] || par.RawLabels[v] != serial.RawLabels[v] {
+						t.Fatalf("%s: node %d labelled (%d,%x), want (%d,%x)", id, v,
+							par.Labels[v], par.RawLabels[v], serial.Labels[v], serial.RawLabels[v])
+					}
+				}
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+}
+
+// TestAsyncGossipParallelWithCrashes: crashed nodes consume idle schedule
+// steps in both executions; the parallel run must agree under crashes too.
+func TestAsyncGossipParallelWithCrashes(t *testing.T) {
+	p, err := gen.ClusteredRing(2, 40, 10, 1, rng.New(139))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := make([]bool, p.G.N())
+	cr := rng.New(3)
+	for v := range crashed {
+		crashed[v] = cr.Bernoulli(0.1)
+	}
+	params := Params{Beta: 0.5, Rounds: 25, Seed: 29}
+	serial, err := ClusterAsyncGossip(p.G, params, AsyncOptions{ClockSeed: 13, Crashed: crashed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ClusterAsyncGossip(p.G, params, AsyncOptions{ClockSeed: 13, Crashed: crashed, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(par) != fingerprint(serial) {
+		t.Errorf("fingerprint %+v != serial %+v", fingerprint(par), fingerprint(serial))
+	}
+	for v := range serial.Labels {
+		if par.Labels[v] != serial.Labels[v] {
+			t.Fatalf("node %d labelled %d, want %d", v, par.Labels[v], serial.Labels[v])
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/rng"
+	"repro/internal/sched"
 )
 
 // Params configures the clustering algorithm.
@@ -126,6 +127,9 @@ type Engine struct {
 	seeds  []int
 	stats  Stats
 	round  int
+	// pool, when non-nil, partitions Step's hot paths (matching generation
+	// and pair merges) across workers; see SetPool.
+	pool *sched.Pool
 }
 
 // NewEngine initialises a run: every node draws its identifier and the
@@ -206,10 +210,19 @@ func (e *Engine) LoadVector(id uint64) []float64 {
 	return out
 }
 
+// SetPool attaches a shared worker pool: Step's hot paths — matching
+// generation and the state merges of the matched pairs — partition over it,
+// so the sequential engine uses every core the pool has. nil restores
+// single-threaded execution. The run is bit-identical for any pool size:
+// randomness stays in per-node streams and matched pairs touch disjoint
+// states, so parallel execution changes the schedule, never the result. The
+// caller owns the pool's lifecycle (it may be shared across engines).
+func (e *Engine) SetPool(p *sched.Pool) { e.pool = p }
+
 // Step performs one averaging round (§3.1): generate a random matching, and
 // matched pairs merge their states.
 func (e *Engine) Step() {
-	m := matching.Generate(e.g, e.params.DegreeBound, e.rngs)
+	m := matching.GenerateParallel(e.g, e.params.DegreeBound, e.rngs, e.pool)
 	e.StepWith(m)
 }
 
@@ -218,20 +231,58 @@ func (e *Engine) Step() {
 // balancing-circuit schedule instead of the randomized protocol.
 func (e *Engine) StepWith(m *matching.Matching) {
 	e.stats.ProtocolWords += int64(m.Proposals) + int64(m.Size())
-	for _, pair := range m.Pairs {
-		u, v := pair[0], pair[1]
-		su, sv := e.states[u], e.states[v]
-		e.stats.StateWords += int64(su.Words() + sv.Words())
-		merged := e.mergeForStorage(su, sv)
-		e.states[u] = merged
-		e.states[v] = merged
-		if len(merged) > e.stats.MaxStateSize {
-			e.stats.MaxStateSize = len(merged)
+	if e.pool != nil && e.pool.Size() > 1 && m.Size() >= 2*e.pool.Size() {
+		e.mergePairsParallel(m)
+	} else {
+		for _, pair := range m.Pairs {
+			u, v := pair[0], pair[1]
+			su, sv := e.states[u], e.states[v]
+			e.stats.StateWords += int64(su.Words() + sv.Words())
+			merged := e.mergeForStorage(su, sv)
+			e.states[u] = merged
+			e.states[v] = merged
+			if len(merged) > e.stats.MaxStateSize {
+				e.stats.MaxStateSize = len(merged)
+			}
 		}
 	}
 	e.stats.Matches += m.Size()
 	e.round++
 	e.stats.Rounds = e.round
+}
+
+// mergePairsParallel partitions the matched pairs over the pool. A node is
+// in at most one pair, so the state writes of distinct pairs are disjoint;
+// the word and max-state tallies reduce from per-worker partials in worker
+// order, which keeps the stats bit-identical to the sequential loop (sums
+// are integer, max is order-free).
+func (e *Engine) mergePairsParallel(m *matching.Matching) {
+	workers := e.pool.Size()
+	words := make([]int64, workers)
+	maxes := make([]int, workers)
+	e.pool.RunRange(m.Size(), func(w, lo, hi int) {
+		var sw int64
+		mx := 0
+		for _, pair := range m.Pairs[lo:hi] {
+			u, v := pair[0], pair[1]
+			su, sv := e.states[u], e.states[v]
+			sw += int64(su.Words() + sv.Words())
+			merged := e.mergeForStorage(su, sv)
+			e.states[u] = merged
+			e.states[v] = merged
+			if len(merged) > mx {
+				mx = len(merged)
+			}
+		}
+		words[w] = sw
+		maxes[w] = mx
+	})
+	for w := 0; w < workers; w++ {
+		e.stats.StateWords += words[w]
+		if maxes[w] > e.stats.MaxStateSize {
+			e.stats.MaxStateSize = maxes[w]
+		}
+	}
 }
 
 // mergeForStorage merges two states and applies the optional prune filter.
@@ -307,6 +358,24 @@ func Cluster(g *graph.Graph, params Params) (*Result, error) {
 	e, err := NewEngine(g, params)
 	if err != nil {
 		return nil, err
+	}
+	e.Run(e.params.Rounds)
+	return e.Query(), nil
+}
+
+// ClusterParallel is Cluster with the engine's per-round hot paths
+// partitioned over a worker pool of the given size (< 0 means GOMAXPROCS,
+// 0 or 1 mean sequential). Labels and stats are bit-identical to Cluster
+// for equal Params — parallelism changes the wall clock, never the run.
+func ClusterParallel(g *graph.Graph, params Params, workers int) (*Result, error) {
+	e, err := NewEngine(g, params)
+	if err != nil {
+		return nil, err
+	}
+	if workers = parallelWorkers(workers); workers > 1 {
+		pool := sched.NewPool(workers)
+		defer pool.Close()
+		e.SetPool(pool)
 	}
 	e.Run(e.params.Rounds)
 	return e.Query(), nil

@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph/gen"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/sched"
 	"repro/internal/spectral"
 )
 
@@ -335,5 +336,81 @@ func TestIDsAreDistinctWHP(t *testing.T) {
 			t.Fatal("duplicate ID (probability ~n²/n³; resample the test seed if legitimate)")
 		}
 		seen[id] = true
+	}
+}
+
+// TestClusterParallelMatchesSequential pins the engine-side parallel
+// contract: ClusterParallel reproduces Cluster bit for bit — labels, raw
+// labels, and the full stats block — for every worker count, with and
+// without pruning (pruning runs through mergeForStorage on the parallel
+// merge path too).
+func TestClusterParallelMatchesSequential(t *testing.T) {
+	r := rng.New(8)
+	p, err := gen.ClusteredRing(3, 60, 10, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prune := range []float64{0, 1e-7} {
+		params := Params{Beta: 1.0 / 3, Rounds: 60, Seed: 17, PruneEpsilon: prune}
+		want, err := Cluster(p.G, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 8, -1} {
+			got, err := ClusterParallel(p.G, params, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Stats != want.Stats {
+				t.Errorf("prune %g workers %d: stats %+v != %+v", prune, workers, got.Stats, want.Stats)
+			}
+			if got.NumLabels != want.NumLabels || got.Threshold != want.Threshold {
+				t.Errorf("prune %g workers %d: labels/threshold header diverged", prune, workers)
+			}
+			for v := range want.Labels {
+				if got.Labels[v] != want.Labels[v] || got.RawLabels[v] != want.RawLabels[v] {
+					t.Fatalf("prune %g workers %d: node %d labelled (%d,%d), want (%d,%d)",
+						prune, workers, v, got.Labels[v], got.RawLabels[v], want.Labels[v], want.RawLabels[v])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineSetPoolMidRun: attaching or detaching the pool between rounds
+// must not perturb the run — the schedule changes, the transcript does not.
+func TestEngineSetPoolMidRun(t *testing.T) {
+	r := rng.New(9)
+	p, err := gen.ClusteredRing(2, 50, 8, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Beta: 0.5, Rounds: 40, Seed: 23}
+	want, err := Cluster(p.G, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(p.G, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	for round := 0; round < params.Rounds; round++ {
+		if round%3 == 0 {
+			e.SetPool(nil)
+		} else {
+			e.SetPool(pool)
+		}
+		e.Step()
+	}
+	got := e.Query()
+	if got.Stats != want.Stats {
+		t.Errorf("stats %+v != %+v", got.Stats, want.Stats)
+	}
+	for v := range want.Labels {
+		if got.Labels[v] != want.Labels[v] {
+			t.Fatalf("node %d labelled %d, want %d", v, got.Labels[v], want.Labels[v])
+		}
 	}
 }

@@ -1,6 +1,9 @@
 package dist
 
-import "repro/internal/rng"
+import (
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
 
 // RunAsync leaves the bulk-synchronous regime: it fires nodes one at a time
 // for the given number of steps, in a randomized order drawn from a
@@ -21,32 +24,197 @@ import "repro/internal/rng"
 // Execution is single-threaded on the driving goroutine: asynchrony is a
 // property of the time model, not of the implementation, and a serialized
 // event order keeps determinism trivial — a run is a pure function of
-// (steps, seed, the delivery model, and fn's own determinism). Traffic
-// accounting flows through the same counters and the same Transport as the
-// synchronous mode. When the run ends the network quiesces: delayed
-// messages still in flight are flushed into their mailboxes, where the
-// driving goroutine can collect them with Recv. A network that has run
-// async cannot go back to Phase.
+// (steps, seed, the delivery model, and fn's own determinism). RunAsyncSched
+// can execute independent batches of firings concurrently while replaying
+// exactly this serial transcript. Traffic accounting flows through the same
+// counters and the same Transport as the synchronous mode. When the run ends
+// the network quiesces: delayed messages still in flight are flushed into
+// their mailboxes, where the driving goroutine can collect them with Recv. A
+// network that has run async cannot go back to Phase.
 func (net *Network[T]) RunAsync(steps int, seed uint64, fn func(v int)) {
+	net.RunAsyncSched(steps, seed, AsyncSched{}, fn)
+}
+
+// AsyncSched configures the parallel execution of an asynchronous run.
+// The zero value is the serial execution of RunAsync; with a pool and an
+// adjacency the run extracts independent sets from the firing schedule and
+// executes each batch concurrently. Every configuration replays the
+// bit-identical serial transcript: same mailbox contents at every firing,
+// same counters, same delivery-model coins, same final state.
+type AsyncSched struct {
+	// Adjacency is the conflict oracle of the firing schedule: adj(v) must
+	// list every node a firing of v may address with Send (for a protocol on
+	// a graph, v's neighbours), and the relation must be symmetric. Nodes in
+	// one batch are pairwise non-adjacent, which is what makes their firings
+	// commute. nil disables batching (serial execution).
+	Adjacency func(v int) []int32
+	// Pool executes the speculative firings of a batch. nil, or a pool of
+	// size 1, means serial execution.
+	Pool *sched.Pool
+	// MaxBatch caps the number of schedule steps one batch window may span;
+	// 0 means 4× the pool size.
+	MaxBatch int
+}
+
+// RunAsyncSched is RunAsync with an optional independent-set batch
+// scheduler. Non-adjacent firings commute: a batch of pairwise non-adjacent,
+// non-repeating nodes can run fn concurrently — each member reads a mailbox
+// no other member can touch — while the effects (sends, deliveries, counter
+// updates, mailbox consumption) are committed afterwards in serial schedule
+// order. Concretely, each member's Sends are captured into a private
+// speculation buffer during the concurrent phase and replayed through the
+// normal delivery pipeline at commit, so delivery-model coins, ring slots,
+// and traffic counters are byte-for-byte those of the serial run.
+//
+// Correctness requires fn to honour two contracts (both already implied by
+// RunAsync): it may only touch node v's own data, and it may only Send to
+// nodes listed by sch.Adjacency(v). A speculative Send on behalf of a node
+// that is not firing in the current batch panics.
+func (net *Network[T]) RunAsyncSched(steps int, seed uint64, sch AsyncSched, fn func(v int)) {
 	if net.n == 0 || steps <= 0 {
 		return
 	}
 	net.started = true
 	net.async = true
 	clock := rng.New(seed ^ 0xa0761d6478bd642f)
-	for t := 0; t < steps; t++ {
-		v := clock.Intn(net.n)
-		if net.crashed == nil || !net.crashed[v] {
-			fn(v)
-			net.inbox[v] = net.inbox[v][:0]
+	if sch.Adjacency == nil || sch.Pool == nil || sch.Pool.Size() <= 1 {
+		for t := 0; t < steps; t++ {
+			net.asyncStep(clock.Intn(net.n), fn)
 		}
-		net.asyncDeliver()
-		net.phase++
+	} else {
+		net.runAsyncBatched(steps, clock, sch, fn)
 	}
 	// Quiesce: with a delay model, up to ringSize-1 slots still hold
 	// in-flight messages; deliver them in due order so no sent-and-not-
 	// dropped message is silently stranded in the rings.
 	for k := 1; k < net.ringSize; k++ {
+		net.asyncDeliver()
+		net.phase++
+	}
+}
+
+// asyncStep executes one serial schedule step: fire v (unless crashed),
+// consume its mailbox, deliver due messages, advance the clock.
+func (net *Network[T]) asyncStep(v int, fn func(v int)) {
+	if net.crashed == nil || !net.crashed[v] {
+		fn(v)
+		net.inbox[v] = net.inbox[v][:0]
+	}
+	net.asyncDeliver()
+	net.phase++
+}
+
+// runAsyncBatched is the parallel execution path: greedily batch the firing
+// schedule into independent sets (sched.Firings), run each batch's firings
+// concurrently on the pool with Sends captured per member, then commit the
+// window's steps in serial order.
+//
+// Window formation enforces three rules that make speculation safe:
+//
+//  1. members are pairwise non-adjacent and distinct (Firings), so no
+//     member's send — delay 0 delivers at the end of its own step — can
+//     reach another member inside the window;
+//  2. a member with in-flight mail in the delivery rings (pendingTo) may
+//     only occupy the window's first step: serially it would observe those
+//     deliveries mid-window, which speculation cannot reproduce;
+//  3. crashed nodes join any window (their steps execute nothing), but
+//     count toward the window cap so delivery work is committed regularly.
+func (net *Network[T]) runAsyncBatched(steps int, clock *rng.RNG, sch AsyncSched, fn func(v int)) {
+	pool := sch.Pool
+	workers := pool.Size()
+	maxBatch := sch.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 4 * workers
+	}
+	f := sched.NewFirings(net.n, sch.Adjacency)
+	if net.ringSize > 1 {
+		// Count the messages already in flight (a run can inherit delayed
+		// traffic from earlier synchronous phases); send/asyncDeliver keep
+		// the counts current from here on.
+		net.pendingTo = make([]int32, net.n)
+		for w := range net.out {
+			for _, slot := range net.out[w].slots {
+				for _, bucket := range slot {
+					for _, m := range bucket {
+						net.pendingTo[m.To]++
+					}
+				}
+			}
+		}
+		defer func() { net.pendingTo = nil }()
+	}
+	net.specOwner = make([]int32, net.n)
+	window := make([]int32, 0, maxBatch)  // drawn node per schedule step
+	members := make([]int32, 0, maxBatch) // live firing nodes, in step order
+	next := -1                            // one-firing lookahead buffer
+	for t := 0; t < steps; {
+		window, members = window[:0], members[:0]
+		f.Reset()
+		for t+len(window) < steps && len(window) < maxBatch {
+			if next < 0 {
+				next = clock.Intn(net.n)
+			}
+			v := next
+			if net.crashed != nil && net.crashed[v] {
+				window = append(window, int32(v))
+				next = -1
+				continue
+			}
+			if net.pendingTo != nil && net.pendingTo[v] > 0 && len(window) > 0 {
+				break
+			}
+			if !f.Offer(v) {
+				break
+			}
+			net.specOwner[v] = int32(len(members)) + 1
+			members = append(members, int32(v))
+			window = append(window, int32(v))
+			next = -1
+		}
+		if len(members) > 1 {
+			net.commitWindow(window, members, pool, workers, fn)
+		} else {
+			// Zero or one firing: speculation buys nothing — run the steps
+			// serially on the normal path.
+			for _, v := range members {
+				net.specOwner[v] = 0
+			}
+			for _, v := range window {
+				net.asyncStep(int(v), fn)
+			}
+		}
+		t += len(window)
+	}
+}
+
+// commitWindow speculatively executes the window's members concurrently,
+// then replays the window's steps — captured sends, mailbox consumption,
+// delivery, clock advance — in serial schedule order.
+func (net *Network[T]) commitWindow(window, members []int32, pool *sched.Pool, workers int, fn func(v int)) {
+	for len(net.specBuf) < len(members) {
+		net.specBuf = append(net.specBuf, nil)
+	}
+	net.speculating = true
+	pool.Run(func(w int) {
+		for i := w; i < len(members); i += workers {
+			fn(int(members[i]))
+		}
+	})
+	net.speculating = false
+	mi := 0
+	for _, vv := range window {
+		v := int(vv)
+		if net.crashed == nil || !net.crashed[v] {
+			buf := net.specBuf[mi]
+			for _, s := range buf {
+				net.send(v, s.to, s.body, s.words, s.reliable)
+			}
+			clear(buf) // drop payload references before reuse
+			net.specBuf[mi] = buf[:0]
+			mi++
+			net.specOwner[v] = 0
+			net.inbox[v] = net.inbox[v][:0]
+		}
 		net.asyncDeliver()
 		net.phase++
 	}
@@ -74,6 +242,9 @@ func (net *Network[T]) asyncDeliver() {
 		for _, b := range net.transport.Flush(dst, buckets) {
 			for _, m := range b {
 				net.inbox[m.To] = append(net.inbox[m.To], m.Env)
+				if net.pendingTo != nil {
+					net.pendingTo[m.To]--
+				}
 			}
 		}
 		for src := range net.out {

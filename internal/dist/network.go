@@ -87,6 +87,28 @@ type Network[T any] struct {
 	// tallies for the counting pass, and the gathered bucket views.
 	counts  [][]int32
 	buckets [][][]Staged[T]
+
+	// Speculative-execution state for the batched async scheduler
+	// (clock.go). While speculating is set, send() captures messages into
+	// the firing member's private buffer instead of staging them; the
+	// window commit replays the buffers through the normal path in serial
+	// schedule order. specOwner[v] is 1+memberIndex for nodes firing in the
+	// current batch, 0 otherwise. pendingTo, allocated only for batched
+	// runs with a multi-slot ring, counts the in-flight ring messages per
+	// destination so window formation can keep nodes with due mail out of
+	// mid-window positions.
+	speculating bool
+	specOwner   []int32
+	specBuf     [][]specSend[T]
+	pendingTo   []int32
+}
+
+// specSend is one captured speculative Send, replayed at window commit.
+type specSend[T any] struct {
+	to       int
+	body     T
+	words    int64
+	reliable bool
 }
 
 // NewNetwork creates a network of n nodes served by the given number of
@@ -132,7 +154,7 @@ func NewNetwork[T any](n, workers int) *Network[T] {
 	// Reclaim the worker goroutines if the network is garbage-collected
 	// without Close. The cleanup may only reference the pool: if it (or its
 	// argument) kept the Network reachable, neither would ever be collected.
-	runtime.AddCleanup(net, func(p *pool) { p.close() }, net.pool)
+	runtime.AddCleanup(net, func(p *pool) { p.Close() }, net.pool)
 	return net
 }
 
@@ -214,7 +236,7 @@ func (net *Network[T]) Crashed(v int) bool { return net.crashed != nil && net.cr
 
 // Close stops the worker goroutines. It is idempotent; Phase must not be
 // called afterwards.
-func (net *Network[T]) Close() { net.pool.close() }
+func (net *Network[T]) Close() { net.pool.Close() }
 
 // Phase runs fn(v) once for every live (non-crashed) node v in [0, n),
 // partitioned across the worker pool, then waits for all workers at a
@@ -228,7 +250,7 @@ func (net *Network[T]) Phase(fn func(v int)) {
 	}
 	net.started = true
 	crashed := net.crashed
-	net.pool.run(func(w int) {
+	net.pool.Run(func(w int) {
 		for v := net.bounds[w]; v < net.bounds[w+1]; v++ {
 			if crashed != nil && crashed[v] {
 				continue
@@ -262,6 +284,20 @@ func (net *Network[T]) send(from, to int, body T, words int64, reliable bool) {
 	if from < 0 || from >= net.n || to < 0 || to >= net.n {
 		panic(fmt.Sprintf("dist: Send(%d → %d) outside [0, %d)", from, to, net.n))
 	}
+	if net.speculating {
+		// Batched async execution: capture the send into the firing
+		// member's private buffer; the window commit replays it through the
+		// path below in serial schedule order. Appends never contend — each
+		// member sends only on its own behalf, which the owner check
+		// enforces.
+		i := net.specOwner[from]
+		if i == 0 {
+			panic(fmt.Sprintf("dist: speculative Send from node %d, which is not firing in this batch", from))
+		}
+		net.specBuf[i-1] = append(net.specBuf[i-1],
+			specSend[T]{to: to, body: body, words: words, reliable: reliable})
+		return
+	}
 	w := int(net.shardOf[from])
 	net.counter.add(w, words)
 	if net.crashed != nil && net.crashed[to] {
@@ -286,6 +322,9 @@ func (net *Network[T]) send(from, to int, body T, words int64, reliable bool) {
 	s := net.shardOf[to]
 	net.out[w].slots[slot][s] = append(net.out[w].slots[slot][s],
 		Staged[T]{To: to, Env: Envelope[T]{From: from, Body: body}})
+	if net.pendingTo != nil {
+		net.pendingTo[to]++
+	}
 }
 
 // Recv returns the messages delivered to node v at the last phase boundary,
@@ -315,7 +354,7 @@ func (net *Network[T]) Recv(v int) []Envelope[T] {
 // the delivery-order and cross-worker-transcript tests pin the contract.
 func (net *Network[T]) deliver() {
 	slot := int(net.phase % int64(net.ringSize))
-	net.pool.run(func(w int) {
+	net.pool.Run(func(w int) {
 		lo, hi := net.bounds[w], net.bounds[w+1]
 		buckets := net.buckets[w][:0]
 		for src := range net.out {

@@ -1,90 +1,12 @@
 package dist
 
-import "sync"
+import "repro/internal/sched"
 
-// pool is a fixed set of long-lived worker goroutines with a fork/join
-// barrier: run hands the same task to every worker and blocks until all of
-// them finish. Keeping the goroutines warm across phases avoids a spawn per
-// phase on the hot path; a single-worker pool degenerates to an inline call
-// with zero synchronisation, which keeps Workers == 1 an honest baseline
-// for speedup measurements.
-type pool struct {
-	size int
-	work []chan func(w int)
-	wg   sync.WaitGroup
-	once sync.Once
-	// panicMu/panicked capture the first panic from a worker so run can
-	// re-raise it on the driving goroutine; without this a callback panic
-	// on a pool goroutine would kill the whole process with workers > 1
-	// but stay recoverable with workers == 1.
-	panicMu  sync.Mutex
-	panicked any
-}
+// The worker pool moved to internal/sched, where the sequential engine's
+// hot paths (matching generation, pair merges) partition over the same
+// fork/join abstraction as the network's phase barrier — see sched.Pool for
+// the barrier and panic-propagation contract. The alias keeps dist's
+// internal call sites unchanged during the migration.
+type pool = sched.Pool
 
-func newPool(size int) *pool {
-	p := &pool{size: size}
-	if size == 1 {
-		return p
-	}
-	p.work = make([]chan func(w int), size)
-	for w := range p.work {
-		ch := make(chan func(w int), 1)
-		p.work[w] = ch
-		go func(w int, ch <-chan func(w int)) {
-			for task := range ch {
-				p.runOne(task, w)
-				p.wg.Done()
-			}
-		}(w, ch)
-	}
-	return p
-}
-
-// run executes task(w) on every worker w in [0, size) and waits for all of
-// them. The WaitGroup join is the phase barrier: everything written by the
-// workers happens-before run returns. A panic inside task surfaces on the
-// calling goroutine after the barrier (the first one wins if several
-// workers panic), so panic behaviour is the same for every worker count.
-func (p *pool) run(task func(w int)) {
-	if p.size == 1 {
-		task(0)
-		return
-	}
-	p.wg.Add(p.size)
-	for _, ch := range p.work {
-		ch <- task
-	}
-	p.wg.Wait()
-	p.panicMu.Lock()
-	v := p.panicked
-	p.panicked = nil
-	p.panicMu.Unlock()
-	if v != nil {
-		panic(v)
-	}
-}
-
-// runOne executes one task on a worker, converting a panic into a value for
-// run to re-raise so a bad callback cannot tear down the process.
-func (p *pool) runOne(task func(w int), w int) {
-	defer func() {
-		if v := recover(); v != nil {
-			p.panicMu.Lock()
-			if p.panicked == nil {
-				p.panicked = v
-			}
-			p.panicMu.Unlock()
-		}
-	}()
-	task(w)
-}
-
-// close terminates the worker goroutines. Idempotent; run must not be
-// called afterwards.
-func (p *pool) close() {
-	p.once.Do(func() {
-		for _, ch := range p.work {
-			close(ch)
-		}
-	})
-}
+func newPool(size int) *pool { return sched.NewPool(size) }

@@ -1,0 +1,203 @@
+package dist
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// ringNeighbors is the conflict adjacency of the ring workload below: every
+// firing node may send to its two ring neighbours.
+func ringNeighbors(n int) func(v int) []int32 {
+	return func(v int) []int32 {
+		return []int32{int32((v + n - 1) % n), int32((v + 1) % n)}
+	}
+}
+
+// asyncRingTranscript runs the raw async ring workload — every firing node
+// logs its mailbox to its own per-node transcript, then pushes one message
+// to a random ring neighbour from its private stream — and returns the
+// per-node transcripts, the final per-node mailbox contents, and the counter
+// totals. With sch == (AsyncSched{}) this is the serial reference; any other
+// configuration must reproduce it bit for bit.
+func asyncRingTranscript(t *testing.T, n, steps int, seed uint64, crashed []int,
+	model DeliveryModel, sch AsyncSched) ([]string, []string, [3]int64) {
+	t.Helper()
+	net := NewNetwork[int](n, 1)
+	defer net.Close()
+	if model != nil {
+		net.SetDeliveryModel(model)
+	}
+	for _, v := range crashed {
+		net.Crash(v)
+	}
+	rngs := make([]*rng.RNG, n)
+	for v := range rngs {
+		rngs[v] = rng.New(seed + uint64(v)*0x9e37)
+	}
+	logs := make([]string, n)
+	fired := make([]int, n)
+	net.RunAsyncSched(steps, seed, sch, func(v int) {
+		s := fmt.Sprintf("|f%d:", fired[v])
+		for _, e := range net.Recv(v) {
+			s += fmt.Sprintf("(%d,%d)", e.From, e.Body)
+		}
+		logs[v] += s
+		fired[v]++
+		to := (v + 1) % n
+		if rngs[v].Bool() {
+			to = (v + n - 1) % n
+		}
+		net.Send(v, to, v*1000+fired[v], 1)
+	})
+	final := make([]string, n)
+	for v := 0; v < n; v++ {
+		for _, e := range net.Recv(v) {
+			final[v] += fmt.Sprintf("(%d,%d)", e.From, e.Body)
+		}
+	}
+	return logs, final, [3]int64{net.Counter().Messages(), net.Counter().Words(), net.Counter().Dropped()}
+}
+
+// TestRunAsyncSchedMatchesSerial pins the parallel scheduler's contract: for
+// every pool size, GOMAXPROCS, batch cap, fault model, and crash set, the
+// batched execution replays the serial transcript bit for bit — same mailbox
+// at every firing, same final mailboxes, same counters.
+func TestRunAsyncSchedMatchesSerial(t *testing.T) {
+	const n, steps = 23, 800
+	faults := LinkFaults{DropProb: 0.1, DelayProb: 0.3, MaxPhases: 2, Seed: 7}
+	cases := []struct {
+		name    string
+		crashed []int
+		model   DeliveryModel
+	}{
+		{"fault-free", nil, nil},
+		{"link-faults", nil, faults},
+		{"crashes+faults", []int{3, 11}, faults},
+	}
+	for _, tc := range cases {
+		wantLogs, wantFinal, wantCounts := asyncRingTranscript(t, n, steps, 42, tc.crashed, tc.model, AsyncSched{})
+		any := false
+		for _, l := range wantLogs {
+			if len(l) > 0 {
+				any = true
+			}
+		}
+		if !any {
+			t.Fatalf("%s: serial reference produced an empty transcript", tc.name)
+		}
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+			for _, workers := range []int{2, 4} {
+				for _, maxBatch := range []int{0, 1, 3} {
+					pool := sched.NewPool(workers)
+					sch := AsyncSched{Adjacency: ringNeighbors(n), Pool: pool, MaxBatch: maxBatch}
+					logs, final, counts := asyncRingTranscript(t, n, steps, 42, tc.crashed, tc.model, sch)
+					pool.Close()
+					id := fmt.Sprintf("%s procs=%d workers=%d maxBatch=%d", tc.name, procs, workers, maxBatch)
+					if counts != wantCounts {
+						t.Errorf("%s: counters %v != serial %v", id, counts, wantCounts)
+					}
+					for v := 0; v < n; v++ {
+						if logs[v] != wantLogs[v] {
+							t.Fatalf("%s: node %d transcript diverged\n parallel %q\n serial   %q",
+								id, v, logs[v], wantLogs[v])
+						}
+						if final[v] != wantFinal[v] {
+							t.Fatalf("%s: node %d final mailbox diverged\n parallel %q\n serial   %q",
+								id, v, final[v], wantFinal[v])
+						}
+					}
+				}
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+}
+
+// TestRunAsyncSchedBatches verifies the scheduler actually batches: on a
+// sparse conflict graph with a multi-worker pool, speculative execution must
+// fire more than one node per window at least once (otherwise the parallel
+// path silently degraded to serial and the equality test above proves
+// nothing).
+func TestRunAsyncSchedBatches(t *testing.T) {
+	const n, steps = 64, 400
+	net := NewNetwork[int](n, 1)
+	defer net.Close()
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	var cur, maxC atomic.Int32
+	net.RunAsyncSched(steps, 3, AsyncSched{Adjacency: ringNeighbors(n), Pool: pool}, func(v int) {
+		c := cur.Add(1)
+		for {
+			m := maxC.Load()
+			if c <= m || maxC.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		// Yield so co-members of the window get to enter fn even on one
+		// CPU: speculation runs them as separate pool goroutines.
+		runtime.Gosched()
+		net.Send(v, (v+1)%n, v, 1)
+		cur.Add(-1)
+	})
+	if maxC.Load() < 2 {
+		t.Errorf("no window ever executed two firings concurrently (max %d)", maxC.Load())
+	}
+}
+
+// TestRunAsyncSchedForeignSendPanics pins the speculation contract: a
+// callback sending on behalf of a node that is not firing in the current
+// batch must panic rather than corrupt another member's buffer.
+func TestRunAsyncSchedForeignSendPanics(t *testing.T) {
+	const n = 32
+	net := NewNetwork[int](n, 1)
+	defer net.Close()
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("speculative Send from a non-firing node should panic")
+		}
+	}()
+	net.RunAsyncSched(200, 5, AsyncSched{Adjacency: ringNeighbors(n), Pool: pool}, func(v int) {
+		// Send on behalf of v's ring successor. A neighbour of a batch
+		// member is never itself a member, so in any multi-member window
+		// this is a speculative send from a non-firing node — the contract
+		// violation the scheduler must reject.
+		net.Send((v+1)%n, v, 0, 1)
+	})
+}
+
+// TestRunAsyncSchedQuiesce: the parallel path honours the same quiesce
+// contract as the serial one — with a delay model, no sent-and-undropped
+// message is stranded in the rings when the run returns.
+func TestRunAsyncSchedQuiesce(t *testing.T) {
+	const n, steps = 16, 300
+	net := NewNetwork[int](n, 1)
+	defer net.Close()
+	net.SetDeliveryModel(LinkFaults{DelayProb: 0.5, MaxPhases: 3, Seed: 9})
+	pool := sched.NewPool(3)
+	defer pool.Close()
+	reads := make([]int, n) // per-node: fn runs concurrently inside windows
+	net.RunAsyncSched(steps, 21, AsyncSched{Adjacency: ringNeighbors(n), Pool: pool}, func(v int) {
+		reads[v] += len(net.Recv(v))
+		net.Send(v, (v+1)%n, v, 1)
+	})
+	read, pending := 0, 0
+	for v := 0; v < n; v++ {
+		read += reads[v]
+		pending += len(net.Recv(v))
+	}
+	sent := int(net.Counter().Messages())
+	dropped := int(net.Counter().Dropped())
+	if read+pending+dropped != sent {
+		t.Errorf("read %d + pending %d + dropped %d != sent %d: messages stranded in flight",
+			read, pending, dropped, sent)
+	}
+}

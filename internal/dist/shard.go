@@ -3,6 +3,8 @@ package dist
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/sched"
 )
 
 // Partition returns the contiguous shard bounds the runtime uses for every
@@ -11,16 +13,9 @@ import (
 // Sizes differ by at most one, and no shard is empty when shards <= n. The
 // network partitions nodes across workers with exactly this rule, so
 // external shardings built from Partition line up with its ownership map.
-func Partition(n, shards int) []int {
-	if n < 0 || shards < 1 {
-		panic(fmt.Sprintf("dist: Partition(%d, %d)", n, shards))
-	}
-	bounds := make([]int, shards+1)
-	for i := 0; i <= shards; i++ {
-		bounds[i] = i * n / shards
-	}
-	return bounds
-}
+// The rule itself lives in sched.Partition, shared with the engine-side
+// parallel hot paths.
+func Partition(n, shards int) []int { return sched.Partition(n, shards) }
 
 // MachineMap assigns the worker pool's delivery shards to machine shards:
 // the runtime's unit of parallel delivery is the destination worker shard

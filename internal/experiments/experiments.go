@@ -29,6 +29,11 @@ type Config struct {
 	// across transports — that is the Transport seam's contract — so this
 	// exists to demonstrate it, not to change results.
 	Transport core.TransportSpec
+	// Parallel is the worker count for the parallel execution paths
+	// (currently F9's asynchronous run, via AsyncOptions.Parallel): 0/1
+	// serial, < 0 GOMAXPROCS. Like Transport, every table is bit-identical
+	// across values — the scheduler replays the serial transcript.
+	Parallel int
 }
 
 func (c Config) scale() float64 {

@@ -162,3 +162,27 @@ func TestF9Smoke(t *testing.T) {
 	tb, err := F9AsyncGossip(tiny)
 	checkTable(t, tb, err, 2)
 }
+
+// TestF9ParallelProducesIdenticalTable: Config.Parallel is a wall-clock
+// knob like Config.Transport — the asynchronous run under the batch
+// scheduler must regenerate the exact same table as the serial execution.
+func TestF9ParallelProducesIdenticalTable(t *testing.T) {
+	e, ok := ByID("F9")
+	if !ok {
+		t.Fatal("F9 not registered")
+	}
+	serial, err := e.Run(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tiny
+	cfg.Parallel = 4
+	parallel, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Markdown() != parallel.Markdown() {
+		t.Errorf("F9 table changed under Parallel=4:\nserial:\n%s\nparallel:\n%s",
+			serial.Markdown(), parallel.Markdown())
+	}
+}

@@ -59,6 +59,7 @@ func F9AsyncGossip(cfg Config) (*Table, error) {
 		Ticks:     2 * events,
 		ClockSeed: cfg.Seed + 9,
 		Transport: cfg.Transport,
+		Parallel:  cfg.Parallel,
 	})
 	if err != nil {
 		return nil, err

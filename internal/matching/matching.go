@@ -19,10 +19,12 @@ package matching
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/linalg"
 	"repro/internal/rng"
+	"repro/internal/sched"
 )
 
 // Unmatched marks a node without a partner in a Matching.
@@ -109,6 +111,93 @@ func Generate(g *graph.Graph, d int, nodeRNGs []*rng.RNG) *Matching {
 	}
 	m := resolve(g, active, proposals)
 	m.Proposals = nProposals
+	return m
+}
+
+// GenerateParallel is Generate partitioned over a shared worker pool; it
+// returns the bit-identical matching for any pool size (nil or a one-worker
+// pool falls back to the sequential Generate). The protocol parallelises
+// cleanly because randomness is per-node: pass 1 draws each shard's
+// activity and proposals locally, bucketing proposals by the target's shard
+// (the same outbox shuffle as the dist runtime, so no worker writes another
+// shard's tallies); pass 2 drains the buckets per target shard in ascending
+// source order, reproducing the sequential proposer tallies; pass 3 scans
+// acceptors per shard, emitting pairs in ascending acceptor order so the
+// concatenated pair list matches the sequential append order exactly.
+func GenerateParallel(g *graph.Graph, d int, nodeRNGs []*rng.RNG, pool *sched.Pool) *Matching {
+	if pool == nil || pool.Size() <= 1 {
+		return Generate(g, d, nodeRNGs)
+	}
+	n := g.N()
+	workers := pool.Size()
+	bounds := sched.Partition(n, workers)
+	active := make([]bool, n)
+	// buckets[src][dst] holds (target, proposer) pairs flat, staged by the
+	// source shard and drained by the target shard.
+	buckets := make([][][]int32, workers)
+	nProposals := make([]int, workers)
+	pool.Run(func(w int) {
+		out := make([][]int32, workers)
+		count := 0
+		for v := bounds[w]; v < bounds[w+1]; v++ {
+			r := nodeRNGs[v]
+			active[v] = r.Bool()
+			if !active[v] {
+				continue
+			}
+			slot := r.Intn(d)
+			if slot >= g.Degree(v) {
+				continue
+			}
+			t := g.Neighbor(v, slot)
+			count++
+			s := sort.SearchInts(bounds, t+1) - 1
+			out[s] = append(out[s], int32(t), int32(v))
+		}
+		buckets[w] = out
+		nProposals[w] = count
+	})
+	proposerCount := make([]int32, n)
+	proposer := make([]int32, n)
+	pool.Run(func(w int) {
+		// Draining sources in ascending order makes the last writer of
+		// proposer[t] the highest proposer ID, exactly as in the sequential
+		// scan (it is only read when the count is 1, but exactness is free).
+		for src := 0; src < workers; src++ {
+			b := buckets[src][w]
+			for i := 0; i < len(b); i += 2 {
+				proposerCount[b[i]]++
+				proposer[b[i]] = b[i+1]
+			}
+		}
+	})
+	m := &Matching{Partner: make([]int32, n)}
+	shardPairs := make([][][2]int32, workers)
+	pool.Run(func(w int) {
+		var pairs [][2]int32
+		for v := bounds[w]; v < bounds[w+1]; v++ {
+			m.Partner[v] = Unmatched
+			if active[v] || proposerCount[v] != 1 {
+				continue
+			}
+			a, b := proposer[v], int32(v)
+			if a > b {
+				a, b = b, a
+			}
+			pairs = append(pairs, [2]int32{a, b})
+		}
+		shardPairs[w] = pairs
+	})
+	for _, pairs := range shardPairs {
+		for _, p := range pairs {
+			m.Partner[p[0]] = p[1]
+			m.Partner[p[1]] = p[0]
+		}
+		m.Pairs = append(m.Pairs, pairs...)
+	}
+	for _, c := range nProposals {
+		m.Proposals += c
+	}
 	return m
 }
 

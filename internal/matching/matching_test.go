@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph/gen"
 	"repro/internal/linalg"
 	"repro/internal/rng"
+	"repro/internal/sched"
 )
 
 func TestDBar(t *testing.T) {
@@ -254,5 +255,69 @@ func TestMatchingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestGenerateParallelMatchesSerial pins the parallel generator's contract:
+// for equal per-node streams, GenerateParallel reproduces Generate bit for
+// bit — same partner array, same pair list in the same order, same proposal
+// count — for every pool size, over many consecutive rounds (the streams
+// advance identically, so round k stays aligned for round k+1).
+func TestGenerateParallelMatchesSerial(t *testing.T) {
+	r := rng.New(5)
+	g, err := gen.RandomRegular(121, 6, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		pool := sched.NewPool(workers)
+		serial := NodeRNGs(g.N(), 41)
+		parallel := NodeRNGs(g.N(), 41)
+		for round := 0; round < 25; round++ {
+			want := Generate(g, g.MaxDegree(), serial)
+			got := GenerateParallel(g, g.MaxDegree(), parallel, pool)
+			if err := got.Validate(g); err != nil {
+				t.Fatalf("workers %d round %d: %v", workers, round, err)
+			}
+			if got.Proposals != want.Proposals {
+				t.Fatalf("workers %d round %d: proposals %d != %d", workers, round, got.Proposals, want.Proposals)
+			}
+			if len(got.Pairs) != len(want.Pairs) {
+				t.Fatalf("workers %d round %d: %d pairs != %d", workers, round, len(got.Pairs), len(want.Pairs))
+			}
+			for i := range want.Pairs {
+				if got.Pairs[i] != want.Pairs[i] {
+					t.Fatalf("workers %d round %d: pair %d is %v, want %v",
+						workers, round, i, got.Pairs[i], want.Pairs[i])
+				}
+			}
+			for v := range want.Partner {
+				if got.Partner[v] != want.Partner[v] {
+					t.Fatalf("workers %d round %d: partner of %d is %d, want %d",
+						workers, round, v, got.Partner[v], want.Partner[v])
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestGenerateParallelNilPoolFallsBack: a nil or single-worker pool must hit
+// the sequential path (trivially identical, and no goroutine machinery).
+func TestGenerateParallelNilPoolFallsBack(t *testing.T) {
+	r := rng.New(6)
+	g, err := gen.RandomRegular(30, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := sched.NewPool(1)
+	defer one.Close()
+	want := Generate(g, 4, NodeRNGs(g.N(), 13))
+	for _, pool := range []*sched.Pool{nil, one} {
+		got := GenerateParallel(g, 4, NodeRNGs(g.N(), 13), pool)
+		if len(got.Pairs) != len(want.Pairs) || got.Proposals != want.Proposals {
+			t.Fatalf("fallback diverged: %d pairs/%d proposals, want %d/%d",
+				len(got.Pairs), got.Proposals, len(want.Pairs), want.Proposals)
+		}
 	}
 }

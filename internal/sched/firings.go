@@ -1,0 +1,67 @@
+package sched
+
+import "fmt"
+
+// Firings greedily batches a serial firing schedule into independent sets.
+//
+// An asynchronous run fires one node per step in a randomized serial order
+// (dist's RunAsync clock). Firings of nodes that cannot interact commute, so
+// a scheduler may execute a batch of them concurrently and commit their
+// effects in the original serial order, reproducing the serial transcript
+// bit for bit. Firings implements the batch formation half of that scheme:
+// the caller offers nodes in serial schedule order, and Offer accepts each
+// node into the current batch only while the batch stays an independent set
+// of the conflict graph.
+//
+// The conflict graph is supplied as an adjacency function: adj(v) must list
+// every node a firing of v may interact with — for a message-passing
+// protocol, every node v may address a message to. The relation must be
+// symmetric (u ∈ adj(v) ⇔ v ∈ adj(u)); an asymmetric oracle can admit two
+// conflicting nodes into one batch. A node always conflicts with itself, so
+// a schedule that fires the same node twice splits batches at the repeat.
+//
+// Batch membership is tracked with generation stamps, so Reset is O(1) and
+// a long run never re-clears the per-node array.
+type Firings struct {
+	adj func(v int) []int32
+	// mark[v] == gen when v is blocked for the current batch (a member, or
+	// adjacent to one).
+	mark []int64
+	gen  int64
+	size int
+}
+
+// NewFirings creates a batcher for nodes 0..n-1 with the given conflict
+// adjacency.
+func NewFirings(n int, adj func(v int) []int32) *Firings {
+	if n < 0 || adj == nil {
+		panic(fmt.Sprintf("sched: NewFirings(%d, adj==nil:%v)", n, adj == nil))
+	}
+	return &Firings{adj: adj, mark: make([]int64, n), gen: 1}
+}
+
+// Offer proposes the next firing of the serial schedule for the current
+// batch. It returns true and admits v if v neither is nor conflicts with a
+// current member; the caller then executes v in this batch. It returns false
+// — admitting nothing — if v conflicts: the caller must close the batch
+// (Reset) and re-offer v to the next one, preserving schedule order.
+func (f *Firings) Offer(v int) bool {
+	if f.mark[v] == f.gen {
+		return false
+	}
+	f.mark[v] = f.gen
+	for _, u := range f.adj(v) {
+		f.mark[u] = f.gen
+	}
+	f.size++
+	return true
+}
+
+// Size returns the number of members admitted to the current batch.
+func (f *Firings) Size() int { return f.size }
+
+// Reset closes the current batch and starts an empty one.
+func (f *Firings) Reset() {
+	f.gen++
+	f.size = 0
+}

@@ -1,0 +1,160 @@
+// Package sched is the repo's deterministic parallel-execution subsystem:
+// a shared fork/join worker pool (Pool), the balanced contiguous partition
+// rule every sharded structure in the repo uses (Partition), and a greedy
+// independent-set batcher for asynchronous firing schedules (Firings).
+//
+// The package exists so the same worker-pool abstraction serves every hot
+// path: the dist runtime's phase barrier, the sequential engine's matching
+// generation and pair merges, and the speculative execution of asynchronous
+// firing batches. All of them share one determinism contract — results are
+// bit-identical for any worker count — which each caller realises by
+// confining every worker's writes to data it owns (contiguous index shards,
+// per-worker buffers) and reducing per-worker partials in a fixed order
+// after the barrier.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Partition returns the contiguous shard bounds used by every sharded
+// structure in the repo: shard i owns the index range [bounds[i],
+// bounds[i+1]), with len(bounds) == shards+1, bounds[0] == 0 and
+// bounds[shards] == n. Sizes differ by at most one, and no shard is empty
+// when shards <= n. dist.Partition re-exports this rule, so shardings built
+// here line up with the network's ownership map.
+func Partition(n, shards int) []int {
+	if n < 0 || shards < 1 {
+		panic(fmt.Sprintf("sched: Partition(%d, %d)", n, shards))
+	}
+	bounds := make([]int, shards+1)
+	for i := 0; i <= shards; i++ {
+		bounds[i] = i * n / shards
+	}
+	return bounds
+}
+
+// Pool is a fixed set of long-lived worker goroutines with a fork/join
+// barrier: Run hands the same task to every worker and blocks until all of
+// them finish. Keeping the goroutines warm across phases avoids a spawn per
+// phase on the hot path; a single-worker pool degenerates to an inline call
+// with zero synchronisation, which keeps size 1 an honest baseline for
+// speedup measurements.
+type Pool struct {
+	size int
+	work []chan func(w int)
+	wg   sync.WaitGroup
+	once sync.Once
+	// panicMu/panicked capture the first panic from a worker so Run can
+	// re-raise it on the driving goroutine; without this a callback panic
+	// on a pool goroutine would kill the whole process with size > 1 but
+	// stay recoverable with size == 1.
+	panicMu  sync.Mutex
+	panicked any
+}
+
+// NewPool creates a pool of the given size; size <= 0 means
+// runtime.GOMAXPROCS(0). The goroutines live until Close.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{size: size}
+	if size == 1 {
+		return p
+	}
+	p.work = make([]chan func(w int), size)
+	for w := range p.work {
+		ch := make(chan func(w int), 1)
+		p.work[w] = ch
+		go func(w int, ch <-chan func(w int)) {
+			for task := range ch {
+				p.runOne(task, w)
+				p.wg.Done()
+			}
+		}(w, ch)
+	}
+	return p
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return p.size }
+
+// Run executes task(w) on every worker w in [0, size) and waits for all of
+// them. The WaitGroup join is the barrier: everything written by the workers
+// happens-before Run returns. A panic inside task surfaces on the calling
+// goroutine after the barrier (the first one wins if several workers panic),
+// so panic behaviour is the same for every worker count.
+func (p *Pool) Run(task func(w int)) {
+	if p.size == 1 {
+		task(0)
+		return
+	}
+	p.wg.Add(p.size)
+	for _, ch := range p.work {
+		ch <- task
+	}
+	p.wg.Wait()
+	p.panicMu.Lock()
+	v := p.panicked
+	p.panicked = nil
+	p.panicMu.Unlock()
+	if v != nil {
+		panic(v)
+	}
+}
+
+// RunRange partitions [0, n) over the pool with Partition and executes
+// task(w, lo, hi) on each worker's contiguous range — the loop shape of
+// every data-parallel hot path. Workers whose range is empty still run (with
+// lo == hi), so per-worker reductions can index their slot unconditionally.
+func (p *Pool) RunRange(n int, task func(w, lo, hi int)) {
+	bounds := Partition(n, p.size)
+	p.Run(func(w int) { task(w, bounds[w], bounds[w+1]) })
+}
+
+// runOne executes one task on a worker, converting a panic into a value for
+// Run to re-raise so a bad callback cannot tear down the process.
+func (p *Pool) runOne(task func(w int), w int) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.panicMu.Lock()
+			if p.panicked == nil {
+				p.panicked = v
+			}
+			p.panicMu.Unlock()
+		}
+	}()
+	task(w)
+}
+
+// Close terminates the worker goroutines. Idempotent; Run must not be
+// called afterwards.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		for _, ch := range p.work {
+			close(ch)
+		}
+	})
+}
+
+// ParseWorkers parses the -parallel flag syntax shared by the repo's
+// binaries: "", "0", "off" and "serial" mean sequential execution (0);
+// "auto" means runtime.GOMAXPROCS(0); a positive integer means that many
+// workers.
+func ParseWorkers(s string) (int, error) {
+	switch s {
+	case "", "0", "off", "serial":
+		return 0, nil
+	case "auto":
+		return runtime.GOMAXPROCS(0), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("sched: bad worker count %q (want a positive integer, \"auto\", or \"off\")", s)
+	}
+	return n, nil
+}

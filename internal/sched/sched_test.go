@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{0, 1}, {1, 1}, {10, 3}, {10, 10}, {10, 16}, {1000, 7},
+	} {
+		b := Partition(tc.n, tc.shards)
+		if len(b) != tc.shards+1 || b[0] != 0 || b[tc.shards] != tc.n {
+			t.Fatalf("Partition(%d,%d) = %v", tc.n, tc.shards, b)
+		}
+		min, max := tc.n, 0
+		for i := 0; i < tc.shards; i++ {
+			size := b[i+1] - b[i]
+			if size < 0 {
+				t.Fatalf("Partition(%d,%d): negative shard %d", tc.n, tc.shards, i)
+			}
+			if size < min {
+				min = size
+			}
+			if size > max {
+				max = size
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("Partition(%d,%d): sizes differ by %d", tc.n, tc.shards, max-min)
+		}
+		if tc.shards <= tc.n && min == 0 && tc.n > 0 {
+			t.Errorf("Partition(%d,%d): empty shard with shards <= n", tc.n, tc.shards)
+		}
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{{-1, 2}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Partition(%d,%d) should panic", tc.n, tc.shards)
+				}
+			}()
+			Partition(tc.n, tc.shards)
+		}()
+	}
+}
+
+func TestPoolRunBarrier(t *testing.T) {
+	for _, size := range []int{1, 2, 8} {
+		p := NewPool(size)
+		got := make([]int, size)
+		for round := 1; round <= 3; round++ {
+			p.Run(func(w int) { got[w] += w + round })
+			// The barrier makes every worker's write visible here.
+			for w := 0; w < size; w++ {
+				want := 0
+				for r := 1; r <= round; r++ {
+					want += w + r
+				}
+				if got[w] != want {
+					t.Fatalf("size %d round %d: worker %d wrote %d, want %d", size, round, w, got[w], want)
+				}
+			}
+		}
+		p.Close()
+		p.Close() // idempotent
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Size() != runtime.GOMAXPROCS(0) {
+		t.Errorf("NewPool(0).Size() = %d, want GOMAXPROCS %d", p.Size(), runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestPoolPanicPropagates(t *testing.T) {
+	for _, size := range []int{1, 4} {
+		p := NewPool(size)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d: worker panic did not surface on the caller", size)
+				}
+			}()
+			p.Run(func(w int) {
+				if w == size-1 {
+					panic("boom")
+				}
+			})
+		}()
+		// The pool must stay usable after a recovered panic.
+		var n atomic.Int64
+		p.Run(func(w int) { n.Add(1) })
+		if int(n.Load()) != size {
+			t.Errorf("size %d: pool broken after panic (%d workers ran)", size, n.Load())
+		}
+		p.Close()
+	}
+}
+
+func TestRunRangeCoversOnce(t *testing.T) {
+	for _, size := range []int{1, 3, 8} {
+		p := NewPool(size)
+		const n = 103
+		seen := make([]int32, n)
+		p.RunRange(n, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("size %d: index %d visited %d times", size, i, c)
+			}
+		}
+		p.Close()
+	}
+}
+
+// pathAdj is the conflict adjacency of a path graph 0-1-2-...-(n-1).
+func pathAdj(n int) func(v int) []int32 {
+	return func(v int) []int32 {
+		var out []int32
+		if v > 0 {
+			out = append(out, int32(v-1))
+		}
+		if v < n-1 {
+			out = append(out, int32(v+1))
+		}
+		return out
+	}
+}
+
+func TestFiringsIndependentSets(t *testing.T) {
+	f := NewFirings(10, pathAdj(10))
+	if !f.Offer(4) {
+		t.Fatal("first offer must always be admitted")
+	}
+	if f.Offer(4) {
+		t.Error("repeated node admitted to the same batch")
+	}
+	if f.Offer(3) || f.Offer(5) {
+		t.Error("neighbour of a member admitted")
+	}
+	if !f.Offer(7) {
+		t.Error("independent node rejected")
+	}
+	if f.Size() != 2 {
+		t.Errorf("Size = %d, want 2", f.Size())
+	}
+	f.Reset()
+	if f.Size() != 0 {
+		t.Errorf("Size after Reset = %d", f.Size())
+	}
+	if !f.Offer(3) || !f.Offer(5) {
+		t.Error("Reset did not clear the batch membership")
+	}
+}
+
+func TestFiringsLongRunGenerations(t *testing.T) {
+	// Many reset cycles must not corrupt membership (generation stamps, not
+	// re-cleared arrays).
+	f := NewFirings(4, pathAdj(4))
+	for i := 0; i < 10_000; i++ {
+		v := i % 3
+		if !f.Offer(v) {
+			t.Fatalf("cycle %d: fresh batch rejected its first offer", i)
+		}
+		if f.Offer(v + 1) {
+			t.Fatalf("cycle %d: neighbour admitted", i)
+		}
+		f.Reset()
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{
+		{"", 0}, {"0", 0}, {"off", 0}, {"serial", 0},
+		{"1", 1}, {"4", 4},
+		{"auto", runtime.GOMAXPROCS(0)},
+	} {
+		got, err := ParseWorkers(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseWorkers(%q) = (%d, %v), want (%d, nil)", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"-1", "x", "1.5", "2 "} {
+		if _, err := ParseWorkers(bad); err == nil {
+			t.Errorf("ParseWorkers(%q) should fail", bad)
+		}
+	}
+}
