@@ -65,6 +65,7 @@ func BenchmarkF6Ablations(b *testing.B)         { benchExperiment(b, "F6", 0.2) 
 func BenchmarkF7BalancingModels(b *testing.B)   { benchExperiment(b, "F7", 0.2) }
 func BenchmarkF8EarlyBehaviour(b *testing.B)    { benchExperiment(b, "F8", 0.2) }
 func BenchmarkF9AsyncGossip(b *testing.B)       { benchExperiment(b, "F9", 0.2) }
+func BenchmarkF10LossAblation(b *testing.B)     { benchExperiment(b, "F10", 0.2) }
 
 // --- micro-benchmarks -----------------------------------------------------
 
@@ -173,6 +174,59 @@ func BenchmarkEngineQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Query()
+	}
+}
+
+// BenchmarkEngineQueryParallel sweeps the query's threshold scan over the
+// shared worker pool on a large evolved instance (workers=1 is the
+// single-threaded baseline; the result is bit-identical across the sweep).
+func BenchmarkEngineQueryParallel(b *testing.B) {
+	p := benchRing(b, 2, 25000, 16, 1)
+	for _, workers := range dist.WorkerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var pool *sched.Pool
+			if workers > 1 {
+				pool = sched.NewPool(workers)
+				defer pool.Close()
+			}
+			eng, err := core.NewEngineWithPool(p.G, core.Params{Beta: 0.5, Rounds: 1, Seed: 5}, pool)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Run(20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Query()
+			}
+			b.ReportMetric(float64(p.G.N())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
+		})
+	}
+}
+
+// BenchmarkAsyncGossipReliable prices the reliability layer at the F10
+// operating point — 20% push loss with a bounded mailbox — against plain
+// push-sum on the same clock: the reliable row pays ack and retransmission
+// traffic (roughly 4x messages) for exact mass conservation.
+func BenchmarkAsyncGossipReliable(b *testing.B) {
+	p := benchRing(b, 2, 2500, 16, 1)
+	params := core.Params{Beta: 0.5, Rounds: 20, Seed: 5}
+	model := dist.LinkFaults{DropProb: 0.2, Seed: 31}
+	for _, mode := range []struct {
+		name     string
+		reliable bool
+	}{{"plain", false}, {"reliable", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ClusterAsyncGossip(p.G, params, core.AsyncOptions{
+					ClockSeed:  9,
+					Model:      model,
+					MailboxCap: 12,
+					Reliable:   mode.reliable,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

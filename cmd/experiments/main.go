@@ -8,12 +8,14 @@
 //	experiments [-run T1,F2,... | -run all] [-scale 1.0] [-seed 1] [-out results/]
 //	            [-transport inprocess|ring[:cap]|socket[:machines]] [-parallel N|auto]
 //
-// Experiment F9 runs both its synchronous and asynchronous executions as
-// real messages on the dist runtime, so its table includes wire traffic;
-// -transport selects the delivery transport for those runs (with "socket"
-// the barriers cross real worker OS processes — the tables are bit-identical
-// either way), and -parallel executes the asynchronous firing schedule with
-// the independent-set batch scheduler on that many workers ("auto" =
+// Experiments F9 and F10 run their executions as real messages on the dist
+// runtime, so their tables include wire traffic (F10 additionally sweeps
+// push loss against bounded-mailbox backpressure, comparing plain push-sum
+// with the mass-conserving reliable variant); -transport selects the
+// delivery transport for those runs (with "socket" the barriers cross real
+// worker OS processes — the tables are bit-identical either way), and
+// -parallel executes the asynchronous firing schedules with the
+// independent-set batch scheduler on that many workers ("auto" =
 // GOMAXPROCS; tables are again bit-identical, the scheduler replays the
 // serial transcript).
 //
@@ -37,7 +39,7 @@ import (
 
 func main() {
 	wire.ServeIfWorker()
-	runFlag := flag.String("run", "all", "comma-separated experiment ids (T1..T6, F1..F9) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (T1..T6, F1..F10) or 'all'")
 	scale := flag.Float64("scale", 1.0, "instance scale factor (1.0 = reference size)")
 	seed := flag.Uint64("seed", 1, "master random seed")
 	out := flag.String("out", "", "directory to write per-experiment .md and .csv files")

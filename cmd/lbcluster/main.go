@@ -16,13 +16,21 @@
 // loopback "ring", or "socket[:machines]" for real multi-process execution.
 // "socket" spawns its own worker processes; to place workers by hand (other
 // cores, other hosts via TCP), start daemons with `lbcluster serve` and
-// list them in -transport-addrs.
+// list them in -transport-addrs. With -gossip the run instead executes as
+// asynchronous push-sum gossip on a randomized firing clock (the same
+// engine as experiment F10); -reliable adds the retransmit-on-timeout layer
+// that conserves push mass exactly under loss and backpressure.
+//
+// -mailbox-cap bounds every node's mailbox (deterministic reject-newest
+// backpressure) and -drop-prob injects link-level push loss; both apply to
+// the -distributed and -gossip engines.
 //
 // -parallel sizes the worker pool the hot paths partition over: the
-// sequential engine's matching generation and pair merges, or the
-// distributed engine's phase workers. "auto" (the default) means GOMAXPROCS,
-// "off" forces single-threaded execution. Labels are bit-identical for every
-// setting — parallelism changes the wall clock, never the run.
+// sequential engine's seeding/matching/merges/query, the distributed
+// engine's phase workers, or the gossip engine's batch scheduler. "auto"
+// (the default) means GOMAXPROCS, "off" forces single-threaded execution.
+// Labels are bit-identical for every setting — parallelism changes the wall
+// clock, never the run.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/sched"
 	"repro/internal/spectral"
@@ -48,17 +57,22 @@ func main() {
 		}
 		return
 	}
-	in := flag.String("in", "-", "input edge-list file ('-' = stdin)")
-	out := flag.String("out", "-", "output label file ('-' = stdout)")
-	beta := flag.Float64("beta", 0.1, "lower bound on the minimum cluster size fraction")
-	rounds := flag.Int("rounds", 0, "averaging rounds T (0 = estimate from the spectral gap, needs -k)")
-	k := flag.Int("k", 0, "number of clusters (only used to estimate T when -rounds 0)")
-	seed := flag.Uint64("seed", 1, "random seed")
-	thresholdScale := flag.Float64("threshold-scale", 1, "multiplier on the query threshold 1/(sqrt(2β)n)")
-	distributed := flag.Bool("distributed", false, "run on the message-passing engine and report network traffic")
-	transport := flag.String("transport", "inprocess",
-		"delivery transport for -distributed: inprocess, ring[:capacity], or socket[:machines]")
-	transportAddrs := flag.String("transport-addrs", "",
+	var o runOpts
+	flag.StringVar(&o.in, "in", "-", "input edge-list file ('-' = stdin)")
+	flag.StringVar(&o.out, "out", "-", "output label file ('-' = stdout)")
+	flag.Float64Var(&o.beta, "beta", 0.1, "lower bound on the minimum cluster size fraction")
+	flag.IntVar(&o.rounds, "rounds", 0, "averaging rounds T (0 = estimate from the spectral gap, needs -k)")
+	flag.IntVar(&o.k, "k", 0, "number of clusters (only used to estimate T when -rounds 0)")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.Float64Var(&o.thresholdScale, "threshold-scale", 1, "multiplier on the query threshold 1/(sqrt(2β)n)")
+	flag.BoolVar(&o.distributed, "distributed", false, "run on the message-passing engine and report network traffic")
+	flag.BoolVar(&o.gossip, "gossip", false, "run as asynchronous push-sum gossip on the message-passing engine")
+	flag.BoolVar(&o.reliable, "reliable", false, "with -gossip: retransmit-on-timeout layer (conserves push mass exactly under loss)")
+	flag.IntVar(&o.mailboxCap, "mailbox-cap", 0, "bound every node's mailbox to this many messages (0 = unbounded; -distributed/-gossip only)")
+	flag.Float64Var(&o.dropProb, "drop-prob", 0, "substrate message loss probability (-distributed/-gossip only)")
+	flag.StringVar(&o.transport, "transport", "inprocess",
+		"delivery transport for -distributed/-gossip: inprocess, ring[:capacity], or socket[:machines]")
+	flag.StringVar(&o.transportAddrs, "transport-addrs", "",
 		"comma-separated `lbcluster serve` daemon addresses for -transport socket (overrides spawning)")
 	parallel := flag.String("parallel", "auto",
 		"worker pool size for the hot paths: a count, \"auto\" (GOMAXPROCS), or \"off\"")
@@ -69,8 +83,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lbcluster: %v\n", err)
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *beta, *rounds, *k, *seed, *thresholdScale, *distributed,
-		*transport, *transportAddrs, workers); err != nil {
+	o.workers = workers
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "lbcluster: %v\n", err)
 		os.Exit(1)
 	}
@@ -94,11 +108,36 @@ func serve(args []string) error {
 	return wire.Serve(ln)
 }
 
-func run(in, out string, beta float64, rounds, k int, seed uint64, thresholdScale float64,
-	distributed bool, transport, transportAddrs string, workers int) error {
+// runOpts carries every CLI knob of the clustering mode.
+type runOpts struct {
+	in, out        string
+	beta           float64
+	rounds, k      int
+	seed           uint64
+	thresholdScale float64
+	distributed    bool
+	gossip         bool
+	reliable       bool
+	mailboxCap     int
+	dropProb       float64
+	transport      string
+	transportAddrs string
+	workers        int
+}
+
+func run(o runOpts) error {
+	if (o.mailboxCap != 0 || o.dropProb != 0) && !o.distributed && !o.gossip {
+		return fmt.Errorf("-mailbox-cap and -drop-prob need -distributed or -gossip (the sequential engine has no substrate)")
+	}
+	if o.dropProb < 0 || o.dropProb > 1 {
+		return fmt.Errorf("-drop-prob %v outside [0, 1]", o.dropProb)
+	}
+	if o.reliable && !o.gossip {
+		return fmt.Errorf("-reliable needs -gossip (the synchronous protocol already aborts matches atomically)")
+	}
 	var r io.Reader = os.Stdin
-	if in != "-" {
-		f, err := os.Open(in)
+	if o.in != "-" {
+		f, err := os.Open(o.in)
 		if err != nil {
 			return err
 		}
@@ -111,46 +150,76 @@ func run(in, out string, beta float64, rounds, k int, seed uint64, thresholdScal
 	}
 	fmt.Fprintf(os.Stderr, "loaded %v\n", g)
 
-	if rounds == 0 {
-		if k < 1 {
+	if o.rounds == 0 {
+		if o.k < 1 {
 			return fmt.Errorf("-rounds 0 requires -k to estimate the budget")
 		}
-		vals, _, err := spectral.TopEigen(g, k+1, seed)
+		vals, _, err := spectral.TopEigen(g, o.k+1, o.seed)
 		if err != nil {
 			return fmt.Errorf("estimating rounds: %w", err)
 		}
-		rounds = spectral.EstimateRoundsMatching(g.N(), vals[k], g.MaxDegree(), 1.5)
-		fmt.Fprintf(os.Stderr, "estimated T = %d (lambda_{k+1} = %.4f)\n", rounds, vals[k])
+		o.rounds = spectral.EstimateRoundsMatching(g.N(), vals[o.k], g.MaxDegree(), 1.5)
+		fmt.Fprintf(os.Stderr, "estimated T = %d (lambda_{k+1} = %.4f)\n", o.rounds, vals[o.k])
 	}
 	params := core.Params{
-		Beta:           beta,
-		Rounds:         rounds,
-		Seed:           seed,
-		ThresholdScale: thresholdScale,
+		Beta:           o.beta,
+		Rounds:         o.rounds,
+		Seed:           o.seed,
+		ThresholdScale: o.thresholdScale,
 	}
-	var labels []int
-	if distributed {
-		spec, err := core.ParseTransportSpec(transport)
-		if err != nil {
+	var spec core.TransportSpec
+	if o.distributed || o.gossip {
+		if spec, err = core.ParseTransportSpec(o.transport); err != nil {
 			return err
 		}
-		if transportAddrs != "" {
-			spec.Addrs = strings.Split(transportAddrs, ",")
+		if o.transportAddrs != "" {
+			spec.Addrs = strings.Split(o.transportAddrs, ",")
 		}
-		// The phase pool needs at least one worker; -parallel off degrades
-		// to a single-worker (still deterministic) network.
-		if workers < 1 {
-			workers = 1
-		}
-		res, err := core.ClusterDistributed(g, params, core.DistOptions{Workers: workers, Transport: spec})
+	}
+	var model dist.DeliveryModel
+	if o.dropProb > 0 {
+		model = dist.LinkFaults{DropProb: o.dropProb, Seed: o.seed ^ 0x9e3779b97f4a7c15}
+	}
+	var labels []int
+	switch {
+	case o.gossip:
+		res, err := core.ClusterAsyncGossip(g, params, core.AsyncOptions{
+			ClockSeed:  o.seed,
+			Model:      model,
+			MailboxCap: o.mailboxCap,
+			Reliable:   o.reliable,
+			Transport:  spec,
+			Parallel:   o.workers,
+		})
 		if err != nil {
 			return err
 		}
 		labels = res.Labels
-		fmt.Fprintf(os.Stderr, "seeds=%d labels=%d rounds=%d network: %d messages, %d words\n",
-			len(res.Seeds), res.NumLabels, res.Stats.Rounds, res.NetworkMessages, res.NetworkWords)
-	} else {
-		res, err := core.ClusterParallel(g, params, workers)
+		fmt.Fprintf(os.Stderr, "seeds=%d labels=%d mass deficit=%.3g network: %d messages, %d words, %d dropped, %d rejected\n",
+			len(res.Seeds), res.NumLabels, float64(len(res.Seeds))-res.TotalMass,
+			res.NetworkMessages, res.NetworkWords, res.DroppedMessages, res.RejectedMessages)
+	case o.distributed:
+		// The phase pool needs at least one worker; -parallel off degrades
+		// to a single-worker (still deterministic) network.
+		workers := o.workers
+		if workers < 1 {
+			workers = 1
+		}
+		res, err := core.ClusterDistributed(g, params, core.DistOptions{
+			Workers:    workers,
+			Model:      model,
+			MailboxCap: o.mailboxCap,
+			Transport:  spec,
+		})
+		if err != nil {
+			return err
+		}
+		labels = res.Labels
+		fmt.Fprintf(os.Stderr, "seeds=%d labels=%d rounds=%d network: %d messages, %d words, %d dropped, %d rejected\n",
+			len(res.Seeds), res.NumLabels, res.Stats.Rounds, res.NetworkMessages,
+			res.NetworkWords, res.DroppedMessages, res.RejectedMessages)
+	default:
+		res, err := core.ClusterParallel(g, params, o.workers)
 		if err != nil {
 			return err
 		}
@@ -160,8 +229,8 @@ func run(in, out string, beta float64, rounds, k int, seed uint64, thresholdScal
 			res.Stats.TotalWords(), res.Threshold)
 	}
 	var w io.Writer = os.Stdout
-	if out != "-" {
-		f, err := os.Create(out)
+	if o.out != "-" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}

@@ -57,7 +57,7 @@ func TestRunFixedRounds(t *testing.T) {
 	dir := t.TempDir()
 	in, p := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "labels.txt")
-	if err := run(in, out, 0.5, 80, 0, 1, 1, false, "inprocess", "", 0); err != nil {
+	if err := run(runOpts{in: in, out: out, beta: 0.5, rounds: 80, k: 0, seed: 1, thresholdScale: 1, distributed: false, transport: "inprocess", transportAddrs: "", workers: 0}); err != nil {
 		t.Fatal(err)
 	}
 	labels := readLabels(t, out, p.G.N())
@@ -72,7 +72,7 @@ func TestRunAutoRounds(t *testing.T) {
 	dir := t.TempDir()
 	in, p := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "labels.txt")
-	if err := run(in, out, 0.5, 0, 2, 1, 1, false, "inprocess", "", 0); err != nil {
+	if err := run(runOpts{in: in, out: out, beta: 0.5, rounds: 0, k: 2, seed: 1, thresholdScale: 1, distributed: false, transport: "inprocess", transportAddrs: "", workers: 0}); err != nil {
 		t.Fatal(err)
 	}
 	readLabels(t, out, p.G.N())
@@ -82,7 +82,7 @@ func TestRunDistributed(t *testing.T) {
 	dir := t.TempDir()
 	in, p := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "labels.txt")
-	if err := run(in, out, 0.5, 60, 0, 1, 1, true, "inprocess", "", 0); err != nil {
+	if err := run(runOpts{in: in, out: out, beta: 0.5, rounds: 60, k: 0, seed: 1, thresholdScale: 1, distributed: true, transport: "inprocess", transportAddrs: "", workers: 0}); err != nil {
 		t.Fatal(err)
 	}
 	readLabels(t, out, p.G.N())
@@ -96,7 +96,7 @@ func TestRunDistributedTransports(t *testing.T) {
 	dir := t.TempDir()
 	in, p := writeTestGraph(t, dir)
 	want := filepath.Join(dir, "want.txt")
-	if err := run(in, want, 0.5, 60, 0, 1, 1, true, "inprocess", "", 0); err != nil {
+	if err := run(runOpts{in: in, out: want, beta: 0.5, rounds: 60, k: 0, seed: 1, thresholdScale: 1, distributed: true, transport: "inprocess", transportAddrs: "", workers: 0}); err != nil {
 		t.Fatal(err)
 	}
 	wantLabels := readLabels(t, want, p.G.N())
@@ -114,13 +114,42 @@ func TestRunDistributedTransports(t *testing.T) {
 		{"socket", addr},
 	} {
 		out := filepath.Join(dir, "got.txt")
-		if err := run(in, out, 0.5, 60, 0, 1, 1, true, tc.transport, tc.addrs, 0); err != nil {
+		if err := run(runOpts{in: in, out: out, beta: 0.5, rounds: 60, k: 0, seed: 1, thresholdScale: 1, distributed: true, transport: tc.transport, transportAddrs: tc.addrs, workers: 0}); err != nil {
 			t.Fatalf("transport %s: %v", tc.transport, err)
 		}
 		got := readLabels(t, out, p.G.N())
 		for v := range wantLabels {
 			if got[v] != wantLabels[v] {
 				t.Fatalf("transport %s: label of node %d differs", tc.transport, v)
+			}
+		}
+	}
+}
+
+// TestRunGossip exercises the -gossip engine end to end, plain and
+// reliable, with the backpressure knobs engaged, and pins that -parallel
+// stays a wall-clock knob in this mode too.
+func TestRunGossip(t *testing.T) {
+	dir := t.TempDir()
+	in, p := writeTestGraph(t, dir)
+	for _, reliable := range []bool{false, true} {
+		want := filepath.Join(dir, "want.txt")
+		base := runOpts{in: in, out: want, beta: 0.5, rounds: 60, seed: 1, thresholdScale: 1,
+			gossip: true, reliable: reliable, mailboxCap: 8, dropProb: 0.1, transport: "inprocess"}
+		if err := run(base); err != nil {
+			t.Fatalf("reliable=%v: %v", reliable, err)
+		}
+		wantLabels := readLabels(t, want, p.G.N())
+		par := base
+		par.out = filepath.Join(dir, "got.txt")
+		par.workers = 4
+		if err := run(par); err != nil {
+			t.Fatalf("reliable=%v parallel: %v", reliable, err)
+		}
+		got := readLabels(t, par.out, p.G.N())
+		for v := range wantLabels {
+			if got[v] != wantLabels[v] {
+				t.Fatalf("reliable=%v: -parallel changed the label of node %d", reliable, v)
 			}
 		}
 	}
@@ -136,16 +165,26 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in, _ := writeTestGraph(t, dir)
 	// Auto rounds without k.
-	if err := run(in, filepath.Join(dir, "x"), 0.5, 0, 0, 1, 1, false, "inprocess", "", 0); err == nil {
+	if err := run(runOpts{in: in, out: filepath.Join(dir, "x"), beta: 0.5, thresholdScale: 1, transport: "inprocess"}); err == nil {
 		t.Error("auto rounds without -k should fail")
 	}
 	// Missing input file.
-	if err := run(filepath.Join(dir, "nope.txt"), "-", 0.5, 10, 0, 1, 1, false, "inprocess", "", 0); err == nil {
+	if err := run(runOpts{in: filepath.Join(dir, "nope.txt"), out: "-", beta: 0.5, rounds: 10, thresholdScale: 1, transport: "inprocess"}); err == nil {
 		t.Error("missing input should fail")
 	}
 	// Invalid beta propagates from core.
-	if err := run(in, filepath.Join(dir, "y"), 0, 10, 0, 1, 1, false, "inprocess", "", 0); err == nil {
+	if err := run(runOpts{in: in, out: filepath.Join(dir, "y"), rounds: 10, thresholdScale: 1, transport: "inprocess"}); err == nil {
 		t.Error("beta=0 should fail")
+	}
+	// Substrate knobs require a substrate engine.
+	if err := run(runOpts{in: in, out: "-", beta: 0.5, rounds: 10, thresholdScale: 1, transport: "inprocess", mailboxCap: 4}); err == nil {
+		t.Error("-mailbox-cap without -distributed/-gossip should fail")
+	}
+	if err := run(runOpts{in: in, out: "-", beta: 0.5, rounds: 10, thresholdScale: 1, transport: "inprocess", reliable: true}); err == nil {
+		t.Error("-reliable without -gossip should fail")
+	}
+	if err := run(runOpts{in: in, out: "-", beta: 0.5, rounds: 10, thresholdScale: 1, transport: "inprocess", gossip: true, dropProb: 1.5}); err == nil {
+		t.Error("-drop-prob outside [0,1] should fail")
 	}
 }
 
@@ -157,13 +196,13 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	in, p := writeTestGraph(t, dir)
 	for _, distributed := range []bool{false, true} {
 		want := filepath.Join(dir, "want.txt")
-		if err := run(in, want, 0.5, 60, 0, 1, 1, distributed, "inprocess", "", 0); err != nil {
+		if err := run(runOpts{in: in, out: want, beta: 0.5, rounds: 60, k: 0, seed: 1, thresholdScale: 1, distributed: distributed, transport: "inprocess", transportAddrs: "", workers: 0}); err != nil {
 			t.Fatal(err)
 		}
 		wantLabels := readLabels(t, want, p.G.N())
 		for _, workers := range []int{2, 4} {
 			out := filepath.Join(dir, "got.txt")
-			if err := run(in, out, 0.5, 60, 0, 1, 1, distributed, "inprocess", "", workers); err != nil {
+			if err := run(runOpts{in: in, out: out, beta: 0.5, rounds: 60, k: 0, seed: 1, thresholdScale: 1, distributed: distributed, transport: "inprocess", transportAddrs: "", workers: workers}); err != nil {
 				t.Fatalf("distributed=%v workers=%d: %v", distributed, workers, err)
 			}
 			got := readLabels(t, out, p.G.N())

@@ -52,14 +52,121 @@ type AsyncOptions struct {
 	// execution (pinned by TestAsyncGossipParallelMatchesSerial). 0 and 1
 	// mean serial.
 	Parallel int
+	// MailboxCap bounds every node's mailbox at delivery time
+	// (dist.Network.SetMailboxCap): a push arriving at a full mailbox is
+	// rejected deterministically (reject-newest) and tallied in
+	// DistResult.RejectedMessages. Plain push-sum loses the mass a rejected
+	// push carries, exactly as it does for a dropped one; Reliable restores
+	// it. 0 means unbounded.
+	MailboxCap int
+	// Reliable layers a retransmit-on-timeout protocol over the gossip:
+	// every push carries a per-sender sequence number and is acknowledged by
+	// the receiver when absorbed; a sender re-fires an unacked push after
+	// RetransmitAfter of its own firings, receivers de-duplicate by
+	// (sender, seq), and when the run quiesces the mass of pushes that never
+	// got through — lost, rejected, or addressed to crashed nodes — is
+	// folded back into the sender. Total mass is therefore conserved exactly
+	// under any (DropProb, MailboxCap, Crashed) combination, at the price of
+	// ack and retransmission traffic (all of it accounted by the network
+	// counters). Params.PruneEpsilon additionally acts as the per-message
+	// state budget: halved entries below it are withheld from the push and
+	// kept whole by the sender, bounding message size under pressure without
+	// destroying mass.
+	Reliable bool
+	// RetransmitAfter is the reliable layer's timeout, measured on the
+	// sender's own firing clock (retransmit when this many of its own
+	// firings have elapsed without an ack — the asynchronous analogue of an
+	// RTO, since a node acts only when it fires). 0 means 1: retransmit at
+	// every firing until acked, the stop-and-wait discipline. Eager
+	// retransmission costs wire traffic (the ack round trip spans about two
+	// firing intervals, so even a delivered push is typically re-sent twice
+	// before its ack lands — duplicates collapse at the receiver), but it
+	// is what keeps accuracy flat under loss: with a lazier timeout the
+	// restored mass arrives firings late and re-mixes poorly within the
+	// fixed tick budget, degrading the clustering even though conservation
+	// stays exact. Raise it to trade accuracy under loss for less
+	// retransmission traffic. Each unsuccessful retransmission of one push
+	// doubles its own wait (exponential backoff), so a destination that
+	// never acks — a crashed neighbour — costs logarithmically many
+	// retries, not one per firing. Only meaningful with Reliable.
+	RetransmitAfter int
 }
+
+// gossipKind discriminates asynchronous-mode messages.
+type gossipKind uint8
+
+const (
+	// gossipPush carries half of the sender's state and weight.
+	gossipPush gossipKind = iota
+	// gossipAck confirms absorption of the push with the echoed seq
+	// (reliable mode only; carries no mass).
+	gossipAck
+)
 
 // gossipMsg is the wire format of the asynchronous mode: half of the
 // sender's load state and half of its push-sum weight, both absorbed
-// additively by the receiver.
+// additively by the receiver. In reliable mode seq numbers the sender's
+// pushes so acks can name them and receivers can de-duplicate
+// retransmissions; plain mode leaves kind/seq zero.
 type gossipMsg struct {
+	kind   gossipKind
+	seq    uint32
 	state  State
 	weight float64
+}
+
+// pendingPush is one unacknowledged reliable push: enough to re-fire it
+// verbatim and to reclaim its mass if it never gets through.
+type pendingPush struct {
+	seq    uint32
+	to     int32
+	sentAt int32 // sender's firing count at the last (re)transmission
+	// attempts counts retransmissions: each one doubles the wait before the
+	// next (exponential backoff), so a destination that never acks — a
+	// crashed neighbour, a persistently full mailbox — costs O(log K)
+	// retransmissions over K firings instead of O(K), while the first
+	// retry stays as eager as RetransmitAfter asks.
+	attempts uint8
+	state    State
+	weight   float64
+}
+
+// pushKey folds (sender, seq) into the de-duplication key.
+func pushKey(from int, seq uint32) uint64 { return uint64(from)<<32 | uint64(seq) }
+
+// splitForPush applies the per-message state budget (Params.PruneEpsilon —
+// honoured by BOTH the plain and reliable gossip modes): entries of the
+// halved state below eps are withheld from the push and the sender keeps
+// their full pre-halve value (doubling the half back is exact in binary
+// floating point), so messages stay bounded under pressure without
+// destroying mass. With no budget — or when every entry clears it — the
+// kept and pushed halves share one slice: states are immutable once built,
+// so sharing with the in-flight message is safe.
+func splitForPush(half State, eps float64) (push, keep State) {
+	if eps <= 0 {
+		return half, half
+	}
+	below := false
+	for _, e := range half {
+		if e.Val < eps {
+			below = true
+			break
+		}
+	}
+	if !below {
+		return half, half
+	}
+	push = make(State, 0, len(half))
+	keep = make(State, len(half))
+	copy(keep, half)
+	for i, e := range half {
+		if e.Val >= eps {
+			push = append(push, e)
+		} else {
+			keep[i].Val = 2 * e.Val
+		}
+	}
+	return push, keep
 }
 
 // ClusterAsyncGossip runs the algorithm in the asynchronous time model of
@@ -83,6 +190,12 @@ type gossipMsg struct {
 // Two firings correspond to one synchronous pairwise averaging event (a
 // matched pair moves half the difference in both directions; a push moves
 // half of one side), which is how callers align the two clocks.
+//
+// Params.PruneEpsilon, when positive, acts as a per-message state budget in
+// BOTH the plain and reliable modes: halved entries below it are withheld
+// from the push and kept whole by the sender (splitForPush), changing
+// message contents and word counts relative to a zero epsilon but never
+// destroying mass — unlike the synchronous engines, where pruning discards.
 func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistResult, error) {
 	if opt.Ticks < 0 {
 		return nil, fmt.Errorf("core: Ticks %d < 0", opt.Ticks)
@@ -90,7 +203,23 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	if opt.Crashed != nil && len(opt.Crashed) != g.N() {
 		return nil, fmt.Errorf("core: Crashed length %d for n=%d", len(opt.Crashed), g.N())
 	}
-	eng, err := NewEngine(g, params)
+	if opt.MailboxCap < 0 {
+		return nil, fmt.Errorf("core: MailboxCap %d < 0", opt.MailboxCap)
+	}
+	if opt.RetransmitAfter < 0 || opt.RetransmitAfter > 1<<30 {
+		return nil, fmt.Errorf("core: RetransmitAfter %d outside [0, 2^30]", opt.RetransmitAfter)
+	}
+	var sch dist.AsyncSched
+	if workers := parallelWorkers(opt.Parallel); workers > 1 {
+		pool := sched.NewPool(workers)
+		defer pool.Close()
+		// Conflict oracle: a firing of v addresses only graph neighbours of
+		// v (pushes, acks, and retransmissions all target neighbours), so
+		// graph adjacency is exactly the batching relation. The same pool
+		// also partitions the engine's seeding and query scans.
+		sch = dist.AsyncSched{Adjacency: g.Neighbors, Pool: pool}
+	}
+	eng, err := NewEngineWithPool(g, params, sch.Pool)
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +245,9 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	if opt.Model != nil {
 		net.SetDeliveryModel(opt.Model)
 	}
+	if opt.MailboxCap > 0 {
+		net.SetMailboxCap(opt.MailboxCap)
+	}
 	for v, down := range opt.Crashed {
 		if down {
 			net.Crash(v)
@@ -126,46 +258,169 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	for v := range weights {
 		weights[v] = 1
 	}
-	absorb := func(v int) (State, float64) {
-		st, w := eng.states[v], weights[v]
-		for _, e := range net.Recv(v) {
-			st = AddStates(st, e.Body.state)
-			w += e.Body.weight
-		}
-		return st, w
-	}
-	// The firing callback confines every write to node v's own slots —
-	// states[v], weights[v], maxSeen[v], rngs[v] — which is what lets the
+	// The firing callbacks confine every write to node v's own slots —
+	// states[v], weights[v], maxSeen[v], rngs[v], and in reliable mode
+	// fired[v], seqs[v], pending[v], absorbed[v] — which is what lets the
 	// batch scheduler run non-adjacent firings concurrently. MaxStateSize
 	// in particular is tracked per node and folded after the run: the
 	// global running max would be a data race under speculation, and the
 	// max of per-node maxima is the same number.
 	maxSeen := make([]int, n)
-	var sch dist.AsyncSched
-	if workers := parallelWorkers(opt.Parallel); workers > 1 {
-		pool := sched.NewPool(workers)
-		defer pool.Close()
-		// Conflict oracle: a firing of v pushes only to graph neighbours
-		// of v, so graph adjacency is exactly the batching relation.
-		sch = dist.AsyncSched{Adjacency: g.Neighbors, Pool: pool}
+	// push performs the push-sum halving step shared by both modes and
+	// returns the kept state, the pushed payload, and the destination
+	// (-1 for an isolated node, which keeps everything).
+	push := func(v int, st State, w float64) (State, State, float64, int) {
+		d := g.Degree(v)
+		if d == 0 {
+			return st, nil, 0, -1
+		}
+		half := st.Halve()
+		out, keep := splitForPush(half, p.PruneEpsilon)
+		return keep, out, w / 2, g.Neighbor(v, eng.rngs[v].Intn(d))
 	}
-	net.RunAsyncSched(ticks, opt.ClockSeed^0x5851f42d4c957f2d, sch, func(v int) {
-		st, w := absorb(v)
-		if d := g.Degree(v); d > 0 {
-			st = st.Halve()
-			w /= 2
-			// The kept and pushed halves are identical; states are immutable
-			// once built, so sharing the slice with the in-flight message is
-			// safe.
-			net.Send(v, g.Neighbor(v, eng.rngs[v].Intn(d)), gossipMsg{state: st, weight: w},
-				1+int64(st.Words()))
+	var fn func(v int)
+	// Reliable-mode per-node protocol state.
+	var (
+		fired    []int32
+		seqs     []uint32
+		pending  [][]pendingPush
+		absorbed []map[uint64]struct{}
+		// nextDue[v] is a conservative lower bound (on v's firing clock) of
+		// the earliest retransmission due among pending[v]: entries only
+		// move later (retransmission backs them off) or disappear (acks),
+		// so skipping the scan while now < nextDue[v] can never delay a due
+		// retransmission — it only spares the O(len(pending)) walk on
+		// firings where nothing can be due, which is what keeps a node
+		// with a long-lived pending tail (e.g. toward a crashed neighbour)
+		// from paying a full scan per firing.
+		nextDue []int64
+	)
+	// timeout and all due arithmetic are int64: RetransmitAfter up to 2^30
+	// shifted by the backoff cap of 20 stays well inside the range.
+	timeout := int64(opt.RetransmitAfter)
+	if timeout == 0 {
+		timeout = 1
+	}
+	// backoffWait returns the wait before the next retransmission of an
+	// entry: the base timeout doubled per attempt already made.
+	backoffWait := func(attempts uint8) int64 {
+		shift := attempts
+		if shift > 20 {
+			shift = 20
 		}
-		if len(st) > maxSeen[v] {
-			maxSeen[v] = len(st)
+		return timeout << shift
+	}
+	// ackPending drops the pending entry the ack names (a stale duplicate
+	// ack after the entry is gone is a no-op).
+	ackPending := func(v int, seq uint32) {
+		pend := pending[v]
+		for i := range pend {
+			if pend[i].seq == seq {
+				pending[v] = append(pend[:i], pend[i+1:]...)
+				return
+			}
 		}
-		eng.states[v] = st
-		weights[v] = w
-	})
+	}
+	// absorbOnce de-duplicates by (sender, seq) and returns whether this
+	// sighting is the first — only then does the push's mass count.
+	absorbOnce := func(v, from int, seq uint32) bool {
+		m := absorbed[v]
+		if m == nil {
+			m = make(map[uint64]struct{})
+			absorbed[v] = m
+		}
+		key := pushKey(from, seq)
+		if _, dup := m[key]; dup {
+			return false
+		}
+		m[key] = struct{}{}
+		return true
+	}
+	if !opt.Reliable {
+		fn = func(v int) {
+			st, w := eng.states[v], weights[v]
+			for _, e := range net.Recv(v) {
+				st = AddStates(st, e.Body.state)
+				w += e.Body.weight
+			}
+			st, out, hw, to := push(v, st, w)
+			if to >= 0 {
+				w /= 2
+				net.Send(v, to, gossipMsg{state: out, weight: hw}, 1+int64(out.Words()))
+			}
+			if len(st) > maxSeen[v] {
+				maxSeen[v] = len(st)
+			}
+			eng.states[v] = st
+			weights[v] = w
+		}
+	} else {
+		fired = make([]int32, n)
+		seqs = make([]uint32, n)
+		pending = make([][]pendingPush, n)
+		absorbed = make([]map[uint64]struct{}, n)
+		nextDue = make([]int64, n)
+		fn = func(v int) {
+			st, w := eng.states[v], weights[v]
+			fired[v]++
+			now := fired[v]
+			for _, e := range net.Recv(v) {
+				switch e.Body.kind {
+				case gossipPush:
+					if absorbOnce(v, e.From, e.Body.seq) {
+						st = AddStates(st, e.Body.state)
+						w += e.Body.weight
+					}
+					// (Re-)ack every sighting: the previous ack may itself
+					// have been dropped or rejected. Acks go back to the
+					// pushing neighbour, so the batching adjacency holds.
+					net.Send(v, e.From, gossipMsg{kind: gossipAck, seq: e.Body.seq}, 1)
+				case gossipAck:
+					ackPending(v, e.Body.seq)
+				}
+			}
+			// Retransmit unacked pushes whose backed-off timeout elapsed on
+			// v's own firing clock, verbatim (same seq, same payload) so
+			// duplicates collapse at the receiver; recompute the due bound
+			// while walking.
+			if int64(now) >= nextDue[v] && len(pending[v]) > 0 {
+				minDue := int64(1) << 62
+				for i := range pending[v] {
+					pp := &pending[v][i]
+					due := int64(pp.sentAt) + backoffWait(pp.attempts)
+					if int64(now) >= due {
+						pp.sentAt = now
+						if pp.attempts < 255 {
+							pp.attempts++
+						}
+						net.Send(v, int(pp.to), gossipMsg{kind: gossipPush, seq: pp.seq, state: pp.state, weight: pp.weight},
+							1+int64(pp.state.Words()))
+						due = int64(now) + backoffWait(pp.attempts)
+					}
+					if due < minDue {
+						minDue = due
+					}
+				}
+				nextDue[v] = minDue
+			}
+			st, out, hw, to := push(v, st, w)
+			if to >= 0 {
+				w /= 2
+				seqs[v]++
+				pending[v] = append(pending[v], pendingPush{seq: seqs[v], to: int32(to), sentAt: now, state: out, weight: hw})
+				if due := int64(now) + timeout; due < nextDue[v] || len(pending[v]) == 1 {
+					nextDue[v] = due
+				}
+				net.Send(v, to, gossipMsg{kind: gossipPush, seq: seqs[v], state: out, weight: hw}, 1+int64(out.Words()))
+			}
+			if len(st) > maxSeen[v] {
+				maxSeen[v] = len(st)
+			}
+			eng.states[v] = st
+			weights[v] = w
+		}
+	}
+	net.RunAsyncSched(ticks, opt.ClockSeed^0x5851f42d4c957f2d, sch, fn)
 	for _, m := range maxSeen {
 		if m > eng.stats.MaxStateSize {
 			eng.stats.MaxStateSize = m
@@ -173,9 +428,41 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	}
 	// RunAsync flushed all in-flight (including delayed) messages into the
 	// mailboxes when it quiesced; absorb them so no mass is left on the
-	// wire — unless the model dropped it, this restores exact conservation.
+	// wire — unless the substrate destroyed it, this restores exact
+	// conservation. Reliable mode de-duplicates retransmitted copies and
+	// ignores acks (they carry no mass).
 	for v := 0; v < n; v++ {
-		eng.states[v], weights[v] = absorb(v)
+		st, w := eng.states[v], weights[v]
+		for _, e := range net.Recv(v) {
+			if e.Body.kind != gossipPush {
+				continue
+			}
+			if opt.Reliable && !absorbOnce(v, e.From, e.Body.seq) {
+				continue
+			}
+			st = AddStates(st, e.Body.state)
+			w += e.Body.weight
+		}
+		eng.states[v], weights[v] = st, w
+	}
+	if opt.Reliable {
+		// Reclaim: a pending push whose payload the receiver never absorbed
+		// (not even via the drain above) was destroyed in every copy —
+		// dropped, rejected, or addressed to a crashed node. Fold its mass
+		// back into the sender; an unacked-but-absorbed push (the ack was
+		// the casualty) is left alone. This is the step that makes
+		// conservation exact under arbitrary loss.
+		for v := range pending {
+			for _, pp := range pending[v] {
+				if m := absorbed[pp.to]; m != nil {
+					if _, ok := m[pushKey(v, pp.seq)]; ok {
+						continue
+					}
+				}
+				eng.states[v] = AddStates(eng.states[v], pp.state)
+				weights[v] += pp.weight
+			}
+		}
 	}
 
 	// Conservation is a property of the raw mass, measured before the query
@@ -192,10 +479,11 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	res.Stats.ProtocolWords = 0 // network accounting below is authoritative
 	res.Stats.StateWords = 0
 	return &DistResult{
-		Result:          *res,
-		NetworkMessages: net.Counter().Messages(),
-		NetworkWords:    net.Counter().Words(),
-		DroppedMessages: net.Counter().Dropped(),
-		TotalMass:       total,
+		Result:           *res,
+		NetworkMessages:  net.Counter().Messages(),
+		NetworkWords:     net.Counter().Words(),
+		DroppedMessages:  net.Counter().Dropped(),
+		RejectedMessages: net.Counter().Rejected(),
+		TotalMass:        total,
 	}, nil
 }

@@ -39,6 +39,22 @@ type DistOptions struct {
 	// or multi-process sockets). The transcript is bit-identical across all
 	// of them; see core.TransportSpec.
 	Transport TransportSpec
+	// MailboxCap bounds every node's mailbox at delivery time
+	// (dist.Network.SetMailboxCap); overflow is rejected deterministically
+	// and tallied in DistResult.RejectedMessages. The matching protocol's
+	// per-phase fan-in per mailbox is structurally bounded — proposals only
+	// pile up at acceptors (at most one per neighbour, and rejecting one
+	// just shrinks the candidate set), while the accept and state-reply
+	// legs have fan-in one — so with MaxDelay <= 4 ANY cap >= 1 only ever
+	// cancels matches atomically and total mass is conserved (pinned by
+	// TestDistributedMailboxCapConservesMass). The one hazard is a delay
+	// model with MaxDelay >= 5: a stale accept from a round where the
+	// acceptor itself proposed can then land in its commit barrier, and
+	// with a tight cap the re-sorted truncation may reject the state reply
+	// after the proposer already merged — breaking conservation, which is
+	// exactly the failure mode the reliable gossip layer exists to repair
+	// and F10 measures. 0 means unbounded.
+	MailboxCap int
 }
 
 // msgKind discriminates protocol messages.
@@ -71,6 +87,10 @@ type DistResult struct {
 	// DroppedMessages is the number of sent messages the substrate lost
 	// (delivery-model drops and crashed destinations).
 	DroppedMessages int64
+	// RejectedMessages is the number of messages bounced off a full mailbox
+	// at delivery time (MailboxCap backpressure; disjoint from
+	// DroppedMessages).
+	RejectedMessages int64
 	// DroppedMatches counts matches lost to failure injection, observed
 	// protocol-side: an acceptor that sent its state but never saw the
 	// exchange complete.
@@ -115,6 +135,9 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 	if opt.Crashed != nil && len(opt.Crashed) != g.N() {
 		return nil, fmt.Errorf("core: Crashed length %d for n=%d", len(opt.Crashed), g.N())
 	}
+	if opt.MailboxCap < 0 {
+		return nil, fmt.Errorf("core: MailboxCap %d < 0", opt.MailboxCap)
+	}
 	n := g.N()
 	// Initialisation and seeding run through the same Engine constructor, so
 	// IDs, seeds and per-node streams match the sequential path bit-for-bit.
@@ -144,6 +167,9 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 	}
 	if model != nil {
 		net.SetDeliveryModel(model)
+	}
+	if opt.MailboxCap > 0 {
+		net.SetMailboxCap(opt.MailboxCap)
 	}
 	for v, down := range opt.Crashed {
 		if down {
@@ -262,11 +288,12 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 	res.Stats.ProtocolWords = 0 // superseded by network accounting below
 	res.Stats.StateWords = 0
 	return &DistResult{
-		Result:          *res,
-		NetworkMessages: net.Counter().Messages(),
-		NetworkWords:    net.Counter().Words(),
-		DroppedMessages: net.Counter().Dropped(),
-		DroppedMatches:  int(dropped.Total()),
-		TotalMass:       eng.TotalMass(),
+		Result:           *res,
+		NetworkMessages:  net.Counter().Messages(),
+		NetworkWords:     net.Counter().Words(),
+		DroppedMessages:  net.Counter().Dropped(),
+		RejectedMessages: net.Counter().Rejected(),
+		DroppedMatches:   int(dropped.Total()),
+		TotalMass:        eng.TotalMass(),
 	}, nil
 }

@@ -33,7 +33,12 @@ type Params struct {
 	// PruneEpsilon, when positive, drops state entries whose value falls
 	// below it after each merge. The paper keeps exact states; pruning is an
 	// extension that trades a bounded mass loss for smaller messages
-	// (ablation F6). Must stay well below the query threshold.
+	// (ablation F6). Must stay well below the query threshold. The
+	// asynchronous gossip modes (plain AND reliable) honour it differently:
+	// there it is a per-message state budget — halved entries below it are
+	// withheld from the push and kept whole by the sender — so gossip
+	// messages shrink without any mass being destroyed (see
+	// ClusterAsyncGossip).
 	PruneEpsilon float64
 }
 
@@ -135,6 +140,18 @@ type Engine struct {
 // NewEngine initialises a run: every node draws its identifier and the
 // seeding procedure plants the initial unit loads.
 func NewEngine(g *graph.Graph, params Params) (*Engine, error) {
+	return NewEngineWithPool(g, params, nil)
+}
+
+// NewEngineWithPool is NewEngine with the initialisation scans — the ID
+// draw and the seeding trials, both per-node-independent walks of per-node
+// streams — partitioned over a shared worker pool, which also becomes the
+// engine's pool (as if SetPool had been called). The constructed engine is
+// bit-identical for any pool size: every node consumes exactly the same
+// draws from its own stream, and the seed list concatenates per-worker
+// partials of contiguous ascending shards, which reproduces the serial
+// ascending-node order. nil (or a pool of size 1) is the serial path.
+func NewEngineWithPool(g *graph.Graph, params Params, pool *sched.Pool) (*Engine, error) {
 	p, err := params.withDefaults(g)
 	if err != nil {
 		return nil, err
@@ -146,28 +163,38 @@ func NewEngine(g *graph.Graph, params Params) (*Engine, error) {
 		states: make([]State, n),
 		rngs:   matching.NodeRNGs(n, p.Seed),
 		ids:    make([]uint64, n),
+		pool:   pool,
 	}
 	// Initialisation: every node picks a random ID from [1, n³] (§3.1). For
 	// n where n³ overflows we clamp to the full word range; uniqueness holds
-	// whp either way.
+	// whp either way. Seeding: s̄ trials of Bernoulli(1/n) per node; active
+	// at least once → inject χ_v tagged with ID(v). (§3.2 defines the
+	// initial value as 1.)
 	idSpace := idSpaceFor(n)
-	for v := 0; v < n; v++ {
-		e.ids[v] = e.rngs[v].Uint64n(idSpace) + 1
-	}
-	// Seeding: s̄ trials of Bernoulli(1/n) per node; active at least once →
-	// inject χ_v tagged with ID(v). (§3.2 defines the initial value as 1.)
 	pActive := 1 / float64(n)
-	for v := 0; v < n; v++ {
-		active := false
-		for t := 0; t < p.SeedTrials; t++ {
-			if e.rngs[v].Bernoulli(pActive) {
-				active = true
+	seed := func(lo, hi int, seeds *[]int) {
+		for v := lo; v < hi; v++ {
+			e.ids[v] = e.rngs[v].Uint64n(idSpace) + 1
+			active := false
+			for t := 0; t < p.SeedTrials; t++ {
+				if e.rngs[v].Bernoulli(pActive) {
+					active = true
+				}
+			}
+			if active {
+				e.states[v] = State{{ID: e.ids[v], Val: 1}}
+				*seeds = append(*seeds, v)
 			}
 		}
-		if active {
-			e.states[v] = State{{ID: e.ids[v], Val: 1}}
-			e.seeds = append(e.seeds, v)
+	}
+	if pool != nil && pool.Size() > 1 {
+		partial := make([][]int, pool.Size())
+		pool.RunRange(n, func(w, lo, hi int) { seed(lo, hi, &partial[w]) })
+		for _, part := range partial {
+			e.seeds = append(e.seeds, part...)
 		}
+	} else {
+		seed(0, n, &e.seeds)
 	}
 	return e, nil
 }
@@ -311,19 +338,29 @@ func (e *Engine) Run(t int) {
 // Query labels every node from its current state (§3.1): the label is the
 // minimum seed ID whose value clears the threshold; nodes with no qualifying
 // entry share a sentinel raw label 0. The query is local and does not
-// modify state.
+// modify state. With a pool attached (SetPool / NewEngineWithPool) the
+// threshold scan partitions over it — each node's raw label depends only on
+// its own state, so the result is bit-identical for any pool size; the
+// label densification stays serial because it is order-dependent by design.
 func (e *Engine) Query() *Result {
 	n := e.g.N()
 	thr := Threshold(e.params.Beta, n, e.params.ThresholdScale)
 	raw := make([]uint64, n)
-	for v := 0; v < n; v++ {
-		best := uint64(0)
-		for _, entry := range e.states[v] {
-			if entry.Val >= thr && (best == 0 || entry.ID < best) {
-				best = entry.ID
+	scan := func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			best := uint64(0)
+			for _, entry := range e.states[v] {
+				if entry.Val >= thr && (best == 0 || entry.ID < best) {
+					best = entry.ID
+				}
 			}
+			raw[v] = best
 		}
-		raw[v] = best
+	}
+	if e.pool != nil && e.pool.Size() > 1 {
+		e.pool.RunRange(n, func(w, lo, hi int) { scan(lo, hi) })
+	} else {
+		scan(0, n)
 	}
 	labels, num := densify(raw)
 	seeds, seedIDs := e.Seeds()
@@ -363,19 +400,20 @@ func Cluster(g *graph.Graph, params Params) (*Result, error) {
 	return e.Query(), nil
 }
 
-// ClusterParallel is Cluster with the engine's per-round hot paths
+// ClusterParallel is Cluster with the engine's hot paths — seeding, the
+// per-round matching generation and pair merges, and the query scan —
 // partitioned over a worker pool of the given size (< 0 means GOMAXPROCS,
 // 0 or 1 mean sequential). Labels and stats are bit-identical to Cluster
 // for equal Params — parallelism changes the wall clock, never the run.
 func ClusterParallel(g *graph.Graph, params Params, workers int) (*Result, error) {
-	e, err := NewEngine(g, params)
+	var pool *sched.Pool
+	if workers = parallelWorkers(workers); workers > 1 {
+		pool = sched.NewPool(workers)
+		defer pool.Close()
+	}
+	e, err := NewEngineWithPool(g, params, pool)
 	if err != nil {
 		return nil, err
-	}
-	if workers = parallelWorkers(workers); workers > 1 {
-		pool := sched.NewPool(workers)
-		defer pool.Close()
-		e.SetPool(pool)
 	}
 	e.Run(e.params.Rounds)
 	return e.Query(), nil

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// engineFingerprint collapses everything the parallel initialisation and
+// query must reproduce bit for bit: IDs, seed list, and the full query
+// result on the evolved states.
+func engineFingerprint(t *testing.T, e *Engine) string {
+	t.Helper()
+	seeds, seedIDs := e.Seeds()
+	res := e.Query()
+	s := fmt.Sprintf("seeds=%v ids=%v thr=%v num=%d|", seeds, seedIDs, res.Threshold, res.NumLabels)
+	for v := range res.Labels {
+		s += fmt.Sprintf("(%d,%x)", res.Labels[v], res.RawLabels[v])
+	}
+	s += fmt.Sprintf("|%+v", res.Stats)
+	return s
+}
+
+// TestEngineSeedingAndQueryParallelMatchesSerial pins satellite 1: the
+// NewEngine seeding loop and Engine.Query partitioned over a shared
+// sched.Pool are bit-identical to the serial engine — same IDs, same seed
+// list in the same order, same labels after the same rounds — for every
+// pool size and GOMAXPROCS setting.
+func TestEngineSeedingAndQueryParallelMatchesSerial(t *testing.T) {
+	ring, err := gen.ClusteredRing(2, 60, 16, 1, rng.New(211))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbm, err := gen.SBMBalanced(3, 50, 12, 2, rng.New(223))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		g    *gen.Planted
+	}{{"ring", ring}, {"sbm", sbm}} {
+		params := Params{Beta: 0.3, Rounds: 25, Seed: 17}
+		serial, err := NewEngine(tc.g.G, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial.Run(params.Rounds)
+		want := engineFingerprint(t, serial)
+		if len(serial.seeds) == 0 {
+			t.Fatalf("%s: serial engine planted no seeds, test is vacuous", tc.name)
+		}
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+			for _, workers := range []int{2, 3, 8} {
+				pool := sched.NewPool(workers)
+				par, err := NewEngineWithPool(tc.g.G, params, pool)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par.Run(params.Rounds)
+				got := engineFingerprint(t, par)
+				pool.Close()
+				if got != want {
+					t.Errorf("%s procs=%d workers=%d: parallel engine diverged\n got  %.120s…\n want %.120s…",
+						tc.name, procs, workers, got, want)
+				}
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+}
+
+// TestClusterParallelUsesPooledInitAndQuery: the end-to-end entry point
+// must stay bit-identical to the sequential Cluster now that seeding and
+// query also partition over the pool.
+func TestClusterParallelUsesPooledInitAndQuery(t *testing.T) {
+	p, err := gen.ClusteredRing(2, 80, 20, 1, rng.New(227))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Beta: 0.5, Rounds: 30, Seed: 23}
+	seq, err := Cluster(p.G, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, -1} {
+		par, err := ClusterParallel(p.G, params, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.NumLabels != seq.NumLabels || par.Stats != seq.Stats {
+			t.Errorf("workers=%d: stats %+v != sequential %+v", workers, par.Stats, seq.Stats)
+		}
+		for v := range seq.Labels {
+			if par.Labels[v] != seq.Labels[v] {
+				t.Fatalf("workers=%d: node %d labelled %d, want %d", workers, v, par.Labels[v], seq.Labels[v])
+			}
+		}
+	}
+}

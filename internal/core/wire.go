@@ -92,26 +92,39 @@ func (protoCodec) Decode(data []byte) (protoMsg, int, error) {
 	return m, 1 + k + sk, nil
 }
 
-// gossipCodec serialises the push-sum message: weight bits, state.
+// gossipCodec serialises the push-sum message: kind byte, seq uvarint
+// (reliable-mode sequence number, 0 in plain mode), weight bits, state.
 type gossipCodec struct{}
 
 func (gossipCodec) Append(buf []byte, m gossipMsg) []byte {
+	buf = append(buf, byte(m.kind))
+	buf = binary.AppendUvarint(buf, uint64(m.seq))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.weight))
 	return appendState(buf, m.state)
 }
 
 func (gossipCodec) Decode(data []byte) (gossipMsg, int, error) {
 	var m gossipMsg
-	if len(data) < 8 {
+	if len(data) < 1 {
+		return m, 0, fmt.Errorf("core: empty gossip message")
+	}
+	m.kind = gossipKind(data[0])
+	seq, k := binary.Uvarint(data[1:])
+	if k <= 0 || seq > math.MaxUint32 {
+		return m, 0, fmt.Errorf("core: truncated gossip seq")
+	}
+	m.seq = uint32(seq)
+	off := 1 + k
+	if len(data) < off+8 {
 		return m, 0, fmt.Errorf("core: truncated gossip weight")
 	}
-	m.weight = math.Float64frombits(binary.LittleEndian.Uint64(data))
-	st, k, err := decodeState(data[8:])
+	m.weight = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+	st, sk, err := decodeState(data[off+8:])
 	if err != nil {
 		return m, 0, err
 	}
 	m.state = st
-	return m, 8 + k, nil
+	return m, off + 8 + sk, nil
 }
 
 // TransportSpec selects and configures the delivery transport of a

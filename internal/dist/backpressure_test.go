@@ -1,0 +1,341 @@
+package dist
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// TestMailboxCapRejectsNewest pins the overflow policy's semantics on a
+// hand-checkable instance: with cap 2, a mailbox assembled as senders
+// {1, 2, 3} keeps the two lowest-ordered messages and bounces the newest.
+func TestMailboxCapRejectsNewest(t *testing.T) {
+	net := NewNetwork[int](4, 1)
+	defer net.Close()
+	net.SetMailboxCap(2)
+	if net.MailboxCap() != 2 {
+		t.Fatal("MailboxCap() disagrees with SetMailboxCap")
+	}
+	net.Phase(func(v int) {
+		if v > 0 {
+			net.Send(v, 0, v*10, 1)
+		}
+	})
+	got := net.Recv(0)
+	if len(got) != 2 || got[0].From != 1 || got[1].From != 2 {
+		t.Errorf("mailbox %+v, want messages from senders 1 and 2", got)
+	}
+	if r := net.Counter().Rejected(); r != 1 {
+		t.Errorf("rejected = %d, want 1", r)
+	}
+	if d := net.Counter().Dropped(); d != 0 {
+		t.Errorf("dropped = %d, want 0 (rejection is not a drop)", d)
+	}
+	if m := net.Counter().Messages(); m != 3 {
+		t.Errorf("messages = %d, want 3 (rejected messages still count as sent)", m)
+	}
+}
+
+// boundedTranscript runs a heavy fan-in workload — every node sprays a
+// deterministic burst at a few hub destinations, then the hubs reply — on a
+// bounded-mailbox network, and returns the per-node delivery logs plus the
+// counter totals (messages, words, dropped, rejected).
+func boundedTranscript(workers, cap int, configure func(net *Network[int])) ([]string, [4]int64) {
+	const n = 97
+	net := NewNetwork[int](n, workers)
+	defer net.Close()
+	net.SetMailboxCap(cap)
+	if configure != nil {
+		configure(net)
+	}
+	logs := make([]string, n)
+	record := func(v int) {
+		for _, e := range net.Recv(v) {
+			logs[v] += fmt.Sprintf("(%d,%d)", e.From, e.Body)
+		}
+	}
+	net.Phase(func(v int) {
+		for k := 0; k <= v%5; k++ {
+			net.Send(v, (v*3+k)%7, v*100+k, int64(k+1)) // 7 hub mailboxes overflow
+		}
+	})
+	net.Phase(func(v int) {
+		record(v)
+		for _, e := range net.Recv(v) {
+			net.Send(v, e.From, e.Body+1, 2)
+		}
+	})
+	for p := 0; p < 3; p++ {
+		net.Phase(record)
+	}
+	return logs, [4]int64{net.Counter().Messages(), net.Counter().Words(),
+		net.Counter().Dropped(), net.Counter().Rejected()}
+}
+
+// TestMailboxCapTranscriptAcrossWorkersAndTransports is the tentpole
+// equality pin for the synchronous mode: with a bounded mailbox, the full
+// delivery transcript — per-node logs, traffic counters, and the rejection
+// tally — is byte-identical for every worker count and for the serialising
+// Ring transport, fault-free and under a drop+delay model (which exercises
+// the truncate-after-re-sort path).
+func TestMailboxCapTranscriptAcrossWorkersAndTransports(t *testing.T) {
+	faults := LinkFaults{DropProb: 0.15, DelayProb: 0.3, MaxPhases: 2, Seed: 13}
+	for _, tc := range []struct {
+		name  string
+		model DeliveryModel
+	}{
+		{"fault-free", nil},
+		{"drop+delay", faults},
+	} {
+		wantLogs, wantCounts := boundedTranscript(1, 3, func(net *Network[int]) {
+			if tc.model != nil {
+				net.SetDeliveryModel(tc.model)
+			}
+		})
+		if wantCounts[3] == 0 {
+			t.Fatalf("%s: cap 3 rejected nothing, test is vacuous", tc.name)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			for _, ring := range []bool{false, true} {
+				logs, counts := boundedTranscript(workers, 3, func(net *Network[int]) {
+					if tc.model != nil {
+						net.SetDeliveryModel(tc.model)
+					}
+					if ring {
+						net.SetTransport(NewRing[int](net.Workers(), 5))
+					}
+				})
+				id := fmt.Sprintf("%s workers=%d ring=%v", tc.name, workers, ring)
+				if counts != wantCounts {
+					t.Errorf("%s: counters %v != serial %v", id, counts, wantCounts)
+				}
+				for v := range logs {
+					if logs[v] != wantLogs[v] {
+						t.Fatalf("%s: node %d transcript diverged\n got  %q\n want %q",
+							id, v, logs[v], wantLogs[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// boundedAsyncTranscript mirrors sched_async_test's ring workload with a
+// mailbox cap: per-node firing logs, final mailboxes, and counters
+// including rejections.
+func boundedAsyncTranscript(t *testing.T, n, steps, cap int, seed uint64,
+	model DeliveryModel, sch AsyncSched) ([]string, []string, [4]int64) {
+	t.Helper()
+	net := NewNetwork[int](n, 1)
+	defer net.Close()
+	net.SetMailboxCap(cap)
+	if model != nil {
+		net.SetDeliveryModel(model)
+	}
+	rngs := make([]*rng.RNG, n)
+	for v := range rngs {
+		rngs[v] = rng.New(seed + uint64(v)*0x9e37)
+	}
+	logs := make([]string, n)
+	fired := make([]int, n)
+	net.RunAsyncSched(steps, seed, sch, func(v int) {
+		s := fmt.Sprintf("|f%d:", fired[v])
+		for _, e := range net.Recv(v) {
+			s += fmt.Sprintf("(%d,%d)", e.From, e.Body)
+		}
+		logs[v] += s
+		fired[v]++
+		// Fan the message out to both neighbours so mailboxes actually
+		// fill between firings.
+		net.Send(v, (v+1)%n, v*1000+fired[v], 1)
+		if rngs[v].Bool() {
+			net.Send(v, (v+n-1)%n, -(v*1000 + fired[v]), 1)
+		}
+	})
+	final := make([]string, n)
+	for v := 0; v < n; v++ {
+		for _, e := range net.Recv(v) {
+			final[v] += fmt.Sprintf("(%d,%d)", e.From, e.Body)
+		}
+	}
+	return logs, final, [4]int64{net.Counter().Messages(), net.Counter().Words(),
+		net.Counter().Dropped(), net.Counter().Rejected()}
+}
+
+// TestMailboxCapAsyncSchedMatchesSerial extends the batch-scheduler
+// equality contract to bounded mailboxes: rejection verdicts depend on
+// mailbox occupancy at delivery time, so the speculative parallel execution
+// must reproduce the serial run's every rejection — logs, final mailboxes,
+// and all four counters — across pool sizes, batch caps, and GOMAXPROCS.
+func TestMailboxCapAsyncSchedMatchesSerial(t *testing.T) {
+	const n, steps, cap = 23, 800, 2
+	faults := LinkFaults{DropProb: 0.1, DelayProb: 0.3, MaxPhases: 2, Seed: 7}
+	for _, tc := range []struct {
+		name  string
+		model DeliveryModel
+	}{
+		{"fault-free", nil},
+		{"link-faults", faults},
+	} {
+		wantLogs, wantFinal, wantCounts := boundedAsyncTranscript(t, n, steps, cap, 42, tc.model, AsyncSched{})
+		if wantCounts[3] == 0 {
+			t.Fatalf("%s: cap %d rejected nothing, test is vacuous", tc.name, cap)
+		}
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+			for _, workers := range []int{2, 4} {
+				for _, maxBatch := range []int{0, 3} {
+					pool := sched.NewPool(workers)
+					sch := AsyncSched{Adjacency: ringNeighbors(n), Pool: pool, MaxBatch: maxBatch}
+					logs, final, counts := boundedAsyncTranscript(t, n, steps, cap, 42, tc.model, sch)
+					pool.Close()
+					id := fmt.Sprintf("%s procs=%d workers=%d maxBatch=%d", tc.name, procs, workers, maxBatch)
+					if counts != wantCounts {
+						t.Errorf("%s: counters %v != serial %v", id, counts, wantCounts)
+					}
+					for v := 0; v < n; v++ {
+						if logs[v] != wantLogs[v] {
+							t.Fatalf("%s: node %d transcript diverged\n parallel %q\n serial   %q",
+								id, v, logs[v], wantLogs[v])
+						}
+						if final[v] != wantFinal[v] {
+							t.Fatalf("%s: node %d final mailbox diverged\n parallel %q\n serial   %q",
+								id, v, final[v], wantFinal[v])
+						}
+					}
+				}
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+}
+
+// TestMailboxCapValidation: the cap must be rejected after the network has
+// started and for negative values.
+func TestMailboxCapValidation(t *testing.T) {
+	net := NewNetwork[int](4, 1)
+	defer net.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetMailboxCap(-1) should panic")
+			}
+		}()
+		net.SetMailboxCap(-1)
+	}()
+	net.Phase(func(v int) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("SetMailboxCap after the network started should panic")
+		}
+	}()
+	net.SetMailboxCap(2)
+}
+
+// FuzzBoundedMailboxDelivery fuzzes the bounded delivery ring against the
+// unbounded reference: for an arbitrary send schedule, delay pattern, and
+// cap, every mailbox after every barrier must (1) never exceed the cap and
+// (2) be exactly the first-cap prefix of the unbounded run's mailbox —
+// survivors are never reordered, and the rejected messages are exactly the
+// overflow suffix. The counters must agree on everything but rejections.
+func FuzzBoundedMailboxDelivery(f *testing.F) {
+	f.Add(uint8(1), uint8(0), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(2), uint8(3), []byte{0xff, 0x10, 0x22, 0x31, 0x44, 0x05})
+	f.Add(uint8(3), uint8(1), []byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, capByte, delayByte uint8, schedule []byte) {
+		const n, phases = 11, 6
+		cap := 1 + int(capByte%7)
+		var model DeliveryModel
+		if delayByte%4 != 0 {
+			model = LinkFaults{
+				DropProb:  float64(delayByte%3) * 0.15,
+				DelayProb: float64(delayByte%5) * 0.1,
+				MaxPhases: 1 + int(delayByte%3),
+				Seed:      uint64(delayByte),
+			}
+		}
+		run := func(capped bool) ([][]string, [4]int64) {
+			net := NewNetwork[int](n, 3)
+			defer net.Close()
+			if capped {
+				net.SetMailboxCap(cap)
+			}
+			if model != nil {
+				net.SetDeliveryModel(model)
+			}
+			boxes := make([][]string, 0, phases)
+			for p := 0; p < phases; p++ {
+				net.Phase(func(v int) {
+					// Each node replays the shared schedule from its own
+					// offset: byte k in phase p makes node v send to
+					// (v+byte)%n with the byte as payload.
+					for k := v + p; k < len(schedule); k += n {
+						b := int(schedule[k])
+						net.Send(v, (v+b)%n, b, 1)
+					}
+				})
+				snap := make([]string, n)
+				for v := 0; v < n; v++ {
+					for _, e := range net.Recv(v) {
+						snap[v] += fmt.Sprintf("(%d,%d)", e.From, e.Body)
+					}
+				}
+				boxes = append(boxes, snap)
+			}
+			return boxes, [4]int64{net.Counter().Messages(), net.Counter().Words(),
+				net.Counter().Dropped(), net.Counter().Rejected()}
+		}
+		free, freeCounts := run(false)
+		bounded, boundedCounts := run(true)
+		if freeCounts[3] != 0 {
+			t.Fatalf("unbounded run rejected %d messages", freeCounts[3])
+		}
+		if boundedCounts[0] != freeCounts[0] || boundedCounts[1] != freeCounts[1] || boundedCounts[2] != freeCounts[2] {
+			t.Fatalf("cap changed send/drop accounting: %v vs %v", boundedCounts, freeCounts)
+		}
+		var wantRejected int64
+		for p := range free {
+			for v := 0; v < n; v++ {
+				// Reconstruct the expected truncation from the unbounded
+				// mailbox: the capped mailbox must be its first-cap prefix.
+				fullLen, prefix := 0, ""
+				count := 0
+				for _, c := range splitCells(free[p][v]) {
+					fullLen++
+					if count < cap {
+						prefix += c
+						count++
+					}
+				}
+				if over := fullLen - cap; over > 0 {
+					wantRejected += int64(over)
+				}
+				if bounded[p][v] != prefix {
+					t.Fatalf("phase %d node %d: capped mailbox %q != prefix %q of unbounded %q",
+						p, v, bounded[p][v], prefix, free[p][v])
+				}
+			}
+		}
+		if boundedCounts[3] != wantRejected {
+			t.Fatalf("rejected = %d, want %d", boundedCounts[3], wantRejected)
+		}
+	})
+}
+
+// splitCells splits "(a,b)(c,d)" transcript strings back into cells.
+func splitCells(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 1
+		for i < len(s) && s[i] != '(' {
+			i++
+		}
+		out = append(out, s[:i])
+		s = s[i:]
+	}
+	return out
+}

@@ -241,10 +241,18 @@ func (net *Network[T]) asyncDeliver() {
 		}
 		for _, b := range net.transport.Flush(dst, buckets) {
 			for _, m := range b {
-				net.inbox[m.To] = append(net.inbox[m.To], m.Env)
 				if net.pendingTo != nil {
 					net.pendingTo[m.To]--
 				}
+				if net.mailboxCap > 0 && len(net.inbox[m.To]) >= net.mailboxCap {
+					// Bounded mailbox: async mail accumulates until its owner
+					// fires, so a delivery into a full mailbox bounces
+					// (reject-newest). Deliveries run in serial schedule
+					// order, which keeps the verdict deterministic.
+					net.counter.reject(int(net.shardOf[m.To]), 1)
+					continue
+				}
+				net.inbox[m.To] = append(net.inbox[m.To], m.Env)
 			}
 		}
 		for src := range net.out {

@@ -6,18 +6,22 @@ import "sync/atomic"
 // line so concurrent Sends on different workers never contend. Each shard
 // has a single writer; atomics make the totals safe to read at any time.
 type counterShard struct {
-	msgs    atomic.Int64
-	words   atomic.Int64
-	dropped atomic.Int64
-	_       [40]byte
+	msgs     atomic.Int64
+	words    atomic.Int64
+	dropped  atomic.Int64
+	rejected atomic.Int64
+	_        [32]byte
 }
 
 // Counter accounts network traffic: one message per Send, plus the caller-
 // declared word size of each message, plus a tally of messages the
 // substrate lost (delivery-model drops and crashed destinations — always a
 // subset of the messages counted as sent, because the sender did put them
-// on the wire). Totals are exact and deterministic for any worker count,
-// because every Send contributes a fixed amount regardless of scheduling.
+// on the wire), plus a tally of messages bounced off a full mailbox at
+// delivery time (SetMailboxCap). Totals are exact and deterministic for any
+// worker count, because every Send contributes a fixed amount regardless of
+// scheduling and overflow rejection is a pure function of the deterministic
+// delivery order.
 type Counter struct {
 	shards []counterShard
 }
@@ -36,6 +40,11 @@ func (c *Counter) add(shard int, words int64) {
 // drop records one substrate-lost message on the worker's shard.
 func (c *Counter) drop(shard int) {
 	c.shards[shard].dropped.Add(1)
+}
+
+// reject records n mailbox-overflow rejections on the worker's shard.
+func (c *Counter) reject(shard int, n int64) {
+	c.shards[shard].rejected.Add(n)
 }
 
 // Messages returns the total number of messages sent.
@@ -61,6 +70,18 @@ func (c *Counter) Dropped() int64 {
 	var t int64
 	for i := range c.shards {
 		t += c.shards[i].dropped.Load()
+	}
+	return t
+}
+
+// Rejected returns the number of messages that reached their destination
+// shard but were bounced off a full mailbox (see Network.SetMailboxCap).
+// Rejected messages are a subset of Messages and disjoint from Dropped:
+// the substrate carried them, the receive buffer had no room.
+func (c *Counter) Rejected() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].rejected.Load()
 	}
 	return t
 }

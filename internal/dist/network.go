@@ -10,13 +10,16 @@
 // next delivery. RunAsync leaves this regime and fires nodes one at a time
 // in a randomized order instead (see clock.go).
 //
-// Delivery is a staged pipeline with two pluggable layers. A DeliveryModel
-// (delivery.go) classifies every unreliable message at Send time — on time,
-// k phases late, or lost — moving failure injection out of protocols and
-// into the substrate. A Transport (transport.go) then moves the surviving
-// staged buckets from sender shards to destination shards at the barrier;
-// the default in-process transport is zero-copy, and the loopback Ring
-// transport proves the seam tolerates a serialising wire.
+// Delivery is a staged pipeline with two pluggable layers and a capacity
+// budget. A DeliveryModel (delivery.go) classifies every unreliable message
+// at Send time — on time, k phases late, or lost — moving failure injection
+// out of protocols and into the substrate. A Transport (transport.go) then
+// moves the surviving staged buckets from sender shards to destination
+// shards at the barrier; the default in-process transport is zero-copy, and
+// the loopback Ring transport proves the seam tolerates a serialising wire.
+// Finally SetMailboxCap bounds every mailbox at delivery time with a
+// deterministic reject-newest overflow policy (Counter.Rejected), modelling
+// finite receive buffers.
 //
 // Determinism is a hard contract. Results are bit-identical for any worker
 // count: nodes are partitioned into contiguous per-worker shards, each
@@ -71,6 +74,9 @@ type Network[T any] struct {
 
 	transport Transport[T]
 	model     DeliveryModel
+	// mailboxCap bounds every mailbox at delivery time; 0 means unbounded.
+	// See SetMailboxCap for the overflow policy.
+	mailboxCap int
 	// ringSize is model.MaxDelay()+1: the number of live delivery slots.
 	ringSize int
 	// phase counts completed barriers (async steps in RunAsync); the current
@@ -215,6 +221,45 @@ func (net *Network[T]) SetDeliveryModel(m DeliveryModel) {
 	}
 	net.initRings()
 }
+
+// SetMailboxCap bounds every node's mailbox to cap messages, modelling the
+// finite receive buffers of a real message-passing system; 0 restores
+// unbounded mailboxes. It must be called before the first Phase or
+// RunAsync.
+//
+// Capacity is enforced at delivery time, downstream of the Transport and
+// the DeliveryModel: a message that survives both but arrives at a full
+// mailbox is rejected and tallied in Counter.Rejected. The overflow policy
+// is reject-newest and fully deterministic — no coins are involved, the
+// verdict is a pure function of the deterministic delivery order:
+//
+//   - in the synchronous mode, each barrier's mailbox is assembled in the
+//     contract order (ascending sender, same-sender send order, after the
+//     stable delayed-delivery re-sort) and then truncated to cap, so the
+//     rejected messages are exactly the overflow suffix of that order;
+//   - in the asynchronous mode, mail accumulates in arrival order and a
+//     delivery into a mailbox already holding cap messages is rejected,
+//     so the survivors are always the cap oldest unconsumed arrivals.
+//
+// Transcripts with a bounded mailbox therefore stay byte-identical for any
+// worker count, transport, and async batch schedule, exactly like the
+// fault-injection machinery. Capacity applies to reliable sends too — a
+// full buffer is physics, not policy — so protocols that rely on
+// SendReliable (e.g. core.ClusterDistributed's state-exchange legs) should
+// keep cap at or above their per-phase fan-in, or layer their own
+// retransmission like core's reliable gossip mode.
+func (net *Network[T]) SetMailboxCap(cap int) {
+	if net.started {
+		panic("dist: SetMailboxCap after the network started")
+	}
+	if cap < 0 {
+		panic(fmt.Sprintf("dist: SetMailboxCap(%d)", cap))
+	}
+	net.mailboxCap = cap
+}
+
+// MailboxCap returns the per-mailbox capacity (0 = unbounded).
+func (net *Network[T]) MailboxCap() int { return net.mailboxCap }
 
 // Crash permanently fails node v: from the next phase (or async step) on it
 // executes no callbacks, and every message addressed to it is dropped at
@@ -390,6 +435,23 @@ func (net *Network[T]) deliver() {
 						return a.From - b.From
 					})
 				}
+			}
+		}
+		if net.mailboxCap > 0 {
+			// Bounded mailboxes: truncation happens after the re-sort, so the
+			// rejected suffix is a pure function of the deterministic mailbox
+			// order — the same messages bounce for every worker count and
+			// transport.
+			var rejected int64
+			for v := lo; v < hi; v++ {
+				if over := len(net.inbox[v]) - net.mailboxCap; over > 0 {
+					clear(net.inbox[v][net.mailboxCap:]) // drop payload references
+					net.inbox[v] = net.inbox[v][:net.mailboxCap]
+					rejected += int64(over)
+				}
+			}
+			if rejected > 0 {
+				net.counter.reject(w, rejected)
 			}
 		}
 		for src := range net.out {

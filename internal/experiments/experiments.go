@@ -122,6 +122,7 @@ func All() []Experiment {
 		{"F7", "Alternative balancing models", F7BalancingModels},
 		{"F8", "Early-behaviour bound (Lemma 4.1)", F8EarlyBehaviourBound},
 		{"F9", "Synchrony ablation: async gossip", F9AsyncGossip},
+		{"F10", "Loss ablation: plain vs reliable async gossip", F10LossAblation},
 	}
 }
 

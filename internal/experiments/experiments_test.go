@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 )
@@ -29,8 +31,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(all))
+	if len(all) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -48,7 +50,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Error("unknown id should not resolve")
 	}
-	if len(IDs()) != 15 {
+	if len(IDs()) != 16 {
 		t.Error("IDs() incomplete")
 	}
 }
@@ -161,6 +163,73 @@ func TestF8Smoke(t *testing.T) {
 func TestF9Smoke(t *testing.T) {
 	tb, err := F9AsyncGossip(tiny)
 	checkTable(t, tb, err, 2)
+}
+
+func TestF10Smoke(t *testing.T) {
+	tb, err := F10LossAblation(tiny)
+	checkTable(t, tb, err, 6)
+}
+
+// TestF10Shape pins the acceptance claim of the loss ablation at smoke
+// scale: at every loss rate the reliable variant's mass deficit is zero up
+// to float-summation ulps, the plain variant's deficit grows once the
+// substrate destroys traffic, backpressure rejections engage, and the
+// reliable labelling stays flat across the loss sweep. (The plain
+// variant's accuracy degradation — clear at reference scale, see the
+// recorded tables — is not asserted here: at tiny scale the surviving
+// mass still mixes well enough that plain's labelling is noise-dominated.)
+func TestF10Shape(t *testing.T) {
+	tb, err := F10LossAblation(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := func(name string) int {
+		for i, h := range tb.Headers {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return -1
+	}
+	deficitCol, misCol, rejCol := col("mass deficit"), col("misclassified"), col("rejected")
+	parse := func(cell string) float64 {
+		var x float64
+		if _, err := fmt.Sscanf(strings.TrimSuffix(cell, "%"), "%g", &x); err != nil {
+			t.Fatalf("cell %q: %v", cell, err)
+		}
+		return x
+	}
+	var plainDeficits, reliableDeficits, reliableMis []float64
+	sawRejection := false
+	for idx, row := range tb.Rows {
+		deficit, mis := parse(row[deficitCol]), parse(row[misCol])
+		if parse(row[rejCol]) > 0 {
+			sawRejection = true
+		}
+		if idx%2 == 0 {
+			plainDeficits = append(plainDeficits, deficit)
+		} else {
+			reliableDeficits = append(reliableDeficits, deficit)
+			reliableMis = append(reliableMis, mis)
+		}
+	}
+	for i, d := range reliableDeficits {
+		if math.Abs(d) > 1e-9 {
+			t.Errorf("reliable row %d: mass deficit %g, want 0 up to summation ulps", i, d)
+		}
+	}
+	last := len(plainDeficits) - 1
+	if plainDeficits[last] <= 0.01 {
+		t.Errorf("plain deficit %g at the highest loss rate — loss machinery not engaged", plainDeficits[last])
+	}
+	if !sawRejection {
+		t.Error("no row shows mailbox rejections — backpressure not engaged")
+	}
+	if reliableMis[last] > reliableMis[0]+3 {
+		t.Errorf("reliable accuracy not flat across the sweep: %.2f%% at max loss vs %.2f%% fault-free",
+			reliableMis[last], reliableMis[0])
+	}
 }
 
 // TestF9ParallelProducesIdenticalTable: Config.Parallel is a wall-clock

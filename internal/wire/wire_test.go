@@ -8,6 +8,7 @@ package wire_test
 import (
 	"crypto/sha256"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"syscall"
@@ -149,14 +150,16 @@ func TestSocketTranscriptWithFaultsMatchesInProcess(t *testing.T) {
 }
 
 // runHash condenses a clustering run into one comparable transcript hash:
-// every label plus the network counters.
+// every label plus the network counters (including backpressure
+// rejections).
 func runHash(res *core.DistResult) string {
 	h := sha256.New()
 	for _, l := range res.Labels {
 		fmt.Fprintf(h, "%d,", l)
 	}
-	fmt.Fprintf(h, "|%d|%d|%d|%d|%v",
-		res.NetworkMessages, res.NetworkWords, res.DroppedMessages, res.DroppedMatches, res.TotalMass)
+	fmt.Fprintf(h, "|%d|%d|%d|%d|%d|%v",
+		res.NetworkMessages, res.NetworkWords, res.DroppedMessages, res.RejectedMessages,
+		res.DroppedMatches, res.TotalMass)
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
@@ -269,6 +272,50 @@ func TestAsyncGossipSocketMatchesInProcess(t *testing.T) {
 	}
 	if runHash(res) != runHash(baseline) {
 		t.Error("async gossip over sockets diverges from in-process")
+	}
+}
+
+// TestBoundedMailboxSocketMatchesInProcess pins the backpressure layer
+// across a real process boundary: mailbox-capacity rejection happens at
+// delivery time, downstream of the transport, so a bounded-mailbox reliable
+// gossip run whose pushes round-trip through a spawned worker process must
+// reproduce the in-process run bit for bit — labels, rejection tally, and
+// the exactly conserved mass.
+func TestBoundedMailboxSocketMatchesInProcess(t *testing.T) {
+	p, err := gen.SBMBalanced(2, 40, 10, 2, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{Beta: 0.5, Rounds: 12, Seed: 6}
+	opt := core.AsyncOptions{
+		Ticks:      4000,
+		ClockSeed:  23,
+		Model:      dist.LinkFaults{DropProb: 0.1, Seed: 9},
+		MailboxCap: 3,
+		Reliable:   true,
+	}
+	baseline, err := core.ClusterAsyncGossip(p.G, params, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.RejectedMessages == 0 || baseline.DroppedMessages == 0 {
+		t.Fatalf("baseline engaged no pressure (rejected=%d dropped=%d), comparison is vacuous",
+			baseline.RejectedMessages, baseline.DroppedMessages)
+	}
+	// Conservation sanity (the bit-exact pins live in internal/core; this
+	// long run accumulates float-summation ulps).
+	if want := float64(len(baseline.Seeds)); math.Abs(baseline.TotalMass-want) > 1e-9*want {
+		t.Fatalf("reliable gossip lost mass in-process: %v != %v", baseline.TotalMass, want)
+	}
+	sopt := opt
+	sopt.Transport = core.TransportSpec{Kind: "socket", Machines: 1}
+	res, err := core.ClusterAsyncGossip(p.G, params, sopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runHash(res) != runHash(baseline) {
+		t.Errorf("bounded-mailbox reliable gossip over sockets diverges from in-process\n socket    rejected=%d mass=%v\n inprocess rejected=%d mass=%v",
+			res.RejectedMessages, res.TotalMass, baseline.RejectedMessages, baseline.TotalMass)
 	}
 }
 
