@@ -1,0 +1,282 @@
+// Command lintdet is the repo's determinism-contract vettool: it compiles
+// the internal/analysis suite (mapiter, wallclock, rawgo, floataccum,
+// payloadreg) into a binary that `go vet -vettool` can drive. Typical use:
+//
+//	go build -o bin/lintdet ./cmd/lintdet
+//	go vet -vettool=$PWD/bin/lintdet ./...
+//
+// or, equivalently, the standalone spelling (lintdet re-execs go vet on
+// itself):
+//
+//	go run ./cmd/lintdet ./...
+//
+// The binary implements the vet driver protocol that cmd/go speaks to a
+// -vettool (the same protocol as x/tools' unitchecker, reimplemented here
+// on the standard library because this module builds offline with no
+// third-party dependencies):
+//
+//   - `lintdet -V=full` prints a version line whose content hash of the
+//     executable keys cmd/go's result cache, so a rebuilt tool invalidates
+//     stale vet results;
+//   - `lintdet -flags` prints the supported analyzer flags as JSON;
+//   - `lintdet <dir>/vet.cfg` analyzes one package described by the JSON
+//     config: the tool parses the listed Go files, type-checks them against
+//     the export data cmd/go already compiled for every import, runs the
+//     analyzers, and exits 2 if any diagnostic survives the
+//     //lintdet:allow filter.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	jsonOut := false
+	var cfgs, rest []string
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "-V":
+			printVersion()
+			return
+		case arg == "-flags":
+			printFlags()
+			return
+		case arg == "-json":
+			jsonOut = true
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgs = append(cfgs, arg)
+		case strings.HasPrefix(arg, "-"):
+			// Unknown analyzer flag (cmd/go validated it against -flags);
+			// nothing else is tunable, ignore.
+		default:
+			rest = append(rest, arg)
+		}
+	}
+
+	if len(cfgs) == 0 {
+		// Standalone mode: `lintdet ./...` re-execs `go vet -vettool=self`.
+		os.Exit(standalone(rest))
+	}
+	exit := 0
+	for _, cfg := range cfgs {
+		if code := checkOne(cfg, jsonOut); code > exit {
+			exit = code
+		}
+	}
+	os.Exit(exit)
+}
+
+// printVersion emits the version line cmd/go's toolID parser expects:
+// field 2 must be "version", and embedding a content hash of the executable
+// makes the whole line — which cmd/go uses as the cache key — change
+// whenever the tool is rebuilt.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("lintdet version %x\n", h.Sum(nil)[:12])
+}
+
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{{Name: "json", Bool: true, Usage: "emit JSON diagnostics"}}
+	out, _ := json.Marshal(flags)
+	fmt.Println(string(out))
+}
+
+func standalone(pkgs []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintdet: %v\n", err)
+		return 1
+	}
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, pkgs...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "lintdet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg for a
+// -vettool (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func checkOne(cfgPath string, jsonOut bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintdet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "lintdet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Facts output: the suite needs no cross-package facts, but writing the
+	// (empty) file lets cmd/go cache the result of dependency visits.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "lintdet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags, err := analyze(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "lintdet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if jsonOut {
+		printJSON(&cfg, diags)
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	return 2
+}
+
+func analyze(cfg *vetConfig) ([]analysis.Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := analysis.NewTypesInfo()
+	tconf := types.Config{
+		Importer:  &mappingImporter{imp: imp, importMap: cfg.ImportMap},
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compiler, buildGOARCH()),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.RunPackage(fset, files, pkg, info, analysis.Analyzers())
+}
+
+// buildGOARCH is the architecture the package is being vetted for:
+// cmd/go sets $GOARCH for tool subprocesses when cross-compiling.
+func buildGOARCH() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+// mappingImporter applies the vet config's source-path -> canonical-path
+// ImportMap before delegating to the export-data importer.
+type mappingImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (m *mappingImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *mappingImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if from, ok := m.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, 0)
+	}
+	return m.imp.Import(path)
+}
+
+func printJSON(cfg *vetConfig, diags []analysis.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    d.Pos.String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{cfg.ID: byAnalyzer}
+	data, _ := json.MarshalIndent(out, "", "\t")
+	fmt.Println(string(data))
+}

@@ -1,0 +1,130 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLintdet compiles the vettool once per test process.
+func buildLintdet(t *testing.T) string {
+	t.Helper()
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "lintdet")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/lintdet")
+	cmd.Dir = repoRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building lintdet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule materialises a throwaway module and returns its directory.
+func writeModule(t *testing.T, modpath string, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module " + modpath + "\n\ngo 1.24\n"
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runVet(t *testing.T, bin, dir string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("go vet: %v\n%s", err, out)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+// TestVettoolEndToEnd drives the real `go vet -vettool` protocol: version
+// handshake, -flags query, vet.cfg analysis, diagnostics and exit status.
+func TestVettoolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go command")
+	}
+	bin := buildLintdet(t)
+
+	// The module path ends in _det, so its root package opts into the
+	// deterministic set by the testdata naming convention.
+	dirty := writeModule(t, "e2e_det", map[string]string{
+		"det.go": `package e2edet
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Keys(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func Allowed() time.Time {
+	//lintdet:allow wallclock(e2e fixture; suppression must survive the wire)
+	return time.Now()
+}
+`,
+	})
+	out, code := runVet(t, bin, dirty)
+	if code == 0 {
+		t.Fatalf("go vet exited 0 on a package with findings:\n%s", out)
+	}
+	for _, want := range []string{"wall-clock read time.Now", "nondeterministic map iteration"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vet output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one time.Now diagnostic: the annotated one is suppressed.
+	if got := strings.Count(out, "wall-clock read time.Now"); got != 1 {
+		t.Errorf("got %d time.Now diagnostics, want 1 (annotation must suppress):\n%s", got, out)
+	}
+
+	clean := writeModule(t, "e2e_clean_det", map[string]string{
+		"det.go": `package e2eclean
+
+import "sort"
+
+func Keys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+`,
+	})
+	if out, code := runVet(t, bin, clean); code != 0 {
+		t.Errorf("go vet exited %d on a clean package:\n%s", code, out)
+	}
+
+	// Standalone spelling: `lintdet ./...` re-execs go vet on itself.
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dirty
+	out2, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Errorf("standalone lintdet exited 0 on a package with findings:\n%s", out2)
+	}
+	if !strings.Contains(string(out2), "nondeterministic map iteration") {
+		t.Errorf("standalone output missing diagnostic:\n%s", out2)
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Deliberate exceptions to the determinism contract are annotated
+//
+//	//lintdet:allow <analyzer>(<reason>)
+//
+// on the offending line or on the line immediately above it. The reason is
+// not optional: an annotation with an empty or missing reason does not
+// suppress anything and is reported as a diagnostic itself, attributed to
+// the analyzer it names, so "why is this exception safe" is always written
+// down next to the exception.
+
+const allowPrefix = "//lintdet:allow"
+
+var allowRe = regexp.MustCompile(`^//lintdet:allow\s+([a-z]+)\((.*)\)\s*$`)
+
+// allowKey addresses an annotation by file and line.
+type allowKey struct {
+	file string
+	line int
+}
+
+type allowEntry struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// allowSet is every well-formed annotation in a package, keyed by position.
+type allowSet map[allowKey][]allowEntry
+
+// collectAllows scans all comments in files, returning the well-formed
+// annotations and a diagnostic for each malformed one.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var malformed []Diagnostic
+	bad := func(pos token.Pos, format string, args ...any) {
+		malformed = append(malformed, Diagnostic{
+			Analyzer: "lintdet",
+			Pos:      fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				// Tolerate a trailing `// ...` aside after the annotation
+				// (reasons themselves cannot contain "//").
+				if i := strings.Index(text[len(allowPrefix):], "//"); i >= 0 {
+					text = strings.TrimSpace(text[:len(allowPrefix)+i])
+				}
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					bad(c.Pos(), "malformed annotation %q: want //lintdet:allow <analyzer>(<reason>)", text)
+					continue
+				}
+				name, reason := m[1], strings.TrimSpace(m[2])
+				if !known[name] {
+					bad(c.Pos(), "annotation names unknown analyzer %q", name)
+					continue
+				}
+				if reason == "" {
+					bad(c.Pos(), "//lintdet:allow %s annotation missing a reason", name)
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := allowKey{file: p.Filename, line: p.Line}
+				allows[key] = append(allows[key], allowEntry{analyzer: name, reason: reason, pos: c.Pos()})
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// allowed reports whether a diagnostic from analyzer at position p is
+// covered by an annotation on the same line or the line above.
+func (a allowSet) allowed(analyzer string, p token.Position) bool {
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, e := range a[allowKey{file: p.Filename, line: line}] {
+			if e.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

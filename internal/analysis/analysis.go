@@ -1,0 +1,108 @@
+// Package analysis is the repo's determinism-contract analyzer suite: five
+// static checks that enforce, at `go vet` time, the invariants every
+// transcript-equality test assumes at run time. The contract (spelled out in
+// the internal/dist package godoc) is that transcripts — mailbox order,
+// counters, labels, TotalMass — are bit-identical for every worker count,
+// transport, and batch schedule; a single unsorted map range or stray
+// time.Now in a hot path compiles fine and only fails flakily in a test.
+// These analyzers turn those failures into vet errors.
+//
+// The analyzers:
+//
+//   - mapiter: no `range` over a map in a deterministic package unless the
+//     loop only collects keys that are subsequently sorted.
+//   - wallclock: no time.Now/Since/Until and no global math/rand in
+//     deterministic packages — clocks come from the firing clock, randomness
+//     from internal/rng seeds.
+//   - rawgo: no `go` statements outside internal/sched — goroutines run on
+//     sched.Pool for deterministic fork/join and panic propagation.
+//   - floataccum: no floating-point `+=` accumulation across a map-range
+//     body — order-dependent rounding breaks bit-equality.
+//   - payloadreg: every concrete wire.Codec implementation is registered
+//     with wire.Register in an init of its package, so a new message type
+//     cannot silently skip the socket path.
+//
+// Deliberate exceptions are annotated in the source as
+//
+//	//lintdet:allow <analyzer>(<reason>)
+//
+// on the offending line or the line above it. The reason string is
+// mandatory; an annotation without one is itself a diagnostic. The suite is
+// compiled into the cmd/lintdet vettool and runs in CI via
+// `go vet -vettool`; see the README's "Static analysis & the determinism
+// contract" section.
+//
+// The framework below is a deliberately small, dependency-free subset of
+// golang.org/x/tools/go/analysis (the repo builds offline with a bare
+// module cache, so x/tools is not importable): an Analyzer holds a Run
+// function over a type-checked package Pass, and diagnostics are plain
+// positions with messages. Analyzers need no facts and no cross-package
+// state, which is what keeps this subset sufficient.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lintdet:allow annotations.
+	Name string
+	// Doc is a one-line description, shown by `lintdet -help`.
+	Doc string
+	// Run reports diagnostics for one type-checked package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding: a position in the package's file set and a
+// message.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass holds one type-checked package for one analyzer run. Test files
+// (*_test.go) are excluded before the Pass is built: the contract governs
+// what production code does to transcripts, and test harnesses legitimately
+// use goroutines, timers, and unordered iteration.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(analyzer string, pos token.Pos, msg string)
+}
+
+// Reportf records a diagnostic at pos. The driver filters it against any
+// //lintdet:allow annotation covering the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(p.Analyzer.Name, pos, fmt.Sprintf(format, args...))
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// Analyzers returns the full suite in a fixed order (diagnostic order is
+// part of the tool's own determinism contract).
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapIter,
+		WallClock,
+		RawGo,
+		FloatAccum,
+		PayloadReg,
+	}
+}

@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapIter, "mapiter_det")
+}
+
+func TestFloatAccum(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.FloatAccum, "floataccum_det")
+}
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WallClock, "wallclock_det")
+}
+
+func TestRawGo(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.RawGo, "rawgo_a")
+}
+
+func TestRawGoSchedExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.RawGo, "rawgo_sched")
+}
+
+func TestPayloadReg(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.PayloadReg, "payloadreg_a")
+}
+
+// TestAnalyzerNames pins the annotation vocabulary: //lintdet:allow names
+// must stay stable or every annotation in the repo silently detaches.
+func TestAnalyzerNames(t *testing.T) {
+	want := []string{"mapiter", "wallclock", "rawgo", "floataccum", "payloadreg"}
+	got := analysis.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d: got %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q: missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its diagnostics against expectations written in the source as
+//
+//	code under test // want "regexp" "another"
+//
+// comments, mirroring x/tools' analysistest on the standard library alone.
+// Testdata packages live under <dir>/src/<pkg>/ (GOPATH layout); imports
+// resolve against GOROOT for the standard library and against <dir>/src for
+// stub packages (e.g. the wire registry stub payloadreg tests use), all
+// type-checked from source, since an offline module cache has no compiled
+// export data to import.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the package at dir/src/pkgname, runs a over it (through the
+// same driver policy as the vettool: //lintdet:allow filtering, malformed
+// annotations reported), and compares diagnostics against // want
+// expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgname string) {
+	t.Helper()
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := importerFor(absDir)
+
+	imp.mu.Lock()
+	fset, files, pkg, info, err := imp.loadDir(filepath.Join(absDir, "src", pkgname), pkgname)
+	imp.mu.Unlock()
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgname, err)
+	}
+
+	diags, err := analysis.RunPackage(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkExpectations(t, fset, files, diags)
+}
+
+var wantRe = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					pattern, err := unquoteWant(arg[1])
+					if err != nil {
+						t.Errorf("%s: bad want pattern: %v", p, err)
+						continue
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s: bad want regexp: %v", p, err)
+						continue
+					}
+					k := key{p.Filename, p.Line}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+// unquoteWant undoes the minimal escaping the want syntax needs (\" and \\)
+// without treating the pattern as a full Go string literal, so regexp
+// escapes like \[ pass through untouched.
+func unquoteWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\') {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+// srcImporter type-checks packages from source, resolving import paths with
+// go/build against GOROOT plus one testdata GOPATH. Results are cached per
+// GOPATH for the life of the process, so the one expensive import tree
+// (time, math/rand and their runtime dependencies for the wallclock tests)
+// is paid once across all analyzer tests.
+type srcImporter struct {
+	mu   sync.Mutex
+	ctx  build.Context
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+var (
+	importersMu sync.Mutex
+	importers   = map[string]*srcImporter{}
+)
+
+func importerFor(gopath string) *srcImporter {
+	importersMu.Lock()
+	defer importersMu.Unlock()
+	if imp, ok := importers[gopath]; ok {
+		return imp
+	}
+	ctx := build.Default
+	ctx.GOPATH = gopath
+	ctx.CgoEnabled = false
+	imp := &srcImporter{ctx: ctx, fset: token.NewFileSet(), pkgs: map[string]*types.Package{}}
+	importers[gopath] = imp
+	return imp
+}
+
+// Import implements types.Importer. Callers must hold mu (the type-checker
+// calls back into Import during loadDir, on the same goroutine).
+func (imp *srcImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := imp.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	// Resolve the directory ourselves (GOROOT, GOROOT vendor, testdata
+	// GOPATH): Context.Import would delegate to the go command in module
+	// mode, which cannot see the GOPATH-style testdata stubs.
+	var dir string
+	for _, cand := range []string{
+		filepath.Join(imp.ctx.GOROOT, "src", path),
+		filepath.Join(imp.ctx.GOROOT, "src", "vendor", path),
+		filepath.Join(imp.ctx.GOPATH, "src", path),
+	} {
+		if st, err := os.Stat(cand); err == nil && st.IsDir() {
+			dir = cand
+			break
+		}
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("package %q not found in GOROOT or testdata GOPATH", path)
+	}
+	imp.pkgs[path] = nil // cycle guard
+	_, _, pkg, _, err := imp.loadDir(dir, path)
+	if err != nil {
+		delete(imp.pkgs, path)
+		return nil, fmt.Errorf("type-checking %q: %w", path, err)
+	}
+	imp.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loadDir parses and type-checks the package in dir under the given import
+// path, honouring build constraints via go/build.
+func (imp *srcImporter) loadDir(dir, path string) (*token.FileSet, []*ast.File, *types.Package, *types.Info, error) {
+	bp, err := imp.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(imp.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		// Std packages implement some functions in assembly or via
+		// go:linkname; bodyless declarations are fine for type checking.
+		FakeImportC: true,
+	}
+	pkg, err := conf.Check(path, imp.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return imp.fset, files, pkg, info, nil
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import "strings"
+
+// Package classification. The vettool runs every analyzer over every package
+// `go vet` names; each analyzer narrows itself to the packages its rule
+// governs using the predicates below. Testdata packages used by the
+// analysistest harness opt in by naming convention (suffix matching), since
+// they live outside the module and cannot carry real import paths.
+
+// deterministicPkgs are the transcript-affecting packages: everything a
+// byte of a run transcript (mailbox order, counters, labels, TotalMass)
+// flows through. mapiter, wallclock, and floataccum enforce here.
+var deterministicPkgs = map[string]bool{
+	"repro/internal/core":        true,
+	"repro/internal/dist":        true,
+	"repro/internal/sched":       true,
+	"repro/internal/matching":    true,
+	"repro/internal/rng":         true,
+	"repro/internal/wire":        true,
+	"repro/internal/loadbalance": true,
+}
+
+// orderedOutputPkgs produce the repo's printed artifacts — experiment
+// tables, figures, CLI output — which must be byte-reproducible for a given
+// seed even though they never touch a transcript. mapiter and floataccum
+// enforce here too (an unsorted iteration feeding a table is exactly the
+// bug class the contract exists to prevent); wallclock does not, since
+// timing measurements in experiment harnesses are legitimate.
+var orderedOutputPkgs = map[string]bool{
+	"repro/internal/experiments": true,
+	"repro/internal/metrics":     true,
+	"repro/internal/baselines":   true,
+	"repro/internal/spectral":    true,
+	"repro/internal/linalg":      true,
+	"repro/internal/graph":       true,
+	"repro/internal/graph/gen":   true,
+	"repro/cmd/lbcluster":        true,
+	"repro/cmd/experiments":      true,
+	"repro/cmd/graphgen":         true,
+}
+
+// IsDeterministicPkg reports whether path is under the transcript contract.
+// Testdata packages opt in with a "_det" path suffix.
+func IsDeterministicPkg(path string) bool {
+	return deterministicPkgs[path] || strings.HasSuffix(path, "_det")
+}
+
+// IsOrderedOutputPkg reports whether path must produce byte-reproducible
+// output without being transcript-affecting. Testdata suffix: "_out".
+func IsOrderedOutputPkg(path string) bool {
+	return orderedOutputPkgs[path] || strings.HasSuffix(path, "_out")
+}
+
+// IsSchedPkg reports whether path is the deterministic scheduler itself,
+// which is the one place allowed to create goroutines (it owns the worker
+// pool the rest of the repo must use). Testdata suffix: "_sched".
+func IsSchedPkg(path string) bool {
+	return path == "repro/internal/sched" || strings.HasSuffix(path, "_sched")
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// RunPackage type-checks nothing itself — the caller supplies a fully
+// type-checked package — and runs every analyzer over it, returning the
+// surviving diagnostics in deterministic (file, line, column, analyzer)
+// order. It applies the shared driver policy:
+//
+//   - *_test.go files are dropped from the pass (see Pass docs);
+//   - diagnostics covered by a well-formed //lintdet:allow annotation are
+//     suppressed;
+//   - malformed annotations are diagnostics in their own right.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	kept := files[:0:0]
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		kept = append(kept, f)
+	}
+
+	// Annotations are validated against the full suite, not just the
+	// analyzers in this run, so a single-analyzer run (analysistest) does
+	// not misreport another analyzer's allow as unknown.
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	allows, diags := collectAllows(fset, kept, known)
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     kept,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report: func(analyzer string, pos token.Pos, msg string) {
+				p := fset.Position(pos)
+				if allows.allowed(analyzer, p) {
+					return
+				}
+				diags = append(diags, Diagnostic{Analyzer: analyzer, Pos: p, Message: msg})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult
+// allocated, for callers that type-check a package themselves.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatAccum flags floating-point `+=`/`-=` accumulation inside the body of
+// a range over a map, in transcript-affecting and ordered-output packages.
+// Floating-point addition is not associative, so accumulating in map
+// iteration order makes the rounded sum depend on the iteration schedule —
+// the result differs across runs even though every term is identical, which
+// breaks bit-equality of TotalMass-style invariants and printed tables.
+//
+// Only accumulators declared outside the loop body are flagged: a float
+// accumulation into a variable local to one iteration is order-independent.
+// The check follows the body into closures (a nested func literal executed
+// per iteration accumulates in iteration order all the same).
+var FloatAccum = &Analyzer{
+	Name: "floataccum",
+	Doc:  "flag order-dependent floating-point accumulation inside map-range bodies",
+	Run:  runFloatAccum,
+}
+
+func runFloatAccum(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !IsDeterministicPkg(path) && !IsOrderedOutputPkg(path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(pass, rs) {
+				return true
+			}
+			checkFloatAccum(pass, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFloatAccum(pass *Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN) {
+			return true
+		}
+		lhs := as.Lhs[0]
+		t := pass.TypeOf(lhs)
+		if t == nil || !isFloat(t) {
+			return true
+		}
+		if declaredWithin(pass, lhs, rs.Body) {
+			return true // per-iteration accumulator, order-independent
+		}
+		pass.Reportf(as.TokPos, "floating-point accumulation in map-range body is iteration-order-dependent (sort the keys first, or annotate //lintdet:allow floataccum(reason))")
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// declaredWithin reports whether e is a plain identifier whose declaration
+// lies inside body.
+func declaredWithin(pass *Pass, e ast.Expr, body *ast.BlockStmt) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := identObj(pass, id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+}

@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `range` over a map in transcript-affecting and
+// ordered-output packages: Go randomises map iteration order per run, so
+// any map range whose body's effect is order-sensitive breaks bit-identical
+// transcripts and byte-identical printed artifacts.
+//
+// One idiom is accepted without annotation — the collect-and-sort pattern,
+// where the loop body does nothing but append elements built purely from
+// the range key (and value) to a slice that is subsequently sorted in the
+// same enclosing block:
+//
+//	keys := make([]int, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Ints(keys)
+//
+// or, with the values carried along,
+//
+//	for to, w := range acc {
+//		edges = append(edges, wedge{to: to, w: w})
+//	}
+//	sort.Slice(edges, func(i, j int) bool { return edges[i].to < edges[j].to })
+//
+// (deterministic because map keys are unique, so sorting by key restores a
+// canonical order). Everything else needs either restructuring or a
+// justified //lintdet:allow mapiter(reason) annotation.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flag nondeterministic map iteration in transcript-affecting and ordered-output packages",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !IsDeterministicPkg(path) && !IsOrderedOutputPkg(path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmts := stmtList(n)
+			if stmts == nil {
+				return true
+			}
+			for i, s := range stmts {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok || !rangesOverMap(pass, rs) {
+					continue
+				}
+				if collectsKeysSortedLater(pass, rs, stmts[i+1:]) {
+					continue
+				}
+				pass.Reportf(rs.For, "nondeterministic map iteration (collect and sort keys, or annotate //lintdet:allow mapiter(reason))")
+			}
+			return true
+		})
+		// Range statements nested somewhere other than a statement list
+		// cannot exist (a statement is always an element of a block, case,
+		// or comm clause), so the walk above is exhaustive.
+	}
+	return nil
+}
+
+// stmtList returns the statement list held directly by n, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func rangesOverMap(pass *Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// collectsKeysSortedLater reports whether rs is the accepted
+// collect-and-sort idiom: the body only appends elements built purely from
+// the range key and value to slices, and every such slice is passed to a
+// sorting call later in the same enclosing statement list.
+func collectsKeysSortedLater(pass *Pass, rs *ast.RangeStmt, tail []ast.Stmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[key]
+	if keyObj == nil {
+		return false
+	}
+	var valueObj types.Object
+	if rs.Value != nil {
+		v, ok := rs.Value.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if v.Name != "_" {
+			if valueObj = pass.TypesInfo.Defs[v]; valueObj == nil {
+				return false
+			}
+		}
+	}
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	var sinks []types.Object
+	for _, s := range rs.Body.List {
+		sink := appendOfKeyValue(pass, s, keyObj, valueObj)
+		if sink == nil {
+			return false
+		}
+		sinks = append(sinks, sink)
+	}
+	for _, sink := range sinks {
+		if !sortedIn(pass, sink, tail) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendOfKeyValue matches `s = append(s, elem...)` where every elem is an
+// expression over nothing but the range key and value (plus type names,
+// builtins, struct field keys, and universe constants), and returns the
+// object of s. Uniqueness of map keys makes such elements canonically
+// re-orderable by a later sort.
+func appendOfKeyValue(pass *Pass, s ast.Stmt, keyObj, valueObj types.Object) types.Object {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	lhsObj := identObj(pass, lhs)
+	if lhsObj == nil || identObj(pass, arg0) != lhsObj {
+		return nil
+	}
+	for _, elem := range call.Args[1:] {
+		if !exprUsesOnly(pass, elem, keyObj, valueObj) {
+			return nil
+		}
+	}
+	return lhsObj
+}
+
+// exprUsesOnly reports whether every identifier in e denotes the range key,
+// the range value, or something order-insensitive: a type, a builtin, a
+// struct field key, or a universe constant (true/false/nil/iota). Any other
+// variable, function, or constant could smuggle iteration-order dependence
+// into the collected element.
+func exprUsesOnly(pass *Pass, e ast.Expr, keyObj, valueObj types.Object) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || !ok {
+			return ok
+		}
+		obj := pass.TypesInfo.Uses[id]
+		switch {
+		case obj == nil: // blank, or a field key recorded only in Defs
+		case obj == keyObj || obj == valueObj:
+		case obj.Parent() == types.Universe:
+		default:
+			switch o := obj.(type) {
+			case *types.TypeName, *types.Builtin:
+			case *types.Var:
+				if !o.IsField() {
+					ok = false
+				}
+			default:
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+func identObj(pass *Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// sortedIn reports whether any statement in tail contains a sorting call
+// with sink referenced in its arguments (sort.Ints(s), sort.Slice(s, less),
+// slices.Sort(s), sort.Sort(byFoo(s)), a local sortFoo(s) helper, ...).
+func sortedIn(pass *Pass, sink types.Object, tail []ast.Stmt) bool {
+	found := false
+	for _, s := range tail {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == sink {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall recognises a call as a sort: any function of the sort or
+// slices packages whose name marks it as a sorting entry point, or any
+// function (of any package, including local helpers and methods) whose name
+// mentions Sort.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok { // explicit generic instantiation
+		fun = ast.Unparen(ix.X)
+	}
+	var id *ast.Ident
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return false
+	}
+	if strings.Contains(id.Name, "Sort") || strings.Contains(id.Name, "sort") {
+		return true
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort", "slices":
+		switch obj.Name() {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Stable":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PayloadReg enforces the wire registry contract: every concrete type that
+// implements the wire payload codec interface (wire.Codec[T]: Append/Decode
+// with matching payload type) must be registered with wire.Register in an
+// init of the package that declares it. Registration is what lets a worker
+// daemon serve a payload by handshake name; a codec that compiles but never
+// registers works perfectly in-process and fails only when a run first
+// crosses the socket transport — exactly the class of latent bug this
+// analyzer moves to vet time.
+//
+// The analyzer matches the interface structurally (Append(buf []byte, v T)
+// []byte and Decode(data []byte) (T, int, error) for one consistent T), so
+// it needs no dependency on the wire package itself and works in testdata
+// stubs: any imported (or current) package named "wire" that declares both
+// a Codec type and a Register function is treated as the registry.
+var PayloadReg = &Analyzer{
+	Name: "payloadreg",
+	Doc:  "require every concrete wire.Codec implementation to be registered in an init",
+	Run:  runPayloadReg,
+}
+
+func runPayloadReg(pass *Pass) error {
+	wirePkg := findWirePackage(pass.Pkg)
+	if wirePkg == nil {
+		return nil
+	}
+	registerFn, _ := wirePkg.Scope().Lookup("Register").(*types.Func)
+	if registerFn == nil {
+		return nil
+	}
+
+	registered := registeredCodecs(pass, registerFn)
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || named.TypeParams().Len() > 0 {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if !implementsCodec(named) {
+			continue
+		}
+		if !registered[tn] {
+			pass.Reportf(tn.Pos(), "wire payload codec %s is not registered with %s.Register in an init of this package (unregistered payloads silently skip the socket path)", name, wirePkg.Name())
+		}
+	}
+	return nil
+}
+
+// findWirePackage returns the codec-registry package visible to pass: the
+// package itself or a direct import named "wire" declaring Register and
+// Codec.
+func findWirePackage(pkg *types.Package) *types.Package {
+	isWire := func(p *types.Package) bool {
+		return p.Name() == "wire" &&
+			p.Scope().Lookup("Register") != nil &&
+			p.Scope().Lookup("Codec") != nil
+	}
+	if isWire(pkg) {
+		return pkg
+	}
+	for _, imp := range pkg.Imports() {
+		if isWire(imp) {
+			return imp
+		}
+	}
+	return nil
+}
+
+// registeredCodecs collects the type names of every codec passed to
+// wire.Register inside an init func of the package.
+func registeredCodecs(pass *Pass, registerFn *types.Func) map[*types.TypeName]bool {
+	registered := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Name.Name != "init" || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 2 {
+					return true
+				}
+				if calleeObj(pass, call) != registerFn {
+					return true
+				}
+				t := pass.TypeOf(call.Args[1])
+				if t == nil {
+					return true
+				}
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					registered[named.Obj()] = true
+				}
+				return true
+			})
+		}
+	}
+	return registered
+}
+
+// calleeObj resolves the object a call's function expression names, seeing
+// through parentheses and generic instantiation syntax.
+func calleeObj(pass *Pass, call *ast.CallExpr) types.Object {
+	fun := ast.Unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = ast.Unparen(ix.X)
+	}
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// implementsCodec reports whether named (or its pointer type) has the
+// Codec[T] method shape: Append(buf []byte, v T) []byte and
+// Decode(data []byte) (T, int, error) with one consistent T.
+func implementsCodec(named *types.Named) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	var appendT, decodeT types.Type
+	for i := 0; i < ms.Len(); i++ {
+		fn := ms.At(i).Obj().(*types.Func)
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Variadic() {
+			continue
+		}
+		switch fn.Name() {
+		case "Append":
+			if sig.Params().Len() == 2 && sig.Results().Len() == 1 &&
+				isByteSlice(sig.Params().At(0).Type()) &&
+				isByteSlice(sig.Results().At(0).Type()) {
+				appendT = sig.Params().At(1).Type()
+			}
+		case "Decode":
+			if sig.Params().Len() == 1 && sig.Results().Len() == 3 &&
+				isByteSlice(sig.Params().At(0).Type()) &&
+				isInt(sig.Results().At(1).Type()) &&
+				isError(sig.Results().At(2).Type()) {
+				decodeT = sig.Results().At(0).Type()
+			}
+		}
+	}
+	return appendT != nil && decodeT != nil && types.Identical(appendT, decodeT)
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int
+}
+
+func isError(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import "go/ast"
+
+// RawGo flags `go` statements everywhere except internal/sched. The repo's
+// determinism contract requires all concurrency to run on sched.Pool: the
+// pool gives every hot path the same fork/join barrier semantics, confines
+// worker writes to owned shards, and re-raises worker panics on the driving
+// goroutine so failure behaviour is identical for every worker count. A raw
+// goroutine has none of that — its scheduling is invisible to the batch
+// scheduler and its panics kill the process.
+//
+// I/O pumps that never touch transcript state (socket accept loops, process
+// reaping) are legitimate exceptions; annotate them with
+// //lintdet:allow rawgo(reason).
+var RawGo = &Analyzer{
+	Name: "rawgo",
+	Doc:  "flag go statements outside internal/sched (concurrency must run on sched.Pool)",
+	Run:  runRawGo,
+}
+
+func runRawGo(pass *Pass) error {
+	if IsSchedPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Go, "go statement outside internal/sched (run on sched.Pool, or annotate //lintdet:allow rawgo(reason))")
+			}
+			return true
+		})
+	}
+	return nil
+}

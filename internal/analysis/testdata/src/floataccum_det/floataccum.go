@@ -1,0 +1,78 @@
+// Package floataccum_det exercises the floataccum analyzer.
+package floataccum_det
+
+func badAccum(m map[int]float64) float64 {
+	total := 0.0
+	//lintdet:allow mapiter(isolating the floataccum diagnostic in this test)
+	for _, v := range m {
+		total += v // want "iteration-order-dependent"
+	}
+	return total
+}
+
+func badSubtract(m map[int]float64) float64 {
+	total := 0.0
+	//lintdet:allow mapiter(isolating the floataccum diagnostic in this test)
+	for _, v := range m {
+		total -= v // want "iteration-order-dependent"
+	}
+	return total
+}
+
+func intAccumFine(m map[int]int) int {
+	total := 0
+	//lintdet:allow mapiter(isolating the floataccum diagnostic in this test)
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func perIterationFine(m map[int][]float64, out map[int]float64) {
+	//lintdet:allow mapiter(isolating the floataccum diagnostic in this test)
+	for k, vs := range m {
+		local := 0.0
+		for _, v := range vs {
+			local += v
+		}
+		out[k] = local
+	}
+}
+
+func badInClosure(m map[int]float64) float64 {
+	total := 0.0
+	//lintdet:allow mapiter(isolating the floataccum diagnostic in this test)
+	for _, v := range m {
+		func() {
+			total += v // want "iteration-order-dependent"
+		}()
+	}
+	return total
+}
+
+func badFieldAccum(m map[int]float64) {
+	var stats struct{ sum float64 }
+	//lintdet:allow mapiter(isolating the floataccum diagnostic in this test)
+	for _, v := range m {
+		stats.sum += v // want "iteration-order-dependent"
+	}
+	_ = stats
+}
+
+func sliceAccumFine(s []float64) float64 {
+	total := 0.0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func allowedWithReason(m map[int]float64) float64 {
+	total := 0.0
+	//lintdet:allow mapiter(isolating the floataccum diagnostic in this test)
+	for _, v := range m {
+		//lintdet:allow floataccum(sum feeds a log line only, ulp drift acceptable)
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,119 @@
+// Package mapiter_det exercises the mapiter analyzer (the _det suffix opts
+// the package into the deterministic set).
+package mapiter_det
+
+import (
+	"slices"
+	"sort"
+)
+
+type wedge struct {
+	to int
+	w  int
+}
+
+func bad(m map[int]string) {
+	for k := range m { // want "nondeterministic map iteration"
+		_ = k
+	}
+}
+
+func badKeyValue(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "nondeterministic map iteration"
+		out = append(out, v)
+	}
+	return out
+}
+
+func collectAndSort(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func collectAndSlicesSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func collectEntriesAndSort(m map[int]int) []wedge {
+	edges := make([]wedge, 0, len(m))
+	for to, w := range m {
+		edges = append(edges, wedge{to: to, w: w})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].to < edges[j].to })
+	return edges
+}
+
+func collectNeverSorted(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want "nondeterministic map iteration"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectSmugglingOutsideState is NOT the accepted idiom: the appended
+// element depends on a variable beyond the key and value, so sorting by key
+// cannot canonicalise it.
+func collectSmugglingOutsideState(m map[int]int) []wedge {
+	var edges []wedge
+	serial := 0
+	for to := range m { // want "nondeterministic map iteration"
+		edges = append(edges, wedge{to: to, w: serial})
+		serial++
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].to < edges[j].to })
+	return edges
+}
+
+func nestedInClosure(m map[int]string) func() {
+	return func() {
+		for k := range m { // want "nondeterministic map iteration"
+			_ = k
+		}
+	}
+}
+
+func sliceRangeFine(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func allowedWithReason(m map[int]string) {
+	//lintdet:allow mapiter(diagnostic dump; order feeds no transcript or artifact)
+	for k := range m {
+		_ = k
+	}
+}
+
+func allowedSameLine(m map[int]string) {
+	for k := range m { //lintdet:allow mapiter(diagnostic dump; order feeds no transcript or artifact)
+		_ = k
+	}
+}
+
+func allowMissingReason(m map[int]string) {
+	//lintdet:allow mapiter() // want "missing a reason"
+	for k := range m { // want "nondeterministic map iteration"
+		_ = k
+	}
+}
+
+func allowUnknownAnalyzer(m map[int]string) {
+	//lintdet:allow nosuchcheck(whatever) // want "unknown analyzer"
+	for k := range m { // want "nondeterministic map iteration"
+		_ = k
+	}
+}

@@ -1,0 +1,52 @@
+// Package payloadreg_a exercises the payloadreg analyzer: every concrete
+// Codec implementation must be registered in an init.
+package payloadreg_a
+
+import (
+	"errors"
+
+	"wire"
+)
+
+type msg struct{ v int }
+
+// goodCodec is registered below.
+type goodCodec struct{}
+
+func (goodCodec) Append(buf []byte, m msg) []byte      { return buf }
+func (goodCodec) Decode(data []byte) (msg, int, error) { return msg{}, 0, nil }
+
+// ptrCodec is registered via a pointer, which also counts.
+type ptrCodec struct{ scratch []byte }
+
+func (*ptrCodec) Append(buf []byte, m msg) []byte      { return buf }
+func (*ptrCodec) Decode(data []byte) (msg, int, error) { return msg{}, 0, nil }
+
+// badCodec implements Codec[msg] but is never registered.
+type badCodec struct{} // want "wire payload codec badCodec is not registered"
+
+func (badCodec) Append(buf []byte, m msg) []byte      { return buf }
+func (badCodec) Decode(data []byte) (msg, int, error) { return msg{}, 0, nil }
+
+// notACodec has a Decode whose payload type disagrees with Append's, so it
+// implements no Codec instantiation and needs no registration.
+type notACodec struct{}
+
+func (notACodec) Append(buf []byte, m msg) []byte         { return buf }
+func (notACodec) Decode(data []byte) (string, int, error) { return "", 0, errors.New("no") }
+
+// lateCodec is "registered" outside init, which does not count: nothing
+// guarantees the call runs before the first socket handshake.
+type lateCodec struct{} // want "wire payload codec lateCodec is not registered"
+
+func (lateCodec) Append(buf []byte, m msg) []byte      { return buf }
+func (lateCodec) Decode(data []byte) (msg, int, error) { return msg{}, 0, nil }
+
+func registerLate() {
+	wire.Register("payloadreg.late", lateCodec{})
+}
+
+func init() {
+	wire.Register("payloadreg.good", goodCodec{})
+	wire.Register("payloadreg.ptr", &ptrCodec{})
+}

@@ -1,0 +1,23 @@
+// Package rawgo_a exercises the rawgo analyzer in an ordinary
+// (non-scheduler) package.
+package rawgo_a
+
+func bad(ch chan int) {
+	go func() { // want "go statement outside internal/sched"
+		ch <- 1
+	}()
+}
+
+func badNested(ch chan int) {
+	f := func() {
+		go send(ch) // want "go statement outside internal/sched"
+	}
+	f()
+}
+
+func send(ch chan int) { ch <- 1 }
+
+func allowedWithReason(ch chan int) {
+	//lintdet:allow rawgo(I/O pump outside any transcript-ordered execution)
+	go send(ch)
+}

@@ -1,0 +1,42 @@
+// Package wallclock_det exercises the wallclock analyzer.
+package wallclock_det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badNow() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func badUntil(t1 time.Time) time.Duration {
+	return time.Until(t1) // want "wall-clock read time.Until"
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want "global math/rand call rand.Intn"
+}
+
+func badGlobalFloat() float64 {
+	return rand.Float64() // want "global math/rand call rand.Float64"
+}
+
+func seededLocalFine(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func timeValuesFine(d time.Duration) time.Time {
+	var t time.Time
+	return t.Add(d)
+}
+
+func allowedWithReason() time.Time {
+	//lintdet:allow wallclock(I/O deadline on a socket, not transcript state)
+	return time.Now()
+}

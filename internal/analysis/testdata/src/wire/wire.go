@@ -1,0 +1,13 @@
+// Package wire is a registry stub with the same shape as repro/internal/wire
+// (a generic Codec interface plus a Register function), which is all the
+// payloadreg analyzer keys on. Testdata packages import it as "wire".
+package wire
+
+// Codec serialises one payload type T.
+type Codec[T any] interface {
+	Append(buf []byte, v T) []byte
+	Decode(data []byte) (T, int, error)
+}
+
+// Register associates a payload name with its codec.
+func Register[T any](name string, c Codec[T]) {}

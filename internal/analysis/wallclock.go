@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock forbids wall-clock reads and the global math/rand generators in
+// transcript-affecting packages. Every clock a deterministic package
+// observes must be the network/firing clock, and every random bit must flow
+// from an explicit internal/rng seed; time.Now in a retry path or a global
+// rand.Intn in a tie-break reproduces differently on every run and only
+// fails later, flakily, in a transcript-equality test.
+//
+// Flagged: time.Now, time.Since, time.Until, and any package-level function
+// of math/rand or math/rand/v2 that touches the global generator.
+// Constructing a local generator from an explicit source
+// (rand.New(rand.NewSource(seed))) is not flagged — it is seeded — though
+// internal/rng remains the preferred spelling.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Since/Until and global math/rand in transcript-affecting packages",
+	Run:  runWallClock,
+}
+
+// randConstructors are the math/rand{,/v2} package-level functions that do
+// NOT consume the global generator: they build a local, explicitly seeded
+// one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runWallClock(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are seeded locally
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(id.Pos(), "wall-clock read time.%s in deterministic package (use the firing clock, or annotate //lintdet:allow wallclock(reason))", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(id.Pos(), "global math/rand call %s.%s in deterministic package (seed via internal/rng, or annotate //lintdet:allow wallclock(reason))", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -44,9 +45,7 @@ func LabelPropagation(g *graph.Graph, maxRounds int, seed uint64) (*LabelPropRes
 				next[v] = labels[v]
 				continue
 			}
-			for k := range counts {
-				delete(counts, k)
-			}
+			clear(counts)
 			bestCount := 0
 			for _, u := range nb {
 				l := labels[u]
@@ -55,22 +54,22 @@ func LabelPropagation(g *graph.Graph, maxRounds int, seed uint64) (*LabelPropRes
 					bestCount = counts[l]
 				}
 			}
-			// Collect all maximal labels and break ties randomly but
-			// deterministically under the seed.
+			// Collect all maximal labels by re-walking the neighbours (not
+			// the counts map, whose iteration order varies per run),
+			// consuming each maximal label on first sight so it appears
+			// once, and break ties randomly but deterministically under the
+			// seed.
 			var tied []int
-			for l, c := range counts {
-				if c == bestCount {
+			for _, u := range nb {
+				if l := labels[u]; counts[l] == bestCount {
 					tied = append(tied, l)
+					counts[l] = -1
 				}
 			}
 			best := tied[0]
 			if len(tied) > 1 {
 				// Sort for determinism before drawing.
-				for i := 1; i < len(tied); i++ {
-					for j := i; j > 0 && tied[j] < tied[j-1]; j-- {
-						tied[j], tied[j-1] = tied[j-1], tied[j]
-					}
-				}
+				sort.Ints(tied)
 				best = tied[r.Intn(len(tied))]
 			}
 			next[v] = best

@@ -150,9 +150,7 @@ func coarsen(wg *wgraph, r *rng.RNG) (*wgraph, []int) {
 		byCoarse[c] = append(byCoarse[c], v)
 	}
 	for c := 0; c < next; c++ {
-		for k := range acc {
-			delete(acc, k)
-		}
+		clear(acc)
 		for _, v := range byCoarse[c] {
 			for _, e := range wg.adj[v] {
 				tc := mapping[e.to]
@@ -200,6 +198,9 @@ func greedyGrow(wg *wgraph, targetFrac float64, r *rng.RNG) []int {
 		}
 		for weight < target && len(gain) > 0 {
 			bestV, bestG := -1, -1
+			// Order-independent argmax: the (gain, smallest-id) tie-break is
+			// a total order, so every iteration order yields the same pick.
+			//lintdet:allow mapiter(order-independent argmax with total (gain, smallest-id) tie-break)
 			for v, gn := range gain {
 				if part[v] == 0 {
 					continue

@@ -31,6 +31,13 @@
 // Delivery-model coins are hashed from the message coordinates rather than
 // drawn from shared generator state, so the contract survives failure
 // injection too.
+//
+// The contract is machine-checked: the analyzer suite in repro/internal/analysis
+// (run as a vettool via repro/cmd/lintdet, and in CI) rejects unsorted map
+// iteration, wall-clock reads, raw go statements outside internal/sched, and
+// order-dependent float accumulation in this package and the other
+// deterministic packages. Deliberate exceptions carry a
+// //lintdet:allow <analyzer>(reason) annotation.
 package dist
 
 import (

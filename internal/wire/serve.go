@@ -74,6 +74,9 @@ func Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		// One pump goroutine per accepted connection: pure I/O relay in a
+		// worker daemon, outside any transcript-ordered execution.
+		//lintdet:allow rawgo(daemon accept loop; per-connection I/O pump never touches transcript state)
 		go serveConn(conn)
 	}
 }
@@ -106,6 +109,7 @@ func serveConn(conn net.Conn) {
 // acceptHandshake validates the dialer's opening frame and answers it,
 // returning the relay for the connection's payload type.
 func acceptHandshake(conn net.Conn, br *bufio.Reader) (RelayFunc, error) {
+	//lintdet:allow wallclock(socket handshake deadline; fail-loudly I/O timeout, not transcript state)
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	defer conn.SetDeadline(time.Time{})
 	body, err := readFrame(br, nil)

@@ -74,12 +74,15 @@ func dialShard(addr, payload string, shard int) (net.Conn, error) {
 		return nil, err
 	}
 	var conn net.Conn
+	// I/O deadline for connection establishment, not transcript state.
+	//lintdet:allow wallclock(dial retry deadline; connection setup never touches the transcript)
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		conn, err = net.Dial(network, target)
 		if err == nil {
 			break
 		}
+		//lintdet:allow wallclock(dial retry deadline; connection setup never touches the transcript)
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("wire: dial %s for shard %d: %w", addr, shard, err)
 		}
@@ -94,6 +97,7 @@ func dialShard(addr, payload string, shard int) (net.Conn, error) {
 
 // handshake performs the dialer's side of the connection handshake.
 func handshake(conn net.Conn, payload string, shard int) error {
+	//lintdet:allow wallclock(socket handshake deadline; fail-loudly I/O timeout, not transcript state)
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	defer conn.SetDeadline(time.Time{})
 	body := binary.AppendUvarint(nil, uint64(shard))
@@ -125,6 +129,7 @@ const flushTimeout = 60 * time.Second
 // through the destination shard's worker process.
 func (s *Socket[T]) Flush(dst int, buckets [][]dist.Staged[T]) [][]dist.Staged[T] {
 	sh := &s.shards[dst]
+	//lintdet:allow wallclock(flush deadline turns a dead worker into a loud error, not transcript state)
 	sh.conn.SetDeadline(time.Now().Add(flushTimeout))
 	// Encode the batch directly after a reserved frame header, so request
 	// framing costs no copy and the frame goes out in one Write.

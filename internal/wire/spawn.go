@@ -35,6 +35,7 @@ func ServeIfWorker() {
 	// Exit when the coordinator goes away: the spawner holds our stdin
 	// pipe, so EOF means it closed us deliberately or died. This keeps a
 	// crashed coordinator from leaking daemons.
+	//lintdet:allow rawgo(coordinator-death watchdog in the worker process; exits, never computes)
 	go func() {
 		io.Copy(io.Discard, os.Stdin)
 		os.Exit(0)
@@ -155,6 +156,7 @@ func (c *Cluster) Close() {
 			continue
 		}
 		done := make(chan struct{})
+		//lintdet:allow rawgo(bounded-wait process reaping during teardown; no transcript state)
 		go func(cmd *exec.Cmd) {
 			cmd.Wait()
 			close(done)
