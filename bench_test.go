@@ -119,27 +119,37 @@ func BenchmarkEngineRound(b *testing.B) {
 
 // BenchmarkEngineStepParallel sweeps the sequential engine's averaging
 // round over the shared worker pool (matching generation and pair merges
-// both partition; workers=1 is the single-threaded baseline). The output is
-// bit-identical across the sweep — the rows measure wall clock only.
+// both partition; workers=1 is the single-threaded baseline) and over both
+// state backends: "sparse" is the arena-backed sorted-entry path, "dense"
+// the contiguous seed-weight-block kernel. The output is bit-identical
+// across the whole sweep — the rows measure wall clock and allocations
+// only; on this instance the dense rows should show near-zero allocs/op.
 func BenchmarkEngineStepParallel(b *testing.B) {
 	p := benchRing(b, 2, 25000, 16, 1)
-	for _, workers := range dist.WorkerSweep() {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			eng, err := core.NewEngine(p.G, core.Params{Beta: 0.5, Rounds: 1, Seed: 5})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if workers > 1 {
-				pool := sched.NewPool(workers)
-				defer pool.Close()
-				eng.SetPool(pool)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				eng.Step()
-			}
-			b.ReportMetric(float64(p.G.N())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
-		})
+	for _, backend := range []string{core.BackendSparse, core.BackendDense} {
+		for _, workers := range dist.WorkerSweep() {
+			b.Run(fmt.Sprintf("backend=%s/workers=%d", backend, workers), func(b *testing.B) {
+				eng, err := core.NewEngine(p.G, core.Params{Beta: 0.5, Rounds: 1, Seed: 5, StateBackend: backend})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if workers > 1 {
+					pool := sched.NewPool(workers)
+					defer pool.Close()
+					eng.SetPool(pool)
+				}
+				// Warm the diffusion first: on a fresh engine nearly every
+				// state is empty and merges are free, which would understate
+				// the kernels' steady-state cost.
+				eng.Run(20)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Step()
+				}
+				b.ReportMetric(float64(p.G.N())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
+			})
+		}
 	}
 }
 
@@ -150,17 +160,21 @@ func BenchmarkEngineStepParallel(b *testing.B) {
 func BenchmarkAsyncGossipParallel(b *testing.B) {
 	p := benchRing(b, 2, 25000, 16, 1)
 	params := core.Params{Beta: 0.5, Rounds: 20, Seed: 5}
-	for _, workers := range dist.WorkerSweep() {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := core.ClusterAsyncGossip(p.G, params, core.AsyncOptions{
-					ClockSeed: 9,
-					Parallel:  workers,
-				}); err != nil {
-					b.Fatal(err)
+	for _, backend := range []string{core.BackendSparse, core.BackendDense} {
+		for _, workers := range dist.WorkerSweep() {
+			params.StateBackend = backend
+			b.Run(fmt.Sprintf("backend=%s/workers=%d", backend, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.ClusterAsyncGossip(p.G, params, core.AsyncOptions{
+						ClockSeed: 9,
+						Parallel:  workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -182,24 +196,27 @@ func BenchmarkEngineQuery(b *testing.B) {
 // single-threaded baseline; the result is bit-identical across the sweep).
 func BenchmarkEngineQueryParallel(b *testing.B) {
 	p := benchRing(b, 2, 25000, 16, 1)
-	for _, workers := range dist.WorkerSweep() {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			var pool *sched.Pool
-			if workers > 1 {
-				pool = sched.NewPool(workers)
-				defer pool.Close()
-			}
-			eng, err := core.NewEngineWithPool(p.G, core.Params{Beta: 0.5, Rounds: 1, Seed: 5}, pool)
-			if err != nil {
-				b.Fatal(err)
-			}
-			eng.Run(20)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				eng.Query()
-			}
-			b.ReportMetric(float64(p.G.N())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
-		})
+	for _, backend := range []string{core.BackendSparse, core.BackendDense} {
+		for _, workers := range dist.WorkerSweep() {
+			b.Run(fmt.Sprintf("backend=%s/workers=%d", backend, workers), func(b *testing.B) {
+				var pool *sched.Pool
+				if workers > 1 {
+					pool = sched.NewPool(workers)
+					defer pool.Close()
+				}
+				eng, err := core.NewEngineWithPool(p.G, core.Params{Beta: 0.5, Rounds: 1, Seed: 5, StateBackend: backend}, pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Run(20)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Query()
+				}
+				b.ReportMetric(float64(p.G.N())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
+			})
+		}
 	}
 }
 

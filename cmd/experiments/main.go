@@ -7,6 +7,7 @@
 //
 //	experiments [-run T1,F2,... | -run all] [-scale 1.0] [-seed 1] [-out results/]
 //	            [-transport inprocess|ring[:cap]|socket[:machines]] [-parallel N|auto]
+//	            [-state-backend auto|sparse|dense]
 //
 // Experiments F9 and F10 run their executions as real messages on the dist
 // runtime, so their tables include wire traffic (F10 additionally sweeps
@@ -17,7 +18,10 @@
 // -parallel executes the asynchronous firing schedules with the
 // independent-set batch scheduler on that many workers ("auto" =
 // GOMAXPROCS; tables are again bit-identical, the scheduler replays the
-// serial transcript).
+// serial transcript). -state-backend selects the engines' node-state
+// representation (dense packs each node's seed weights into one contiguous
+// block); the backends are bit-identical too, so it only moves the wall
+// clock.
 //
 // Markdown is printed to stdout; with -out, per-experiment CSV and markdown
 // files are also written to the given directory.
@@ -47,6 +51,8 @@ func main() {
 		"dist-runtime delivery transport: inprocess, ring[:capacity], or socket[:machines]")
 	parallel := flag.String("parallel", "0",
 		"workers for the parallel async scheduler: a count, \"auto\" (GOMAXPROCS), or \"off\"")
+	stateBackend := flag.String("state-backend", "auto",
+		"engine state representation: auto, sparse, or dense (tables are bit-identical across backends)")
 	flag.Parse()
 
 	spec, err := core.ParseTransportSpec(*transport)
@@ -59,7 +65,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Transport: spec, Parallel: workers}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Transport: spec, Parallel: workers, StateBackend: *stateBackend}
 	var selected []experiments.Experiment
 	if strings.EqualFold(*runFlag, "all") {
 		selected = experiments.All()

@@ -31,6 +31,12 @@
 // (the default) means GOMAXPROCS, "off" forces single-threaded execution.
 // Labels are bit-identical for every setting — parallelism changes the wall
 // clock, never the run.
+//
+// -state-backend selects the node-state representation: "sparse" (sorted
+// ID/value entries), "dense" (one contiguous seed-weight block per node —
+// the fast kernel when the seed set is small), or "auto" (default; dense
+// whenever the instance fits the dense heuristic). The backends are
+// bit-identical, so the flag changes throughput, never the labels.
 package main
 
 import (
@@ -70,6 +76,8 @@ func main() {
 	flag.BoolVar(&o.reliable, "reliable", false, "with -gossip: retransmit-on-timeout layer (conserves push mass exactly under loss)")
 	flag.IntVar(&o.mailboxCap, "mailbox-cap", 0, "bound every node's mailbox to this many messages (0 = unbounded; -distributed/-gossip only)")
 	flag.Float64Var(&o.dropProb, "drop-prob", 0, "substrate message loss probability (-distributed/-gossip only)")
+	flag.StringVar(&o.stateBackend, "state-backend", "auto",
+		"node-state representation: auto, sparse, or dense (bit-identical results; dense packs seed weights in one contiguous block per node)")
 	flag.StringVar(&o.transport, "transport", "inprocess",
 		"delivery transport for -distributed/-gossip: inprocess, ring[:capacity], or socket[:machines]")
 	flag.StringVar(&o.transportAddrs, "transport-addrs", "",
@@ -122,6 +130,7 @@ type runOpts struct {
 	dropProb       float64
 	transport      string
 	transportAddrs string
+	stateBackend   string
 	workers        int
 }
 
@@ -166,6 +175,7 @@ func run(o runOpts) error {
 		Rounds:         o.rounds,
 		Seed:           o.seed,
 		ThresholdScale: o.thresholdScale,
+		StateBackend:   o.stateBackend,
 	}
 	var spec core.TransportSpec
 	if o.distributed || o.gossip {

@@ -14,7 +14,9 @@
 // asynchronous gossip's firing schedule with the independent-set batch
 // scheduler (non-adjacent firings run concurrently, effects commit in
 // serial order), and the closing check confirms the parallel run reproduces
-// the serial async labels exactly.
+// the serial async labels exactly. -state-backend picks the sparse or dense
+// node-state kernel (or "auto"); being bit-identical, it never changes a
+// line of the output.
 package main
 
 import (
@@ -37,6 +39,8 @@ func main() {
 		"delivery transport: inprocess, ring[:capacity], or socket[:machines]")
 	parallel := flag.String("parallel", "auto",
 		"workers for the async batch scheduler: a count, \"auto\" (GOMAXPROCS), or \"off\"")
+	stateBackend := flag.String("state-backend", "auto",
+		"engine state representation: auto, sparse, or dense (bit-identical output)")
 	flag.Parse()
 	spec, err := core.ParseTransportSpec(*transport)
 	if err != nil {
@@ -58,7 +62,7 @@ func main() {
 		log.Fatal(err)
 	}
 	T := spectral.EstimateRoundsMatching(g.N(), st.LambdaK1, g.MaxDegree(), 1.5)
-	params := core.Params{Beta: 0.5, Rounds: T, Seed: 9}
+	params := core.Params{Beta: 0.5, Rounds: T, Seed: 9, StateBackend: *stateBackend}
 	fmt.Printf("graph %v, T = %d rounds\n", g, T)
 
 	report := func(name string, res *core.DistResult) {

@@ -76,3 +76,33 @@ func allowedWithReason(m map[int]float64) float64 {
 	}
 	return total
 }
+
+// denseBlockAccumFine mirrors the dense backend's TotalMass kernel: a flat
+// row-major seed-weight block accumulated in slice order — per-row partial
+// sum, rows in node order — is fully deterministic and must not be flagged.
+func denseBlockAccumFine(w []float64, n, k int) float64 {
+	total := 0.0
+	for v := 0; v < n; v++ {
+		row := w[v*k : (v+1)*k]
+		rowSum := 0.0
+		for _, x := range row {
+			rowSum += x
+		}
+		total += rowSum
+	}
+	return total
+}
+
+// badDenseBlockByMap walks the same flat block through a map of row offsets:
+// the inner indexed loop is ordered, but the outer map range makes the
+// accumulation schedule nondeterministic all the same.
+func badDenseBlockByMap(w []float64, rows map[int]int, k int) float64 {
+	total := 0.0
+	//lintdet:allow mapiter(isolating the floataccum diagnostic in this test)
+	for _, off := range rows {
+		for i := 0; i < k; i++ {
+			total += w[off+i] // want "iteration-order-dependent"
+		}
+	}
+	return total
+}

@@ -105,18 +105,32 @@ const (
 
 // gossipMsg is the wire format of the asynchronous mode: half of the
 // sender's load state and half of its push-sum weight, both absorbed
-// additively by the receiver. In reliable mode seq numbers the sender's
-// pushes so acks can name them and receivers can de-duplicate
-// retransmissions; plain mode leaves kind/seq zero.
+// additively by the receiver. The state payload takes one of two shapes,
+// matching the engine's backend: the sparse backend sends sorted (seed ID,
+// value) entries in state; the dense backend sends parallel cols/vals
+// arrays, where cols index the run's fixed seed-interning table (columns
+// ascend, so coordinate order matches the sparse encoding). A message
+// carries at most one shape; both empty means a pure weight push or an ack.
+// In reliable mode seq numbers the sender's pushes so acks can name them and
+// receivers can de-duplicate retransmissions; plain mode leaves kind/seq
+// zero.
 type gossipMsg struct {
 	kind   gossipKind
 	seq    uint32
-	state  State
+	state  State     // sparse payload
+	cols   []int32   // dense payload: interned seed columns, ascending
+	vals   []float64 // dense payload: values aligned with cols
 	weight float64
 }
 
+// payloadWords returns the state words the payload occupies — two per
+// coordinate in either shape, so the network word counters are identical
+// across backends.
+func (m *gossipMsg) payloadWords() int64 { return 2 * int64(len(m.state)+len(m.cols)) }
+
 // pendingPush is one unacknowledged reliable push: enough to re-fire it
-// verbatim and to reclaim its mass if it never gets through.
+// verbatim and to reclaim its mass if it never gets through. Exactly one of
+// state or cols/vals is set, matching the backend that fired it.
 type pendingPush struct {
 	seq    uint32
 	to     int32
@@ -128,6 +142,8 @@ type pendingPush struct {
 	// retry stays as eager as RetransmitAfter asks.
 	attempts uint8
 	state    State
+	cols     []int32
+	vals     []float64
 	weight   float64
 }
 
@@ -259,24 +275,94 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 		weights[v] = 1
 	}
 	// The firing callbacks confine every write to node v's own slots —
-	// states[v], weights[v], maxSeen[v], rngs[v], and in reliable mode
-	// fired[v], seqs[v], pending[v], absorbed[v] — which is what lets the
-	// batch scheduler run non-adjacent firings concurrently. MaxStateSize
-	// in particular is tracked per node and folded after the run: the
-	// global running max would be a data race under speculation, and the
-	// max of per-node maxima is the same number.
+	// states[v] (or the dense row of v), weights[v], maxSeen[v], rngs[v],
+	// and in reliable mode fired[v], seqs[v], pending[v], absorbed[v] —
+	// which is what lets the batch scheduler run non-adjacent firings
+	// concurrently. MaxStateSize in particular is tracked per node and
+	// folded after the run: the global running max would be a data race
+	// under speculation, and the max of per-node maxima is the same number.
 	maxSeen := make([]int, n)
-	// push performs the push-sum halving step shared by both modes and
-	// returns the kept state, the pushed payload, and the destination
-	// (-1 for an isolated node, which keeps everything).
-	push := func(v int, st State, w float64) (State, State, float64, int) {
-		d := g.Degree(v)
-		if d == 0 {
-			return st, nil, 0, -1
+	// Backend dispatch. The four hooks below are the only places the state
+	// representation shows: absorb folds a push payload into v's state; fire
+	// performs the push-sum halving step — halve every coordinate (x*0.5),
+	// withhold halves below the PruneEpsilon message budget at restored full
+	// value (2*(x*0.5), exact), draw the destination from v's stream — and
+	// returns the outgoing payload plus the destination (-1 for an isolated
+	// node, which keeps everything and draws nothing); size is the current
+	// entry count (maxSeen accounting); scaleNode applies the final 1/weight
+	// rescale. Both backends perform the same floating-point operations on
+	// the same coordinates in the same (ascending seed ID) order and consume
+	// identical randomness, so the transcript — messages, word counts, mass,
+	// labels — is bit-identical across backends.
+	indptr, indices := g.CSR()
+	var (
+		absorb    func(v int, m *gossipMsg)
+		fire      func(v int) (gossipMsg, int)
+		size      func(v int) int
+		scaleNode func(v int, c float64)
+	)
+	if den := eng.dense; den != nil {
+		absorb = func(v int, m *gossipMsg) {
+			row := den.row(v)
+			for i, c := range m.cols {
+				if m.vals[i] != 0 && row[c] == 0 {
+					den.nnz[v]++
+				}
+				row[c] += m.vals[i]
+			}
 		}
-		half := st.Halve()
-		out, keep := splitForPush(half, p.PruneEpsilon)
-		return keep, out, w / 2, g.Neighbor(v, eng.rngs[v].Intn(d))
+		fire = func(v int) (gossipMsg, int) {
+			off := indptr[v]
+			d := int(indptr[v+1] - off)
+			if d == 0 {
+				return gossipMsg{}, -1
+			}
+			row := den.row(v)
+			var cols []int32
+			var vals []float64
+			for c, x := range row {
+				if x == 0 {
+					continue
+				}
+				h := x * 0.5
+				if p.PruneEpsilon > 0 && h < p.PruneEpsilon {
+					row[c] = 2 * h
+					continue
+				}
+				row[c] = h
+				cols = append(cols, int32(c))
+				vals = append(vals, h)
+			}
+			return gossipMsg{cols: cols, vals: vals},
+				int(indices[off+int32(eng.rngs[v].Intn(d))])
+		}
+		size = func(v int) int { return int(den.nnz[v]) }
+		scaleNode = func(v int, c float64) {
+			row := den.row(v)
+			for i := range row {
+				row[i] *= c
+			}
+		}
+	} else {
+		absorb = func(v int, m *gossipMsg) {
+			eng.states[v] = AddStates(eng.states[v], m.state)
+		}
+		fire = func(v int) (gossipMsg, int) {
+			off := indptr[v]
+			d := int(indptr[v+1] - off)
+			if d == 0 {
+				return gossipMsg{}, -1
+			}
+			half := eng.states[v].Halve()
+			out, keep := splitForPush(half, p.PruneEpsilon)
+			eng.states[v] = keep
+			return gossipMsg{state: out},
+				int(indices[off+int32(eng.rngs[v].Intn(d))])
+		}
+		size = func(v int) int { return len(eng.states[v]) }
+		scaleNode = func(v int, c float64) {
+			eng.states[v] = eng.states[v].Scale(c)
+		}
 	}
 	var fn func(v int)
 	// Reliable-mode per-node protocol state.
@@ -338,21 +424,20 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	}
 	if !opt.Reliable {
 		fn = func(v int) {
-			st, w := eng.states[v], weights[v]
 			for _, e := range net.Recv(v) {
-				st = AddStates(st, e.Body.state)
-				w += e.Body.weight
+				absorb(v, &e.Body)
+				weights[v] += e.Body.weight
 			}
-			st, out, hw, to := push(v, st, w)
+			out, to := fire(v)
 			if to >= 0 {
-				w /= 2
-				net.Send(v, to, gossipMsg{state: out, weight: hw}, 1+int64(out.Words()))
+				hw := weights[v] / 2
+				weights[v] = hw
+				out.weight = hw
+				net.Send(v, to, out, 1+out.payloadWords())
 			}
-			if len(st) > maxSeen[v] {
-				maxSeen[v] = len(st)
+			if s := size(v); s > maxSeen[v] {
+				maxSeen[v] = s
 			}
-			eng.states[v] = st
-			weights[v] = w
 		}
 	} else {
 		fired = make([]int32, n)
@@ -361,15 +446,14 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 		absorbed = make([]map[uint64]struct{}, n)
 		nextDue = make([]int64, n)
 		fn = func(v int) {
-			st, w := eng.states[v], weights[v]
 			fired[v]++
 			now := fired[v]
 			for _, e := range net.Recv(v) {
 				switch e.Body.kind {
 				case gossipPush:
 					if absorbOnce(v, e.From, e.Body.seq) {
-						st = AddStates(st, e.Body.state)
-						w += e.Body.weight
+						absorb(v, &e.Body)
+						weights[v] += e.Body.weight
 					}
 					// (Re-)ack every sighting: the previous ack may itself
 					// have been dropped or rejected. Acks go back to the
@@ -393,8 +477,8 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 						if pp.attempts < 255 {
 							pp.attempts++
 						}
-						net.Send(v, int(pp.to), gossipMsg{kind: gossipPush, seq: pp.seq, state: pp.state, weight: pp.weight},
-							1+int64(pp.state.Words()))
+						re := gossipMsg{kind: gossipPush, seq: pp.seq, state: pp.state, cols: pp.cols, vals: pp.vals, weight: pp.weight}
+						net.Send(v, int(pp.to), re, 1+re.payloadWords())
 						due = int64(now) + backoffWait(pp.attempts)
 					}
 					if due < minDue {
@@ -403,21 +487,23 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 				}
 				nextDue[v] = minDue
 			}
-			st, out, hw, to := push(v, st, w)
+			out, to := fire(v)
 			if to >= 0 {
-				w /= 2
+				hw := weights[v] / 2
+				weights[v] = hw
 				seqs[v]++
-				pending[v] = append(pending[v], pendingPush{seq: seqs[v], to: int32(to), sentAt: now, state: out, weight: hw})
+				out.kind = gossipPush
+				out.seq = seqs[v]
+				out.weight = hw
+				pending[v] = append(pending[v], pendingPush{seq: seqs[v], to: int32(to), sentAt: now, state: out.state, cols: out.cols, vals: out.vals, weight: hw})
 				if due := int64(now) + timeout; due < nextDue[v] || len(pending[v]) == 1 {
 					nextDue[v] = due
 				}
-				net.Send(v, to, gossipMsg{kind: gossipPush, seq: seqs[v], state: out, weight: hw}, 1+int64(out.Words()))
+				net.Send(v, to, out, 1+out.payloadWords())
 			}
-			if len(st) > maxSeen[v] {
-				maxSeen[v] = len(st)
+			if s := size(v); s > maxSeen[v] {
+				maxSeen[v] = s
 			}
-			eng.states[v] = st
-			weights[v] = w
 		}
 	}
 	net.RunAsyncSched(ticks, opt.ClockSeed^0x5851f42d4c957f2d, sch, fn)
@@ -432,7 +518,6 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	// conservation. Reliable mode de-duplicates retransmitted copies and
 	// ignores acks (they carry no mass).
 	for v := 0; v < n; v++ {
-		st, w := eng.states[v], weights[v]
 		for _, e := range net.Recv(v) {
 			if e.Body.kind != gossipPush {
 				continue
@@ -440,10 +525,9 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 			if opt.Reliable && !absorbOnce(v, e.From, e.Body.seq) {
 				continue
 			}
-			st = AddStates(st, e.Body.state)
-			w += e.Body.weight
+			absorb(v, &e.Body)
+			weights[v] += e.Body.weight
 		}
-		eng.states[v], weights[v] = st, w
 	}
 	if opt.Reliable {
 		// Reclaim: a pending push whose payload the receiver never absorbed
@@ -459,7 +543,7 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 						continue
 					}
 				}
-				eng.states[v] = AddStates(eng.states[v], pp.state)
+				absorb(v, &gossipMsg{state: pp.state, cols: pp.cols, vals: pp.vals})
 				weights[v] += pp.weight
 			}
 		}
@@ -470,9 +554,9 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	total := eng.TotalMass()
 	// Query thresholds the push-sum estimate s_v/w_v, the async analogue of
 	// the synchronous load (both converge to 1/|S| inside cluster S).
-	for v := range eng.states {
+	for v := 0; v < n; v++ {
 		if weights[v] > 0 && weights[v] != 1 {
-			eng.states[v] = eng.states[v].Scale(1 / weights[v])
+			scaleNode(v, 1/weights[v])
 		}
 	}
 	res := eng.Query()

@@ -197,7 +197,9 @@ func TestAsyncGossipParallelMatchesSerial(t *testing.T) {
 		{"sbm fault-free", sbm, nil},
 		{"sbm link-faults", sbm, faults},
 	} {
-		params := Params{Beta: 0.5, Rounds: 30, Seed: 19}
+		// The serial sparse run is the canonical transcript; every worker
+		// count, GOMAXPROCS setting AND state backend must reproduce it.
+		params := Params{Beta: 0.5, Rounds: 30, Seed: 19, StateBackend: BackendSparse}
 		serial, err := ClusterAsyncGossip(tc.g.G, params, AsyncOptions{ClockSeed: 7, Model: tc.model})
 		if err != nil {
 			t.Fatal(err)
@@ -207,20 +209,23 @@ func TestAsyncGossipParallelMatchesSerial(t *testing.T) {
 			prev := runtime.GOMAXPROCS(procs)
 			t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
 			for _, workers := range []int{2, 4, -1} {
-				par, err := ClusterAsyncGossip(tc.g.G, params, AsyncOptions{
-					ClockSeed: 7, Model: tc.model, Parallel: workers,
-				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				id := tc.name + " procs=" + strconv.Itoa(procs) + " workers=" + strconv.Itoa(workers)
-				if got := fingerprint(par); got != want {
-					t.Errorf("%s: fingerprint %+v != serial %+v", id, got, want)
-				}
-				for v := range serial.Labels {
-					if par.Labels[v] != serial.Labels[v] || par.RawLabels[v] != serial.RawLabels[v] {
-						t.Fatalf("%s: node %d labelled (%d,%x), want (%d,%x)", id, v,
-							par.Labels[v], par.RawLabels[v], serial.Labels[v], serial.RawLabels[v])
+				for _, backend := range []string{BackendSparse, BackendDense} {
+					params.StateBackend = backend
+					par, err := ClusterAsyncGossip(tc.g.G, params, AsyncOptions{
+						ClockSeed: 7, Model: tc.model, Parallel: workers,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					id := tc.name + " procs=" + strconv.Itoa(procs) + " workers=" + strconv.Itoa(workers) + " " + backend
+					if got := fingerprint(par); got != want {
+						t.Errorf("%s: fingerprint %+v != serial %+v", id, got, want)
+					}
+					for v := range serial.Labels {
+						if par.Labels[v] != serial.Labels[v] || par.RawLabels[v] != serial.RawLabels[v] {
+							t.Fatalf("%s: node %d labelled (%d,%x), want (%d,%x)", id, v,
+								par.Labels[v], par.RawLabels[v], serial.Labels[v], serial.RawLabels[v])
+						}
 					}
 				}
 			}

@@ -1,0 +1,159 @@
+package core
+
+import "sort"
+
+// State-backend selectors for Params.StateBackend.
+const (
+	// BackendAuto (also the empty string) picks the dense backend when the
+	// planted seed set is small enough for the contiguous block to pay off
+	// and fit comfortably in memory (see denseAuto), and the sparse backend
+	// otherwise. The choice never changes results — the two backends are
+	// bit-identical (pinned by the equivalence and fuzz suites) — only the
+	// speed and footprint of the run.
+	BackendAuto = "auto"
+	// BackendSparse forces the per-node sorted []Entry representation.
+	BackendSparse = "sparse"
+	// BackendDense forces the contiguous structure-of-arrays representation.
+	BackendDense = "dense"
+)
+
+// Auto-heuristic cutoffs. The dense block costs n·k·8 bytes and every merge
+// or firing walks all k columns, so it pays off exactly when k — the number
+// of planted seeds, about (3/β)·ln(1/β) in expectation regardless of n —
+// stays small while states densify (after ~log n averaging rounds a sparse
+// state holds most of the k coordinates anyway, at 16 bytes per entry plus
+// an allocation per merge against the dense row's 8 bytes per column and
+// none). Sparse wins when seeds are many and states stay short: k above
+// maxDenseSeeds (a tiny β), or a block above maxDenseCells (1 GiB of
+// float64) that would dwarf the working set of short-lived sparse states.
+const (
+	maxDenseSeeds = 4096
+	maxDenseCells = 1 << 27
+)
+
+// denseAuto is the BackendAuto decision: dense iff there is at least one
+// seed, the column count is modest, and the block fits in maxDenseCells.
+func denseAuto(n, seeds int) bool {
+	return seeds > 0 && seeds <= maxDenseSeeds && n*seeds <= maxDenseCells
+}
+
+// denseStates is the structure-of-arrays state backend: one contiguous
+// row-major []float64 block holding k seed-weight columns per node, with a
+// fixed interning table mapping seed IDs to columns. Columns are ordered by
+// ascending seed ID, so an ascending column walk visits coordinates in
+// exactly the order the sparse backend's sorted []Entry does — which is what
+// keeps every accumulation (merge sums, mass totals, threshold scans)
+// bit-identical between the backends. The table is fixed at seeding time:
+// diffusion only ever moves mass between existing coordinates, never mints
+// new IDs.
+//
+// nnz tracks each node's nonzero-coordinate count, mirroring the sparse
+// backend's len(state) for word accounting and MaxStateSize. The one
+// documented divergence: a sparse state can carry an explicit zero-valued
+// entry (only producible by halving the smallest subnormal until it
+// underflows, ~1074 merges deep — unreachable at experiment scale), which
+// the dense row cannot represent; everything else is exact.
+type denseStates struct {
+	k   int            // columns (distinct planted seed IDs)
+	ids []uint64       // ascending; column c holds seed ID ids[c]
+	col map[uint64]int // inverse of ids
+	w   []float64      // n·k row-major weight block
+	nnz []int32        // per-node nonzero count (sparse len mirror)
+}
+
+// newDenseStates builds the block from the seeding outcome: the distinct
+// seed IDs become the interning table and each seed node plants its unit
+// load. Seed nodes that collided on an ID (different nodes, same draw —
+// vanishingly rare but legal) share a column, exactly as their sparse states
+// share the ID.
+func newDenseStates(n int, seedNodes []int, nodeIDs []uint64) *denseStates {
+	ids := make([]uint64, 0, len(seedNodes))
+	for _, v := range seedNodes {
+		ids = append(ids, nodeIDs[v])
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	k := 0
+	for i, id := range ids {
+		if i == 0 || ids[k-1] != id {
+			ids[k] = id
+			k++
+		}
+	}
+	ids = ids[:k]
+	col := make(map[uint64]int, k)
+	for c, id := range ids {
+		col[id] = c
+	}
+	d := &denseStates{
+		k:   k,
+		ids: ids,
+		col: col,
+		w:   make([]float64, n*k),
+		nnz: make([]int32, n),
+	}
+	for _, v := range seedNodes {
+		d.row(v)[col[nodeIDs[v]]] = 1
+		d.nnz[v] = 1
+	}
+	return d
+}
+
+// row returns node v's weight row (capacity-clipped so an append can never
+// bleed into the neighbouring row).
+func (d *denseStates) row(v int) []float64 {
+	return d.w[v*d.k : (v+1)*d.k : (v+1)*d.k]
+}
+
+// mergePair applies the averaging rule to a matched pair in place — the
+// dense counterpart of mergeForStorage on both states at once. Walking
+// columns ascending reproduces the sparse sorted-merge order; a coordinate
+// absent on one side is a zero cell and (x+0)/2 == x/2 exactly, so the
+// written values are bit-identical to MergeStates. With eps > 0, pruning is
+// zeroing: merged values below eps become 0, mirroring the sparse drop.
+// It returns the pair's pre-merge word count (the message-size accounting
+// the sparse path reads off Words() before merging) and the shared post-merge
+// entry count.
+func (d *denseStates) mergePair(u, v int, eps float64) (words int64, size int) {
+	ru, rv := d.row(u), d.row(v)
+	words = 2 * int64(d.nnz[u]+d.nnz[v])
+	nz := 0
+	if eps > 0 {
+		for c := range ru {
+			m := (ru[c] + rv[c]) / 2
+			if m < eps {
+				m = 0
+			} else {
+				nz++
+			}
+			ru[c] = m
+			rv[c] = m
+		}
+	} else {
+		for c := range ru {
+			m := (ru[c] + rv[c]) / 2
+			if m != 0 {
+				nz++
+			}
+			ru[c] = m
+			rv[c] = m
+		}
+	}
+	d.nnz[u], d.nnz[v] = int32(nz), int32(nz)
+	return words, nz
+}
+
+// sparseRow materialises node v's row as a sorted sparse State (snapshot,
+// not a view) — the bridge for States() and other sparse-shaped consumers.
+func (d *denseStates) sparseRow(v int) State {
+	n := d.nnz[v]
+	if n == 0 {
+		return nil
+	}
+	out := make(State, 0, n)
+	for c, x := range d.row(v) {
+		if x != 0 {
+			out = append(out, Entry{ID: d.ids[c], Val: x})
+		}
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph/gen"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func TestStateBackendValidation(t *testing.T) {
+	g := gen.Cycle(6)
+	if _, err := NewEngine(g, Params{Beta: 0.5, Rounds: 1, StateBackend: "flat"}); err == nil {
+		t.Error("unknown StateBackend accepted")
+	}
+	for _, b := range []string{"", BackendAuto, BackendSparse, BackendDense} {
+		if _, err := NewEngine(g, Params{Beta: 0.5, Rounds: 1, StateBackend: b}); err != nil {
+			t.Errorf("StateBackend %q rejected: %v", b, err)
+		}
+	}
+}
+
+func TestBackendSelection(t *testing.T) {
+	p, err := gen.ClusteredRing(2, 40, 10, 1, rng.New(311))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(backend string) *Engine {
+		e, err := NewEngine(p.G, Params{Beta: 0.5, Rounds: 5, Seed: 7, StateBackend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	// This instance plants a handful of seeds, so auto must pick dense.
+	if got := mk(BackendAuto).Backend(); got != BackendDense {
+		t.Errorf("auto resolved to %q on a small seed set, want dense", got)
+	}
+	if got := mk(BackendSparse).Backend(); got != BackendSparse {
+		t.Errorf("forced sparse resolved to %q", got)
+	}
+	if got := mk(BackendDense).Backend(); got != BackendDense {
+		t.Errorf("forced dense resolved to %q", got)
+	}
+	// The auto cutoffs themselves.
+	for _, tc := range []struct {
+		n, seeds int
+		want     bool
+	}{
+		{100, 0, false},                      // no seeds: nothing to intern
+		{100, 5, true},                       //
+		{100, maxDenseSeeds + 1, false},      // too many columns
+		{maxDenseCells, 2, false},            // block over the cell budget
+		{maxDenseCells / 2, 2, true},         // exactly at it is fine
+		{maxDenseSeeds, maxDenseSeeds, true}, // k² cells, tiny
+	} {
+		if got := denseAuto(tc.n, tc.seeds); got != tc.want {
+			t.Errorf("denseAuto(%d, %d) = %v, want %v", tc.n, tc.seeds, got, tc.want)
+		}
+	}
+}
+
+// TestDenseSparseEngineEquivalence pins the tentpole contract on the
+// synchronous engine: for the same graph and Params, the dense backend
+// reproduces the sparse run bit for bit — IDs, seeds, labels, stats
+// (including word counts and MaxStateSize), total mass, and the full state
+// snapshot — with and without pruning, serial and pooled.
+func TestDenseSparseEngineEquivalence(t *testing.T) {
+	ring, err := gen.ClusteredRing(2, 60, 16, 1, rng.New(313))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbm, err := gen.SBMBalanced(3, 50, 12, 2, rng.New(317))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []struct {
+		name string
+		p    *gen.Planted
+	}{{"ring", ring}, {"sbm", sbm}} {
+		for _, eps := range []float64{0, 1e-7} {
+			for _, workers := range []int{0, 3} {
+				params := Params{Beta: 0.3, Rounds: 25, Seed: 17, PruneEpsilon: eps}
+				run := func(backend string) (*Engine, string) {
+					params.StateBackend = backend
+					var pool *sched.Pool
+					if workers > 1 {
+						pool = sched.NewPool(workers)
+						defer pool.Close()
+					}
+					e, err := NewEngineWithPool(g.p.G, params, pool)
+					if err != nil {
+						t.Fatal(err)
+					}
+					e.Run(params.Rounds)
+					return e, engineFingerprint(t, e)
+				}
+				se, sparse := run(BackendSparse)
+				de, dense := run(BackendDense)
+				if se.Backend() != BackendSparse || de.Backend() != BackendDense {
+					t.Fatal("backend override not honoured")
+				}
+				id := g.name
+				if eps > 0 {
+					id += " pruned"
+				}
+				if workers > 1 {
+					id += " pooled"
+				}
+				if sparse != dense {
+					t.Errorf("%s: dense fingerprint diverged\n dense  %.160s…\n sparse %.160s…", id, dense, sparse)
+				}
+				if sm, dm := se.TotalMass(), de.TotalMass(); math.Float64bits(sm) != math.Float64bits(dm) {
+					t.Errorf("%s: TotalMass %v (dense) != %v (sparse)", id, dm, sm)
+				}
+				ss, ds := se.States(), de.States()
+				for v := range ss {
+					if !statesEqual(ss[v], ds[v]) {
+						t.Fatalf("%s: node %d state snapshot diverged: %v != %v", id, v, ds[v], ss[v])
+					}
+				}
+				// LoadVector must agree on every seed column (and on an
+				// unknown ID, where both answer all-zero).
+				_, seedIDs := se.Seeds()
+				for _, sid := range append(seedIDs, ^uint64(0)) {
+					sv, dv := se.LoadVector(sid), de.LoadVector(sid)
+					for v := range sv {
+						if math.Float64bits(sv[v]) != math.Float64bits(dv[v]) {
+							t.Fatalf("%s: LoadVector(%x)[%d] %v != %v", id, sid, v, dv[v], sv[v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDenseSparseAsyncEquivalence pins the contract on the asynchronous
+// gossip path: both backends replay the identical transcript — message and
+// word counters, dropped/rejected tallies, raw mass to the bit, labels, max
+// state size — in plain and reliable modes, fault-free and under loss with
+// a bounded mailbox, serial and batch-scheduled, with and without the
+// per-message budget.
+func TestDenseSparseAsyncEquivalence(t *testing.T) {
+	p, err := gen.ClusteredRing(2, 50, 12, 1, rng.New(331))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := dist.LinkFaults{DropProb: 0.1, DelayProb: 0.2, MaxPhases: 2, Seed: 5}
+	for _, tc := range []struct {
+		name string
+		eps  float64
+		opt  AsyncOptions
+	}{
+		{"plain fault-free", 0, AsyncOptions{ClockSeed: 7}},
+		{"plain budget", 1e-4, AsyncOptions{ClockSeed: 7}},
+		{"plain faults", 0, AsyncOptions{ClockSeed: 7, Model: faults, MailboxCap: 8}},
+		{"reliable faults", 0, AsyncOptions{ClockSeed: 7, Model: faults, MailboxCap: 8, Reliable: true}},
+		{"reliable budget parallel", 1e-4, AsyncOptions{ClockSeed: 7, Model: faults, Reliable: true, Parallel: 4}},
+		{"plain parallel", 0, AsyncOptions{ClockSeed: 7, Parallel: 3}},
+	} {
+		params := Params{Beta: 0.5, Rounds: 30, Seed: 19, PruneEpsilon: tc.eps}
+		run := func(backend string) *DistResult {
+			params.StateBackend = backend
+			res, err := ClusterAsyncGossip(p.G, params, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		sparse := run(BackendSparse)
+		dense := run(BackendDense)
+		if fingerprint(dense) != fingerprint(sparse) {
+			t.Errorf("%s: fingerprint %+v (dense) != %+v (sparse)", tc.name, fingerprint(dense), fingerprint(sparse))
+		}
+		if dense.RejectedMessages != sparse.RejectedMessages {
+			t.Errorf("%s: rejected %d != %d", tc.name, dense.RejectedMessages, sparse.RejectedMessages)
+		}
+		if math.Float64bits(dense.TotalMass) != math.Float64bits(sparse.TotalMass) {
+			t.Errorf("%s: mass %v != %v (bit-level)", tc.name, dense.TotalMass, sparse.TotalMass)
+		}
+		for v := range sparse.Labels {
+			if dense.Labels[v] != sparse.Labels[v] || dense.RawLabels[v] != sparse.RawLabels[v] {
+				t.Fatalf("%s: node %d labelled (%d,%x), want (%d,%x)", tc.name, v,
+					dense.Labels[v], dense.RawLabels[v], sparse.Labels[v], sparse.RawLabels[v])
+			}
+		}
+	}
+}
+
+// TestClusterDistributedBackendPinned: the message-passing engine always
+// runs sparse (its states are the wire payloads), so a run requesting the
+// dense backend must be identical to one requesting sparse.
+func TestClusterDistributedBackendPinned(t *testing.T) {
+	p, err := gen.ClusteredRing(2, 40, 10, 1, rng.New(337))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Beta: 0.5, Rounds: 15, Seed: 23}
+	run := func(backend string) *DistResult {
+		params.StateBackend = backend
+		res, err := ClusterDistributed(p.G, params, DistOptions{DropProb: 0.1, FailSeed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sparse, dense := run(BackendSparse), run(BackendDense)
+	if fingerprint(dense) != fingerprint(sparse) || dense.DroppedMatches != sparse.DroppedMatches {
+		t.Errorf("dense request diverged: %+v != %+v", fingerprint(dense), fingerprint(sparse))
+	}
+	for v := range sparse.Labels {
+		if dense.Labels[v] != sparse.Labels[v] {
+			t.Fatalf("node %d labelled %d, want %d", v, dense.Labels[v], sparse.Labels[v])
+		}
+	}
+}
+
+// FuzzDenseSparseEquivalence drives randomized instances through both
+// backends — synchronous engine and asynchronous gossip — and requires
+// bit-identical labels, stats, and mass every time, across pool sizes and
+// pruning settings.
+func FuzzDenseSparseEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint(40), uint(8), uint(0), uint(0), false)
+	f.Add(uint64(99), uint(70), uint(13), uint(3), uint(1), true)
+	f.Add(uint64(12345), uint(25), uint(5), uint(2), uint(2), false)
+	f.Fuzz(func(t *testing.T, seed uint64, n, d, workers, epsSel uint, reliable bool) {
+		size := 12 + int(n%60) // nodes per cluster
+		deg := 4 + int(d%10)   // intra-cluster degree
+		pw := int(workers % 5) // pool size (0/1 = serial)
+		eps := []float64{0, 1e-7, 1e-4}[epsSel%3]
+		if deg >= size {
+			deg = size - 1
+		}
+		p, err := gen.ClusteredRing(2, size, deg, 1, rng.New(seed|1))
+		if err != nil {
+			t.Skip()
+		}
+		params := Params{Beta: 0.4, Rounds: 12, Seed: seed, PruneEpsilon: eps}
+
+		runEngine := func(backend string) (string, float64) {
+			params.StateBackend = backend
+			var pool *sched.Pool
+			if pw > 1 {
+				pool = sched.NewPool(pw)
+				defer pool.Close()
+			}
+			e, err := NewEngineWithPool(p.G, params, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Run(params.Rounds)
+			return engineFingerprint(t, e), e.TotalMass()
+		}
+		sf, sm := runEngine(BackendSparse)
+		df, dm := runEngine(BackendDense)
+		if sf != df {
+			t.Errorf("engine fingerprints diverge\n dense  %.200s\n sparse %.200s", df, sf)
+		}
+		if math.Float64bits(sm) != math.Float64bits(dm) {
+			t.Errorf("engine mass %v != %v", dm, sm)
+		}
+
+		runAsync := func(backend string) *DistResult {
+			params.StateBackend = backend
+			res, err := ClusterAsyncGossip(p.G, params, AsyncOptions{
+				Ticks:     6 * size,
+				ClockSeed: seed ^ 0xabcdef,
+				Reliable:  reliable,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		sa, da := runAsync(BackendSparse), runAsync(BackendDense)
+		if fingerprint(sa) != fingerprint(da) {
+			t.Errorf("async fingerprints diverge: %+v != %+v", fingerprint(da), fingerprint(sa))
+		}
+		for v := range sa.Labels {
+			if sa.Labels[v] != da.Labels[v] {
+				t.Fatalf("async label diverges at node %d", v)
+			}
+		}
+	})
+}

@@ -141,6 +141,11 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 	n := g.N()
 	// Initialisation and seeding run through the same Engine constructor, so
 	// IDs, seeds and per-node streams match the sequential path bit-for-bit.
+	// The backend is pinned to sparse: this engine's states travel inside
+	// protoMsg payloads and merge concurrently in phase callbacks, so the
+	// sorted []Entry form IS the wire representation here (the backends are
+	// bit-identical, so forcing sparse never changes the result).
+	params.StateBackend = BackendSparse
 	eng, err := NewEngine(g, params)
 	if err != nil {
 		return nil, err
@@ -246,7 +251,9 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 				}
 				st := eng.states[v]
 				net.SendReliable(v, e.From, protoMsg{kind: msgState, round: cur, state: st}, int64(st.Words()))
-				eng.states[v] = eng.mergeForStorage(st, e.Body.state)
+				// nil arena: these merges run concurrently across phase
+				// workers without a stable worker identity, so each allocates.
+				eng.states[v] = eng.mergeForStorage(nil, st, e.Body.state)
 				break
 			}
 		})
@@ -261,7 +268,7 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 			done := false
 			for _, e := range net.Recv(v) {
 				if e.Body.kind == msgState && e.Body.round == cur && e.From == int(u) {
-					eng.states[v] = eng.mergeForStorage(eng.states[v], e.Body.state)
+					eng.states[v] = eng.mergeForStorage(nil, eng.states[v], e.Body.state)
 					done = true
 					break
 				}

@@ -40,6 +40,16 @@ type Params struct {
 	// messages shrink without any mass being destroyed (see
 	// ClusterAsyncGossip).
 	PruneEpsilon float64
+	// StateBackend selects the node-state representation: BackendAuto (the
+	// default, also spelled ""), BackendSparse, or BackendDense. The dense
+	// backend keeps all node states in one contiguous [node][seed] float64
+	// block with a fixed seed-interning table (see denseStates); auto picks
+	// it when the planted seed set clears denseAuto's cutoffs. The backends
+	// are bit-identical — labels, stats, mass, and gossip transcripts never
+	// depend on the choice — so this knob tunes only speed and memory.
+	// ClusterDistributed always runs sparse: its states travel inside wire
+	// messages, so the sparse []Entry form is the representation.
+	StateBackend string
 }
 
 // withDefaults validates and fills derived fields.
@@ -67,6 +77,13 @@ func (p Params) withDefaults(g *graph.Graph) (Params, error) {
 	}
 	if p.PruneEpsilon < 0 {
 		return p, fmt.Errorf("core: PruneEpsilon must be non-negative")
+	}
+	switch p.StateBackend {
+	case "":
+		p.StateBackend = BackendAuto
+	case BackendAuto, BackendSparse, BackendDense:
+	default:
+		return p, fmt.Errorf("core: unknown StateBackend %q (auto, sparse, dense)", p.StateBackend)
 	}
 	return p, nil
 }
@@ -126,7 +143,11 @@ type Result struct {
 type Engine struct {
 	g      *graph.Graph
 	params Params
+	// Exactly one of states/dense is live: the sparse backend keeps per-node
+	// sorted []Entry states here, the dense backend keeps the contiguous
+	// [node][seed] block in dense (and states is nil).
 	states []State
+	dense  *denseStates
 	rngs   []*rng.RNG
 	ids    []uint64
 	seeds  []int
@@ -135,6 +156,10 @@ type Engine struct {
 	// pool, when non-nil, partitions Step's hot paths (matching generation
 	// and pair merges) across workers; see SetPool.
 	pool *sched.Pool
+	// arenas are the sparse path's per-worker append-only merge buffers
+	// (arena index = pool worker; index 0 serves the serial path). They
+	// amortise the per-merge allocation of mergeForStorage; see stateArena.
+	arenas []stateArena
 }
 
 // NewEngine initialises a run: every node draws its identifier and the
@@ -196,7 +221,25 @@ func NewEngineWithPool(g *graph.Graph, params Params, pool *sched.Pool) (*Engine
 	} else {
 		seed(0, n, &e.seeds)
 	}
+	// Backend selection happens after seeding because the auto heuristic
+	// needs the realised seed count; the dense block is rebuilt from the
+	// seed list (identical content: unit loads at the seeds' IDs).
+	useDense := p.StateBackend == BackendDense ||
+		(p.StateBackend == BackendAuto && denseAuto(n, len(e.seeds)))
+	if useDense {
+		e.dense = newDenseStates(n, e.seeds, e.ids)
+		e.states = nil
+	}
 	return e, nil
+}
+
+// Backend reports the state representation the engine actually runs —
+// BackendSparse or BackendDense — after the auto heuristic has resolved.
+func (e *Engine) Backend() string {
+	if e.dense != nil {
+		return BackendDense
+	}
+	return BackendSparse
 }
 
 // idSpaceFor returns min(n³, 2⁶³) guarding against overflow.
@@ -224,13 +267,32 @@ func (e *Engine) Seeds() ([]int, []uint64) {
 // Round returns the number of averaging rounds performed.
 func (e *Engine) Round() int { return e.round }
 
-// States exposes the current node states (shared storage; read-only).
-func (e *Engine) States() []State { return e.states }
+// States exposes the current node states in sparse form. On the sparse
+// backend this is the live shared storage (read-only); on the dense backend
+// it materialises a snapshot, so it is an analysis accessor, not a hot path.
+func (e *Engine) States() []State {
+	if e.dense == nil {
+		return e.states
+	}
+	out := make([]State, e.g.N())
+	for v := range out {
+		out[v] = e.dense.sparseRow(v)
+	}
+	return out
+}
 
 // LoadVector extracts the dense load vector for one seed ID (a column of
 // the multi-dimensional process), for analysis experiments.
 func (e *Engine) LoadVector(id uint64) []float64 {
-	out := make([]float64, len(e.states))
+	out := make([]float64, e.g.N())
+	if d := e.dense; d != nil {
+		if c, ok := d.col[id]; ok {
+			for v := range out {
+				out[v] = d.row(v)[c]
+			}
+		}
+		return out
+	}
 	for v, s := range e.states {
 		out[v] = s.Get(id)
 	}
@@ -258,14 +320,25 @@ func (e *Engine) Step() {
 // balancing-circuit schedule instead of the randomized protocol.
 func (e *Engine) StepWith(m *matching.Matching) {
 	e.stats.ProtocolWords += int64(m.Proposals) + int64(m.Size())
-	if e.pool != nil && e.pool.Size() > 1 && m.Size() >= 2*e.pool.Size() {
+	switch {
+	case e.pool != nil && e.pool.Size() > 1 && m.Size() >= 2*e.pool.Size():
 		e.mergePairsParallel(m)
-	} else {
+	case e.dense != nil:
+		eps := e.params.PruneEpsilon
+		for _, pair := range m.Pairs {
+			words, size := e.dense.mergePair(int(pair[0]), int(pair[1]), eps)
+			e.stats.StateWords += words
+			if size > e.stats.MaxStateSize {
+				e.stats.MaxStateSize = size
+			}
+		}
+	default:
+		ar := e.arena(0)
 		for _, pair := range m.Pairs {
 			u, v := pair[0], pair[1]
 			su, sv := e.states[u], e.states[v]
 			e.stats.StateWords += int64(su.Words() + sv.Words())
-			merged := e.mergeForStorage(su, sv)
+			merged := e.mergeForStorage(ar, su, sv)
 			e.states[u] = merged
 			e.states[v] = merged
 			if len(merged) > e.stats.MaxStateSize {
@@ -287,23 +360,42 @@ func (e *Engine) mergePairsParallel(m *matching.Matching) {
 	workers := e.pool.Size()
 	words := make([]int64, workers)
 	maxes := make([]int, workers)
-	e.pool.RunRange(m.Size(), func(w, lo, hi int) {
-		var sw int64
-		mx := 0
-		for _, pair := range m.Pairs[lo:hi] {
-			u, v := pair[0], pair[1]
-			su, sv := e.states[u], e.states[v]
-			sw += int64(su.Words() + sv.Words())
-			merged := e.mergeForStorage(su, sv)
-			e.states[u] = merged
-			e.states[v] = merged
-			if len(merged) > mx {
-				mx = len(merged)
+	if e.dense != nil {
+		eps := e.params.PruneEpsilon
+		e.pool.RunRange(m.Size(), func(w, lo, hi int) {
+			var sw int64
+			mx := 0
+			for _, pair := range m.Pairs[lo:hi] {
+				pw, size := e.dense.mergePair(int(pair[0]), int(pair[1]), eps)
+				sw += pw
+				if size > mx {
+					mx = size
+				}
 			}
-		}
-		words[w] = sw
-		maxes[w] = mx
-	})
+			words[w] = sw
+			maxes[w] = mx
+		})
+	} else {
+		e.arena(workers - 1) // grow outside the workers; &e.arenas[w] is then race-free
+		e.pool.RunRange(m.Size(), func(w, lo, hi int) {
+			var sw int64
+			mx := 0
+			ar := &e.arenas[w]
+			for _, pair := range m.Pairs[lo:hi] {
+				u, v := pair[0], pair[1]
+				su, sv := e.states[u], e.states[v]
+				sw += int64(su.Words() + sv.Words())
+				merged := e.mergeForStorage(ar, su, sv)
+				e.states[u] = merged
+				e.states[v] = merged
+				if len(merged) > mx {
+					mx = len(merged)
+				}
+			}
+			words[w] = sw
+			maxes[w] = mx
+		})
+	}
 	for w := 0; w < workers; w++ {
 		e.stats.StateWords += words[w]
 		if maxes[w] > e.stats.MaxStateSize {
@@ -312,15 +404,63 @@ func (e *Engine) mergePairsParallel(m *matching.Matching) {
 	}
 }
 
-// mergeForStorage merges two states and applies the optional prune filter.
-func (e *Engine) mergeForStorage(a, b State) State {
-	merged := MergeStates(a, b)
-	eps := e.params.PruneEpsilon
-	if eps <= 0 {
-		return merged
+// stateArena is an append-only block allocator for merged sparse states: a
+// merge appends into the current block's tail and the stored state is a
+// capacity-clipped sub-slice, so one block allocation amortises thousands of
+// merges that previously each allocated. Blocks are never grown in place —
+// a full block is simply replaced by a fresh one — because earlier merged
+// states alias the old block and must stay valid for the rest of the run
+// (states are immutable once built and shared by matched partners).
+type stateArena struct{ buf []Entry }
+
+// arenaBlock is the entry capacity of a fresh arena block (16k entries,
+// 256 KiB — big enough to amortise, small enough to not mind the tail).
+const arenaBlock = 1 << 14
+
+// arena returns the w-th merge arena, growing the slice as needed. Callers
+// that hand arenas to concurrent workers must grow to the top index first.
+func (e *Engine) arena(w int) *stateArena {
+	for len(e.arenas) <= w {
+		e.arenas = append(e.arenas, stateArena{})
 	}
-	kept := merged[:0]
-	for _, entry := range merged {
+	return &e.arenas[w]
+}
+
+// mergeForStorage merges two states and applies the optional prune filter.
+// With an arena the result is carved out of the arena's current block; a nil
+// arena is the plain allocating path (used by ClusterDistributed, whose
+// merges run concurrently inside phase callbacks without a worker identity).
+func (e *Engine) mergeForStorage(ar *stateArena, a, b State) State {
+	eps := e.params.PruneEpsilon
+	if ar == nil {
+		merged := MergeStates(a, b)
+		if eps <= 0 {
+			return merged
+		}
+		return pruneInPlace(merged, eps)
+	}
+	need := len(a) + len(b)
+	if cap(ar.buf)-len(ar.buf) < need {
+		size := arenaBlock
+		if need > size {
+			size = need
+		}
+		ar.buf = make([]Entry, 0, size)
+	}
+	start := len(ar.buf)
+	buf := appendMerge(ar.buf, a, b)
+	out := buf[start:]
+	if eps > 0 {
+		out = pruneInPlace(out, eps)
+	}
+	ar.buf = buf[:start+len(out)]
+	return ar.buf[start : start+len(out) : start+len(out)]
+}
+
+// pruneInPlace compacts s down to the entries at or above eps.
+func pruneInPlace(s State, eps float64) State {
+	kept := s[:0]
+	for _, entry := range s {
 		if entry.Val >= eps {
 			kept = append(kept, entry)
 		}
@@ -339,30 +479,53 @@ func (e *Engine) Run(t int) {
 // minimum seed ID whose value clears the threshold; nodes with no qualifying
 // entry share a sentinel raw label 0. The query is local and does not
 // modify state. With a pool attached (SetPool / NewEngineWithPool) the
-// threshold scan partitions over it — each node's raw label depends only on
-// its own state, so the result is bit-identical for any pool size; the
-// label densification stays serial because it is order-dependent by design.
+// threshold scan AND the label densification partition over it — each
+// node's raw label depends only on its own state, and densifyParallel
+// reproduces the serial first-appearance numbering exactly — so the result
+// is bit-identical for any pool size.
 func (e *Engine) Query() *Result {
 	n := e.g.N()
 	thr := Threshold(e.params.Beta, n, e.params.ThresholdScale)
 	raw := make([]uint64, n)
-	scan := func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			best := uint64(0)
-			for _, entry := range e.states[v] {
-				if entry.Val >= thr && (best == 0 || entry.ID < best) {
-					best = entry.ID
+	var scan func(lo, hi int)
+	if d := e.dense; d != nil {
+		// Columns ascend by seed ID, so the first qualifying column is the
+		// minimum qualifying ID — the same winner the sparse scan picks.
+		scan = func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				row := d.row(v)
+				best := uint64(0)
+				for c := range row {
+					if row[c] >= thr {
+						best = d.ids[c]
+						break
+					}
 				}
+				raw[v] = best
 			}
-			raw[v] = best
+		}
+	} else {
+		scan = func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				best := uint64(0)
+				for _, entry := range e.states[v] {
+					if entry.Val >= thr && (best == 0 || entry.ID < best) {
+						best = entry.ID
+					}
+				}
+				raw[v] = best
+			}
 		}
 	}
+	var labels []int
+	var num int
 	if e.pool != nil && e.pool.Size() > 1 {
 		e.pool.RunRange(n, func(w, lo, hi int) { scan(lo, hi) })
+		labels, num = densifyParallel(raw, e.pool)
 	} else {
 		scan(0, n)
+		labels, num = densify(raw)
 	}
-	labels, num := densify(raw)
 	seeds, seedIDs := e.Seeds()
 	return &Result{
 		Labels:    labels,
@@ -375,7 +538,7 @@ func (e *Engine) Query() *Result {
 	}
 }
 
-// densify maps raw labels to [0, k).
+// densify maps raw labels to [0, k) in first-appearance order.
 func densify(raw []uint64) ([]int, int) {
 	m := map[uint64]int{}
 	out := make([]int, len(raw))
@@ -387,6 +550,43 @@ func densify(raw []uint64) ([]int, int) {
 		}
 		out[i] = d
 	}
+	return out, len(m)
+}
+
+// densifyParallel is densify partitioned over the pool, bit-identical to the
+// serial scan. Pass 1: every contiguous shard collects its distinct raw
+// labels in shard-local first-appearance order. The short serial splice then
+// assigns dense ids by walking those lists in shard order — the serial
+// scan's first appearance of any label lies in the earliest shard containing
+// it, at that shard's first local appearance, so the numbering is exactly
+// the serial one. Pass 2: the output fills by concurrent read-only lookups.
+func densifyParallel(raw []uint64, pool *sched.Pool) ([]int, int) {
+	distinct := make([][]uint64, pool.Size())
+	pool.RunRange(len(raw), func(w, lo, hi int) {
+		seen := make(map[uint64]struct{})
+		var order []uint64
+		for _, r := range raw[lo:hi] {
+			if _, ok := seen[r]; !ok {
+				seen[r] = struct{}{}
+				order = append(order, r)
+			}
+		}
+		distinct[w] = order
+	})
+	m := make(map[uint64]int)
+	for _, order := range distinct {
+		for _, r := range order {
+			if _, ok := m[r]; !ok {
+				m[r] = len(m)
+			}
+		}
+	}
+	out := make([]int, len(raw))
+	pool.RunRange(len(raw), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m[raw[i]]
+		}
+	})
 	return out, len(m)
 }
 
@@ -424,6 +624,19 @@ func ClusterParallel(g *graph.Graph, params Params, workers int) (*Result, error
 // failure-injection experiments).
 func (e *Engine) TotalMass() float64 {
 	var total float64
+	if d := e.dense; d != nil {
+		// Per-row sums over ascending columns, rows in node order — the same
+		// accumulation order as the sparse loop below (absent coordinates
+		// contribute exact zeros), so the total is bit-identical.
+		for v, n := 0, e.g.N(); v < n; v++ {
+			var t float64
+			for _, x := range d.row(v) {
+				t += x
+			}
+			total += t
+		}
+		return total
+	}
 	for _, s := range e.states {
 		total += s.Mass()
 	}

@@ -43,7 +43,9 @@ func TestEngineSeedingAndQueryParallelMatchesSerial(t *testing.T) {
 		name string
 		g    *gen.Planted
 	}{{"ring", ring}, {"sbm", sbm}} {
-		params := Params{Beta: 0.3, Rounds: 25, Seed: 17}
+		// The serial sparse run is the canonical transcript; every pool size,
+		// GOMAXPROCS setting AND state backend must reproduce it bit for bit.
+		params := Params{Beta: 0.3, Rounds: 25, Seed: 17, StateBackend: BackendSparse}
 		serial, err := NewEngine(tc.g.G, params)
 		if err != nil {
 			t.Fatal(err)
@@ -57,17 +59,20 @@ func TestEngineSeedingAndQueryParallelMatchesSerial(t *testing.T) {
 			prev := runtime.GOMAXPROCS(procs)
 			t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
 			for _, workers := range []int{2, 3, 8} {
-				pool := sched.NewPool(workers)
-				par, err := NewEngineWithPool(tc.g.G, params, pool)
-				if err != nil {
-					t.Fatal(err)
-				}
-				par.Run(params.Rounds)
-				got := engineFingerprint(t, par)
-				pool.Close()
-				if got != want {
-					t.Errorf("%s procs=%d workers=%d: parallel engine diverged\n got  %.120s…\n want %.120s…",
-						tc.name, procs, workers, got, want)
+				for _, backend := range []string{BackendSparse, BackendDense} {
+					params.StateBackend = backend
+					pool := sched.NewPool(workers)
+					par, err := NewEngineWithPool(tc.g.G, params, pool)
+					if err != nil {
+						t.Fatal(err)
+					}
+					par.Run(params.Rounds)
+					got := engineFingerprint(t, par)
+					pool.Close()
+					if got != want {
+						t.Errorf("%s procs=%d workers=%d %s: parallel engine diverged\n got  %.120s…\n want %.120s…",
+							tc.name, procs, workers, backend, got, want)
+					}
 				}
 			}
 			runtime.GOMAXPROCS(prev)

@@ -55,7 +55,14 @@ func (s State) Words() int { return 2 * len(s) }
 //
 // Both inputs must be sorted by ID; the output is sorted by ID.
 func MergeStates(a, b State) State {
-	out := make(State, 0, len(a)+len(b))
+	return appendMerge(make(State, 0, len(a)+len(b)), a, b)
+}
+
+// appendMerge appends the merge of a and b onto out (MergeStates with a
+// caller-supplied destination — the arena path's allocation-free variant).
+// out's free capacity must not overlap a or b; appending onto the tail of an
+// arena block that holds them as earlier sub-slices is fine.
+func appendMerge(out State, a, b State) State {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {

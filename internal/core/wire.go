@@ -92,14 +92,38 @@ func (protoCodec) Decode(data []byte) (protoMsg, int, error) {
 	return m, 1 + k + sk, nil
 }
 
-// gossipCodec serialises the push-sum message: kind byte, seq uvarint
-// (reliable-mode sequence number, 0 in plain mode), weight bits, state.
+// gossipDenseFlag marks a gossip message whose payload is in the dense
+// cols/vals shape; it rides the kind byte's high bit (kinds stay tiny).
+const gossipDenseFlag = 0x80
+
+// gossipCodec serialises the push-sum message: kind byte (high bit = dense
+// payload flag), seq uvarint (reliable-mode sequence number, 0 in plain
+// mode), weight bits, then the payload. A sparse payload is a state
+// (appendState); a dense payload is a uvarint coordinate count followed by
+// 12 fixed bytes per coordinate (little-endian uint32 column, IEEE-754 bits
+// of the value). The flag is set only when coordinates are present — an
+// empty payload always encodes in the sparse count-0 form and a flagged
+// empty payload is rejected on decode — so decode∘encode is the identity on
+// every encodable message and encode∘decode is the identity on every
+// decodable byte string (the relay fixed-point the wire daemons rely on).
 type gossipCodec struct{}
 
 func (gossipCodec) Append(buf []byte, m gossipMsg) []byte {
-	buf = append(buf, byte(m.kind))
+	kind := byte(m.kind)
+	if len(m.cols) > 0 {
+		kind |= gossipDenseFlag
+	}
+	buf = append(buf, kind)
 	buf = binary.AppendUvarint(buf, uint64(m.seq))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.weight))
+	if len(m.cols) > 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(m.cols)))
+		for i, c := range m.cols {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.vals[i]))
+		}
+		return buf
+	}
 	return appendState(buf, m.state)
 }
 
@@ -108,7 +132,8 @@ func (gossipCodec) Decode(data []byte) (gossipMsg, int, error) {
 	if len(data) < 1 {
 		return m, 0, fmt.Errorf("core: empty gossip message")
 	}
-	m.kind = gossipKind(data[0])
+	dense := data[0]&gossipDenseFlag != 0
+	m.kind = gossipKind(data[0] &^ gossipDenseFlag)
 	seq, k := binary.Uvarint(data[1:])
 	if k <= 0 || seq > math.MaxUint32 {
 		return m, 0, fmt.Errorf("core: truncated gossip seq")
@@ -119,12 +144,34 @@ func (gossipCodec) Decode(data []byte) (gossipMsg, int, error) {
 		return m, 0, fmt.Errorf("core: truncated gossip weight")
 	}
 	m.weight = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
-	st, sk, err := decodeState(data[off+8:])
+	off += 8
+	if dense {
+		cnt, dk := binary.Uvarint(data[off:])
+		if dk <= 0 {
+			return m, 0, fmt.Errorf("core: truncated dense count")
+		}
+		if cnt == 0 {
+			return m, 0, fmt.Errorf("core: dense flag without coordinates")
+		}
+		off += dk
+		if cnt > uint64(len(data)-off)/12 {
+			return m, 0, fmt.Errorf("core: dense count %d exceeds payload", cnt)
+		}
+		m.cols = make([]int32, cnt)
+		m.vals = make([]float64, cnt)
+		for i := range m.cols {
+			m.cols[i] = int32(binary.LittleEndian.Uint32(data[off:]))
+			m.vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off+4:]))
+			off += 12
+		}
+		return m, off, nil
+	}
+	st, sk, err := decodeState(data[off:])
 	if err != nil {
 		return m, 0, err
 	}
 	m.state = st
-	return m, off + 8 + sk, nil
+	return m, off + sk, nil
 }
 
 // TransportSpec selects and configures the delivery transport of a

@@ -92,6 +92,110 @@ func TestGossipCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// randDense draws a dense cols/vals payload with strictly increasing columns
+// and the same adversarial value mix as randState. Never empty: senders only
+// use the dense shape when at least one coordinate survived the halving.
+func randDense(r *rng.RNG) ([]int32, []float64) {
+	n := 1 + r.Intn(8)
+	cols := make([]int32, 0, n)
+	vals := make([]float64, 0, n)
+	col := int32(-1)
+	for i := 0; i < n; i++ {
+		col += 1 + int32(r.Intn(512))
+		var v float64
+		switch r.Intn(5) {
+		case 0:
+			v = -r.Float64()
+		case 1:
+			v = r.Float64() * 1e300
+		case 2:
+			v = math.Float64frombits(uint64(r.Intn(1 << 10))) // subnormals
+		case 3:
+			v = math.Float64frombits(1) // smallest subnormal
+		default:
+			v = r.Float64()
+		}
+		cols = append(cols, col)
+		vals = append(vals, v)
+	}
+	return cols, vals
+}
+
+// TestGossipCodecDenseRoundTrip: the dense cols/vals payload shape must round
+// trip bit for bit, self-delimit inside a frame, and never be confused with
+// the sparse shape (the flag bit discriminates).
+func TestGossipCodecDenseRoundTrip(t *testing.T) {
+	r := rng.New(53)
+	c := gossipCodec{}
+	for i := 0; i < 2000; i++ {
+		cols, vals := randDense(r)
+		m := gossipMsg{kind: gossipKind(r.Intn(2)), seq: uint32(r.Intn(1 << 16)), cols: cols, vals: vals, weight: r.Float64() * 2}
+		enc := c.Append(nil, m)
+		if enc[0]&gossipDenseFlag == 0 {
+			t.Fatal("dense payload encoded without the flag bit")
+		}
+		got, k, err := c.Decode(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if k != len(enc) {
+			t.Fatalf("consumed %d of %d bytes", k, len(enc))
+		}
+		if got.kind != m.kind || got.seq != m.seq || len(got.state) != 0 ||
+			math.Float64bits(got.weight) != math.Float64bits(m.weight) {
+			t.Fatalf("round trip mismatch: %+v != %+v", got, m)
+		}
+		if len(got.cols) != len(cols) {
+			t.Fatalf("cols length %d != %d", len(got.cols), len(cols))
+		}
+		for j := range cols {
+			if got.cols[j] != cols[j] || math.Float64bits(got.vals[j]) != math.Float64bits(vals[j]) {
+				t.Fatalf("coordinate %d mismatch: (%d,%x) != (%d,%x)", j,
+					got.cols[j], math.Float64bits(got.vals[j]), cols[j], math.Float64bits(vals[j]))
+			}
+		}
+		// Self-delimiting inside a frame: a sparse message appended after the
+		// dense one must decode intact from the remainder.
+		m2 := gossipMsg{state: randState(r), weight: r.Float64()}
+		joined := c.Append(bytes.Clone(enc), m2)
+		first, k1, err := c.Decode(joined)
+		if err != nil || k1 != len(enc) || len(first.cols) != len(cols) {
+			t.Fatalf("frame boundary: err=%v consumed %d of %d", err, k1, len(enc))
+		}
+		second, k2, err := c.Decode(joined[k1:])
+		if err != nil || k2 != len(joined)-k1 || !statesEqual(second.state, m2.state) {
+			t.Fatalf("second message corrupted after dense frame: %v", err)
+		}
+	}
+}
+
+// TestGossipCodecRejectsCorruptDense: truncated dense payloads, inflated
+// counts and the unencodable flagged-empty shape all error out. Rejecting the
+// flagged-empty shape is what keeps decode∘encode a fixed point for the relay
+// (an empty payload always re-encodes in sparse count-0 form).
+func TestGossipCodecRejectsCorruptDense(t *testing.T) {
+	c := gossipCodec{}
+	m := gossipMsg{kind: gossipPush, seq: 3, cols: []int32{1, 5}, vals: []float64{0.25, 0.5}, weight: 0.5}
+	enc := c.Append(nil, m)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, k, _ := c.Decode(enc[:cut]); k > cut {
+			t.Fatalf("cut %d: consumed %d > input", cut, k)
+		}
+	}
+	// kind|flag, seq=0, weight, then an inflated coordinate count.
+	bad := append([]byte{byte(gossipPush) | gossipDenseFlag, 0}, make([]byte, 8)...)
+	bad = append(bad, 0xff, 0xff, 0xff, 0xff, 0x0f)
+	if _, _, err := c.Decode(bad); err == nil {
+		t.Fatal("inflated dense count accepted")
+	}
+	// Same header with count 0: dense flag without coordinates.
+	flaggedEmpty := append([]byte{byte(gossipPush) | gossipDenseFlag, 0}, make([]byte, 8)...)
+	flaggedEmpty = append(flaggedEmpty, 0)
+	if _, _, err := c.Decode(flaggedEmpty); err == nil {
+		t.Fatal("dense flag with zero coordinates accepted")
+	}
+}
+
 // TestCodecFrameBoundarySafety pins the self-delimiting property the wire
 // framing relies on: decoding a concatenation of encodings consumes exactly
 // the first one, so messages never bleed into each other inside a frame.

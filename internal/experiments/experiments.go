@@ -34,6 +34,11 @@ type Config struct {
 	// serial, < 0 GOMAXPROCS. Like Transport, every table is bit-identical
 	// across values — the scheduler replays the serial transcript.
 	Parallel int
+	// StateBackend selects the engine's node-state representation
+	// (core.Params.StateBackend: "auto", "sparse", or "dense") for every
+	// experiment. The backends are bit-identical, so like Transport and
+	// Parallel this changes throughput, never a table.
+	StateBackend string
 }
 
 func (c Config) scale() float64 {

@@ -115,9 +115,10 @@ func F2AccuracyVsRounds(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	eng, err := core.NewEngine(p.G, core.Params{
-		Beta:   p.MinClusterFraction(),
-		Rounds: 1,
-		Seed:   cfg.Seed + 3,
+		Beta:         p.MinClusterFraction(),
+		Rounds:       1,
+		Seed:         cfg.Seed + 3,
+		StateBackend: cfg.StateBackend,
 	})
 	if err != nil {
 		return nil, err
@@ -156,7 +157,7 @@ func F3AccuracyVsK(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		mis, ari, _, err := meanCoreRuns(p, T, []uint64{1, 2, 3})
+		mis, ari, _, err := meanCoreRuns(p, T, []uint64{1, 2, 3}, cfg.StateBackend)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +204,7 @@ func F4AlmostRegular(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		T := spectral.EstimateRoundsMatching(p.G.N(), st.LambdaK1, p.G.MaxDegree(), 1.5)
-		mis, ari, _, err := meanCoreRuns(p, T, []uint64{1, 2, 3})
+		mis, ari, _, err := meanCoreRuns(p, T, []uint64{1, 2, 3}, cfg.StateBackend)
 		if err != nil {
 			return nil, err
 		}
@@ -294,7 +295,7 @@ func F6Ablations(cfg Config) (*Table, error) {
 	n := p.G.N()
 
 	// Part (a): model comparison at equal words.
-	res, err := core.Cluster(p.G, core.Params{Beta: beta, Rounds: T, Seed: cfg.Seed + 1})
+	res, err := core.Cluster(p.G, core.Params{Beta: beta, Rounds: T, Seed: cfg.Seed + 1, StateBackend: cfg.StateBackend})
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +310,7 @@ func F6Ablations(cfg Config) (*Table, error) {
 	// every round costs 2m·(state words per node ≈ 2s+2)… we charge the
 	// minimal honest cost of value exchange: 2m words per round per
 	// coordinate.
-	eng, err := core.NewEngine(p.G, core.Params{Beta: beta, Rounds: T, Seed: cfg.Seed + 1})
+	eng, err := core.NewEngine(p.G, core.Params{Beta: beta, Rounds: T, Seed: cfg.Seed + 1, StateBackend: cfg.StateBackend})
 	if err != nil {
 		return nil, err
 	}
@@ -357,6 +358,7 @@ func F6Ablations(cfg Config) (*Table, error) {
 	for _, scale := range []float64{0.25, 0.5, 1, 2, 4} {
 		res, err := core.Cluster(p.G, core.Params{
 			Beta: beta, Rounds: T, Seed: cfg.Seed + 1, ThresholdScale: scale,
+			StateBackend: cfg.StateBackend,
 		})
 		if err != nil {
 			return nil, err

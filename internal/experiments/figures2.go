@@ -36,7 +36,7 @@ func F7BalancingModels(cfg Config) (*Table, error) {
 	beta := p.MinClusterFraction()
 
 	// Part (a): clustering accuracy, random protocol vs circuit schedule.
-	res, err := core.Cluster(p.G, core.Params{Beta: beta, Rounds: T, Seed: cfg.Seed + 1})
+	res, err := core.Cluster(p.G, core.Params{Beta: beta, Rounds: T, Seed: cfg.Seed + 1, StateBackend: cfg.StateBackend})
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +46,7 @@ func F7BalancingModels(cfg Config) (*Table, error) {
 	}
 	t.AddRow("clustering", "random matching", i(T), pct(misRand))
 
-	engine, err := core.NewEngine(p.G, core.Params{Beta: beta, Rounds: T, Seed: cfg.Seed + 1})
+	engine, err := core.NewEngine(p.G, core.Params{Beta: beta, Rounds: T, Seed: cfg.Seed + 1, StateBackend: cfg.StateBackend})
 	if err != nil {
 		return nil, err
 	}

@@ -33,7 +33,7 @@ func F9AsyncGossip(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	params := core.Params{Beta: p.MinClusterFraction(), Rounds: T, Seed: cfg.Seed + 1}
+	params := core.Params{Beta: p.MinClusterFraction(), Rounds: T, Seed: cfg.Seed + 1, StateBackend: cfg.StateBackend}
 
 	// Synchronous run on the message substrate (bit-identical to the
 	// sequential engine, with network accounting for free).
@@ -105,7 +105,7 @@ func F10LossAblation(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	n := p.G.N()
-	params := core.Params{Beta: p.MinClusterFraction(), Rounds: T, Seed: cfg.Seed + 2}
+	params := core.Params{Beta: p.MinClusterFraction(), Rounds: T, Seed: cfg.Seed + 2, StateBackend: cfg.StateBackend}
 	// One firing budget for every row (the expected matched-pair count of
 	// the synchronous protocol, two half-pushes per pair), so the sweep
 	// varies exactly one thing: what the substrate destroys.

@@ -34,7 +34,7 @@ func TestRoundsToAccuracyFindsWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tStar, err := roundsToAccuracy(p, 7, T)
+	tStar, err := roundsToAccuracy(p, 7, T, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,11 +37,12 @@ func ringInstance(cfg Config, k, baseSize, dIn, c int, seedOffset uint64) (*gen.
 
 // runCore executes the clustering algorithm and scores it against the
 // planted truth.
-func runCore(p *gen.Planted, T int, seed uint64) (mis, ari float64, res *core.Result, err error) {
+func runCore(p *gen.Planted, T int, seed uint64, backend string) (mis, ari float64, res *core.Result, err error) {
 	res, err = core.Cluster(p.G, core.Params{
-		Beta:   p.MinClusterFraction(),
-		Rounds: T,
-		Seed:   seed,
+		Beta:         p.MinClusterFraction(),
+		Rounds:       T,
+		Seed:         seed,
+		StateBackend: backend,
 	})
 	if err != nil {
 		return 0, 0, nil, err
@@ -58,9 +59,9 @@ func runCore(p *gen.Planted, T int, seed uint64) (mis, ari float64, res *core.Re
 }
 
 // meanCoreRuns averages misclassification and ARI over a few seeds.
-func meanCoreRuns(p *gen.Planted, T int, seeds []uint64) (mis, ari float64, words int64, err error) {
+func meanCoreRuns(p *gen.Planted, T int, seeds []uint64, backend string) (mis, ari float64, words int64, err error) {
 	for _, s := range seeds {
-		m, a, res, e := runCore(p, T, s)
+		m, a, res, e := runCore(p, T, s, backend)
 		if e != nil {
 			return 0, 0, 0, e
 		}
@@ -89,7 +90,7 @@ func T1AccuracyVsGap(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		mis, ari, _, err := meanCoreRuns(p, T, []uint64{1, 2, 3})
+		mis, ari, _, err := meanCoreRuns(p, T, []uint64{1, 2, 3}, cfg.StateBackend)
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +120,7 @@ func T2RoundScaling(cfg Config) (*Table, error) {
 		// Median over a few protocol seeds smooths matching noise.
 		var stars []int
 		for _, seed := range []uint64{7, 8, 9} {
-			tStar, err := roundsToAccuracy(p, cfg.Seed+seed, T)
+			tStar, err := roundsToAccuracy(p, cfg.Seed+seed, T, cfg.StateBackend)
 			if err != nil {
 				return nil, err
 			}
@@ -142,11 +143,12 @@ func T2RoundScaling(cfg Config) (*Table, error) {
 
 // roundsToAccuracy steps an engine until misclassification drops to 5%,
 // returning the round count (-1 if 5·T rounds were not enough).
-func roundsToAccuracy(p *gen.Planted, seed uint64, T int) (int, error) {
+func roundsToAccuracy(p *gen.Planted, seed uint64, T int, backend string) (int, error) {
 	eng, err := core.NewEngine(p.G, core.Params{
-		Beta:   p.MinClusterFraction(),
-		Rounds: 1,
-		Seed:   seed,
+		Beta:         p.MinClusterFraction(),
+		Rounds:       1,
+		Seed:         seed,
+		StateBackend: backend,
 	})
 	if err != nil {
 		return 0, err
@@ -200,7 +202,7 @@ func T3MessageComplexity(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, _, lbWords, err := meanCoreRuns(p, T, []uint64{1})
+		_, _, lbWords, err := meanCoreRuns(p, T, []uint64{1}, cfg.StateBackend)
 		if err != nil {
 			return nil, err
 		}
@@ -318,7 +320,7 @@ func T4Baselines(cfg Config) (*Table, error) {
 			t.AddRow(inst.name, i(p.G.N()), i(k), algo, pct(mis), f(ari))
 			return nil
 		}
-		mis, ari, _, err := meanCoreRuns(p, T, []uint64{1, 2, 3})
+		mis, ari, _, err := meanCoreRuns(p, T, []uint64{1, 2, 3}, cfg.StateBackend)
 		if err != nil {
 			return nil, err
 		}
@@ -384,9 +386,10 @@ func T5Seeding(cfg Config) (*Table, error) {
 		misSum := 0.0
 		for run := 0; run < runs; run++ {
 			eng, err := core.NewEngine(p.G, core.Params{
-				Beta:   beta,
-				Rounds: T,
-				Seed:   cfg.Seed + uint64(run)*101 + uint64(beta*1000),
+				Beta:         beta,
+				Rounds:       T,
+				Seed:         cfg.Seed + uint64(run)*101 + uint64(beta*1000),
+				StateBackend: cfg.StateBackend,
 			})
 			if err != nil {
 				return nil, err
@@ -440,7 +443,7 @@ func T6Runtime(cfg Config) (*Table, error) {
 		var lb, sp time.Duration
 		for rep := 0; rep < 2; rep++ {
 			start := time.Now()
-			if _, _, _, err := runCore(p, T, cfg.Seed+1); err != nil {
+			if _, _, _, err := runCore(p, T, cfg.Seed+1, cfg.StateBackend); err != nil {
 				return err
 			}
 			if d := time.Since(start); rep == 0 || d < lb {

@@ -49,6 +49,15 @@ func (g *Graph) Neighbors(v int) []int32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
+// CSR exposes the graph's raw compressed-sparse-row arrays: indptr has
+// length n+1 and the neighbours of v are indices[indptr[v]:indptr[v+1]],
+// sorted ascending. Both slices alias internal storage and must not be
+// modified. This is the flat view the hot kernels (matching generation, the
+// engines' neighbour draws) iterate directly, hoisting the per-call bounds
+// arithmetic of Neighbors/Neighbor out of their inner loops; it is built
+// once at construction and shared by every consumer.
+func (g *Graph) CSR() (indptr, indices []int32) { return g.offsets, g.adj }
+
 // Neighbor returns the i-th neighbour of v (0-indexed in sorted order).
 func (g *Graph) Neighbor(v, i int) int {
 	return int(g.adj[int(g.offsets[v])+i])

@@ -313,3 +313,53 @@ func TestRandomGraphCSRInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCSRMatchesNeighborView: the raw CSR arrays are the flat view the hot
+// kernels iterate; they must agree with the Neighbors/Neighbor accessors on
+// randomized graphs — same shape, same sorted adjacency, shared storage.
+func TestCSRMatchesNeighborView(t *testing.T) {
+	r := rng.New(71)
+	f := func() bool {
+		n := 2 + r.Intn(30)
+		b := NewBuilder(n)
+		seen := map[[2]int]bool{}
+		for tries := 0; tries < 3*n; tries++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u > v {
+				u, v = v, u
+			}
+			if u == v || seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			b.AddEdge(u, v)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		indptr, indices := g.CSR()
+		if len(indptr) != n+1 || indptr[0] != 0 || int(indptr[n]) != len(indices) || len(indices) != 2*g.M() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			row := indices[indptr[v]:indptr[v+1]]
+			nb := g.Neighbors(v)
+			if len(row) != g.Degree(v) || len(nb) != len(row) {
+				return false
+			}
+			for i := range row {
+				if row[i] != nb[i] || int(row[i]) != g.Neighbor(v, i) {
+					return false
+				}
+				if i > 0 && row[i] <= row[i-1] {
+					return false // sorted, no duplicates
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

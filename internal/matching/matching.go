@@ -93,6 +93,7 @@ func NodeRNGs(n int, seed uint64) []*rng.RNG {
 // the regular case).
 func Generate(g *graph.Graph, d int, nodeRNGs []*rng.RNG) *Matching {
 	n := g.N()
+	indptr, indices := g.CSR()
 	proposals := make([]int32, n) // proposal target per node, -1 if none
 	active := make([]bool, n)
 	nProposals := 0
@@ -104,8 +105,8 @@ func Generate(g *graph.Graph, d int, nodeRNGs []*rng.RNG) *Matching {
 			continue
 		}
 		slot := r.Intn(d)
-		if slot < g.Degree(v) {
-			proposals[v] = int32(g.Neighbor(v, slot))
+		if off := indptr[v]; int32(slot) < indptr[v+1]-off {
+			proposals[v] = indices[off+int32(slot)]
 			nProposals++
 		}
 	}
@@ -129,6 +130,7 @@ func GenerateParallel(g *graph.Graph, d int, nodeRNGs []*rng.RNG, pool *sched.Po
 		return Generate(g, d, nodeRNGs)
 	}
 	n := g.N()
+	indptr, indices := g.CSR()
 	workers := pool.Size()
 	bounds := sched.Partition(n, workers)
 	active := make([]bool, n)
@@ -146,10 +148,11 @@ func GenerateParallel(g *graph.Graph, d int, nodeRNGs []*rng.RNG, pool *sched.Po
 				continue
 			}
 			slot := r.Intn(d)
-			if slot >= g.Degree(v) {
+			off := indptr[v]
+			if int32(slot) >= indptr[v+1]-off {
 				continue
 			}
-			t := g.Neighbor(v, slot)
+			t := int(indices[off+int32(slot)])
 			count++
 			s := sort.SearchInts(bounds, t+1) - 1
 			out[s] = append(out[s], int32(t), int32(v))
