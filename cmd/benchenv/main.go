@@ -6,7 +6,9 @@
 //
 // — and pastes the object into the file's "environment" field (keeping the
 // free-text "note"), so numbers from a 1-CPU shared container can never
-// masquerade as a real worker-sweep speedup: num_cpu is in the record.
+// masquerade as a real worker-sweep speedup: num_cpu is in the record, and
+// on a single-CPU host the block additionally carries "overhead_only": true
+// so tooling can skip speedup interpretation without parsing the note.
 package main
 
 import (

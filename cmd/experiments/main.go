@@ -7,7 +7,7 @@
 //
 //	experiments [-run T1,F2,... | -run all] [-scale 1.0] [-seed 1] [-out results/]
 //	            [-transport inprocess|ring[:cap]|socket[:machines]] [-parallel N|auto]
-//	            [-state-backend auto|sparse|dense]
+//	            [-state-backend auto|sparse|dense] [-trace out.json] [-metrics out.prom]
 //
 // Experiments F9 and F10 run their executions as real messages on the dist
 // runtime, so their tables include wire traffic (F10 additionally sweeps
@@ -23,6 +23,12 @@
 // block); the backends are bit-identical too, so it only moves the wall
 // clock.
 //
+// -trace and -metrics attach the internal/obs observability layer to the
+// dist-runtime experiments (F9, F10) and write a Chrome trace_event JSON
+// file and a Prometheus text snapshot dump after the whole sweep; the
+// accumulated events and metrics cover every selected experiment that runs
+// on the runtime. Observation never changes a table.
+//
 // Markdown is printed to stdout; with -out, per-experiment CSV and markdown
 // files are also written to the given directory.
 package main
@@ -37,9 +43,48 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/sched"
 	"repro/internal/wire"
 )
+
+// writeObsArtifacts flushes the sweep's accumulated observer state to the
+// files the -trace/-metrics flags named.
+func writeObsArtifacts(tracePath, metricsPath string, ob *obs.Observer) error {
+	if ob == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := export.WriteChromeTrace(f, ob.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", len(ob.Events()), tracePath)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := export.WriteMetrics(f, ob); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %d snapshots -> %s\n", len(ob.Snapshots()), metricsPath)
+	}
+	return nil
+}
 
 func main() {
 	wire.ServeIfWorker()
@@ -53,6 +98,8 @@ func main() {
 		"workers for the parallel async scheduler: a count, \"auto\" (GOMAXPROCS), or \"off\"")
 	stateBackend := flag.String("state-backend", "auto",
 		"engine state representation: auto, sparse, or dense (tables are bit-identical across backends)")
+	trace := flag.String("trace", "", "write a Chrome trace_event JSON file covering the dist-runtime experiments")
+	metricsOut := flag.String("metrics", "", "write a Prometheus text dump of per-round metric snapshots")
 	flag.Parse()
 
 	spec, err := core.ParseTransportSpec(*transport)
@@ -65,7 +112,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Transport: spec, Parallel: workers, StateBackend: *stateBackend}
+	var ob *obs.Observer
+	if *trace != "" || *metricsOut != "" {
+		ob = obs.NewObserver(obs.Options{Trace: *trace != ""})
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Transport: spec, Parallel: workers, StateBackend: *stateBackend, Obs: ob}
 	var selected []experiments.Experiment
 	if strings.EqualFold(*runFlag, "all") {
 		selected = experiments.All()
@@ -109,6 +160,10 @@ func main() {
 				failed++
 			}
 		}
+	}
+	if err := writeObsArtifacts(*trace, *metricsOut, ob); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		failed++
 	}
 	if failed > 0 {
 		os.Exit(1)

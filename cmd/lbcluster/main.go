@@ -37,18 +37,33 @@
 // the fast kernel when the seed set is small), or "auto" (default; dense
 // whenever the instance fits the dense heuristic). The backends are
 // bit-identical, so the flag changes throughput, never the labels.
+//
+// -trace FILE records the run's logical-clock event trace (phase and round
+// spans, batch commits) as Chrome trace_event JSON — open it in
+// chrome://tracing or Perfetto. -metrics FILE writes the deterministic
+// per-round metric snapshots and final registry values in Prometheus text
+// form. Both work with every engine; observation never changes the run (the
+// deterministic metrics are bit-identical across -parallel and -transport).
+//
+// `lbcluster serve -listen ... [-http addr]` additionally exposes live
+// introspection when -http is given: /debug/obs (JSON overview with the
+// daemon's wire relay tallies), /debug/obs/metrics, and /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/sched"
 	"repro/internal/spectral"
 	"repro/internal/wire"
@@ -82,6 +97,8 @@ func main() {
 		"delivery transport for -distributed/-gossip: inprocess, ring[:capacity], or socket[:machines]")
 	flag.StringVar(&o.transportAddrs, "transport-addrs", "",
 		"comma-separated `lbcluster serve` daemon addresses for -transport socket (overrides spawning)")
+	flag.StringVar(&o.trace, "trace", "", "write a Chrome trace_event JSON of the run's logical-clock events to this file")
+	flag.StringVar(&o.metricsOut, "metrics", "", "write the run's metric registry and per-round snapshots (Prometheus text) to this file")
 	parallel := flag.String("parallel", "auto",
 		"worker pool size for the hot paths: a count, \"auto\" (GOMAXPROCS), or \"off\"")
 	flag.Parse()
@@ -99,10 +116,13 @@ func main() {
 }
 
 // serve runs the worker daemon mode: a process other coordinators dial as a
-// machine shard of their socket transport.
+// machine shard of their socket transport. With -http it also exposes the
+// live introspection endpoints (/debug/obs, /debug/obs/metrics,
+// /debug/pprof/) on a plain HTTP listener.
 func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "", "wire address to listen on (unix:/path/to.sock or tcp:host:port)")
+	httpAddr := fs.String("http", "", "optional HTTP address (host:port) for /debug/obs and /debug/pprof introspection")
 	fs.Parse(args)
 	if *listen == "" {
 		return fmt.Errorf("-listen is required")
@@ -111,9 +131,40 @@ func serve(args []string) error {
 	if err != nil {
 		return err
 	}
+	var httpLn net.Listener
+	if *httpAddr != "" {
+		if httpLn, err = net.Listen("tcp", *httpAddr); err != nil {
+			ln.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "introspection on http://%s/debug/obs\n", httpLn.Addr())
+	}
 	fmt.Fprintf(os.Stderr, "serving wire payloads [%s] on %s\n",
 		strings.Join(wire.Payloads(), " "), *listen)
-	return wire.Serve(ln)
+	return serveDaemon(ln, httpLn)
+}
+
+// serveDaemon drives a worker daemon on already-open listeners (split from
+// serve so tests can exercise the daemon with ephemeral ports): the wire
+// relay loop on wireLn, and — when httpLn is non-nil — the introspection
+// handler with the daemon's live relay tallies as extras.
+func serveDaemon(wireLn, httpLn net.Listener) error {
+	if httpLn != nil {
+		h := export.Handler(export.HTTPOptions{Extra: func() []obs.KV {
+			conns, frames, in, out := wire.ServerStats()
+			return []obs.KV{
+				{Key: "wire_server_connections", Val: conns},
+				{Key: "wire_server_frames", Val: frames},
+				{Key: "wire_server_bytes_in", Val: in},
+				{Key: "wire_server_bytes_out", Val: out},
+			}
+		}})
+		// Daemon-side HTTP serving is plain I/O outside any transcript; it
+		// dies with the process (or when the test closes the listener).
+		//lintdet:allow rawgo(introspection HTTP server; daemon I/O pump never touches transcript state)
+		go http.Serve(httpLn, h)
+	}
+	return wire.Serve(wireLn)
 }
 
 // runOpts carries every CLI knob of the clustering mode.
@@ -132,6 +183,54 @@ type runOpts struct {
 	transportAddrs string
 	stateBackend   string
 	workers        int
+	trace          string
+	metricsOut     string
+}
+
+// newObserver builds the run's observer from the -trace/-metrics flags; nil
+// when neither asks for observation (the engines' hooks then cost one nil
+// check).
+func (o runOpts) newObserver() *obs.Observer {
+	if o.trace == "" && o.metricsOut == "" {
+		return nil
+	}
+	return obs.NewObserver(obs.Options{Trace: o.trace != ""})
+}
+
+// writeObsArtifacts flushes the observer to the files the flags named.
+func writeObsArtifacts(o runOpts, ob *obs.Observer) error {
+	if ob == nil {
+		return nil
+	}
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
+		if err != nil {
+			return err
+		}
+		if err := export.WriteChromeTrace(f, ob.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", len(ob.Events()), o.trace)
+	}
+	if o.metricsOut != "" {
+		f, err := os.Create(o.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := export.WriteMetrics(f, ob); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %d snapshots -> %s\n", len(ob.Snapshots()), o.metricsOut)
+	}
+	return nil
 }
 
 func run(o runOpts) error {
@@ -190,6 +289,7 @@ func run(o runOpts) error {
 	if o.dropProb > 0 {
 		model = dist.LinkFaults{DropProb: o.dropProb, Seed: o.seed ^ 0x9e3779b97f4a7c15}
 	}
+	ob := o.newObserver()
 	var labels []int
 	switch {
 	case o.gossip:
@@ -200,6 +300,7 @@ func run(o runOpts) error {
 			Reliable:   o.reliable,
 			Transport:  spec,
 			Parallel:   o.workers,
+			Obs:        ob,
 		})
 		if err != nil {
 			return err
@@ -220,6 +321,7 @@ func run(o runOpts) error {
 			Model:      model,
 			MailboxCap: o.mailboxCap,
 			Transport:  spec,
+			Obs:        ob,
 		})
 		if err != nil {
 			return err
@@ -229,7 +331,7 @@ func run(o runOpts) error {
 			len(res.Seeds), res.NumLabels, res.Stats.Rounds, res.NetworkMessages,
 			res.NetworkWords, res.DroppedMessages, res.RejectedMessages)
 	default:
-		res, err := core.ClusterParallel(g, params, o.workers)
+		res, err := core.ClusterParallelWithObs(g, params, o.workers, ob)
 		if err != nil {
 			return err
 		}
@@ -237,6 +339,9 @@ func run(o runOpts) error {
 		fmt.Fprintf(os.Stderr, "seeds=%d labels=%d rounds=%d matches=%d words=%d (threshold %.3g)\n",
 			len(res.Seeds), res.NumLabels, res.Stats.Rounds, res.Stats.Matches,
 			res.Stats.TotalWords(), res.Threshold)
+	}
+	if err := writeObsArtifacts(o, ob); err != nil {
+		return err
 	}
 	var w io.Writer = os.Stdout
 	if o.out != "-" {

@@ -2,9 +2,14 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/graph"
@@ -152,6 +157,145 @@ func TestRunGossip(t *testing.T) {
 				t.Fatalf("reliable=%v: -parallel changed the label of node %d", reliable, v)
 			}
 		}
+	}
+}
+
+// TestRunTraceAndMetricsExport drives every engine with -trace and -metrics
+// and validates the artifacts: the trace parses as Chrome trace_event JSON
+// with matched B/E phase (or run_async) spans, and the metrics file carries
+// the deterministic registry plus per-round snapshot comments.
+func TestRunTraceAndMetricsExport(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeTestGraph(t, dir)
+	for _, tc := range []struct {
+		name string
+		mut  func(*runOpts)
+		span string
+	}{
+		{"sequential", func(o *runOpts) {}, ""},
+		{"distributed", func(o *runOpts) { o.distributed = true }, "phase"},
+		{"gossip", func(o *runOpts) { o.gossip = true }, "run_async"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o := runOpts{in: in, out: filepath.Join(dir, "labels.txt"), beta: 0.5, rounds: 40,
+				seed: 1, thresholdScale: 1, transport: "inprocess",
+				trace:      filepath.Join(dir, tc.name+".trace.json"),
+				metricsOut: filepath.Join(dir, tc.name+".metrics.txt")}
+			tc.mut(&o)
+			if err := run(o); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(o.trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc struct {
+				TraceEvents []struct {
+					Name string `json:"name"`
+					Ph   string `json:"ph"`
+				} `json:"traceEvents"`
+				Metadata map[string]string `json:"metadata"`
+			}
+			if err := json.Unmarshal(data, &doc); err != nil {
+				t.Fatalf("trace does not parse as JSON: %v", err)
+			}
+			if doc.Metadata["clock"] != "logical" {
+				t.Error("trace missing logical-clock metadata")
+			}
+			if len(doc.TraceEvents) == 0 {
+				t.Fatal("trace has no events")
+			}
+			if tc.span != "" {
+				var b, e int
+				for _, ev := range doc.TraceEvents {
+					if ev.Name == tc.span {
+						switch ev.Ph {
+						case "B":
+							b++
+						case "E":
+							e++
+						}
+					}
+				}
+				if b == 0 || b != e {
+					t.Errorf("%s spans unbalanced: %d begins, %d ends", tc.span, b, e)
+				}
+			}
+			metrics, err := os.ReadFile(o.metricsOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range []string{"# TYPE core_shard_mass gauge", "# round="} {
+				if !strings.Contains(string(metrics), want) {
+					t.Errorf("metrics file missing %q", want)
+				}
+			}
+		})
+	}
+}
+
+// TestServeHTTPIntrospection boots the daemon with both listeners on
+// ephemeral ports, runs a socket-transport clustering against it, and then
+// checks the HTTP side: /debug/obs serves a JSON overview whose wire relay
+// tallies reflect the traffic, and /debug/pprof/ answers.
+func TestServeHTTPIntrospection(t *testing.T) {
+	dir := t.TempDir()
+	in, p := writeTestGraph(t, dir)
+	addr := "unix:" + filepath.Join(dir, "w0.sock")
+	wireLn, err := wire.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wireLn.Close()
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpLn.Close()
+	go serveDaemon(wireLn, httpLn)
+
+	if err := run(runOpts{in: in, out: filepath.Join(dir, "labels.txt"), beta: 0.5, rounds: 40,
+		seed: 1, thresholdScale: 1, distributed: true, transport: "socket", transportAddrs: addr}); err != nil {
+		t.Fatal(err)
+	}
+	readLabels(t, filepath.Join(dir, "labels.txt"), p.G.N())
+
+	base := "http://" + httpLn.Addr().String()
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+	code, body := get("/debug/obs")
+	if code != 200 {
+		t.Fatalf("/debug/obs: status %d", code)
+	}
+	var ov struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Extra         []struct {
+			Key string `json:"key"`
+			Val int64  `json:"val"`
+		} `json:"extra"`
+	}
+	if err := json.Unmarshal(body, &ov); err != nil {
+		t.Fatalf("/debug/obs JSON: %v", err)
+	}
+	tallies := map[string]int64{}
+	for _, kv := range ov.Extra {
+		tallies[kv.Key] = kv.Val
+	}
+	if tallies["wire_server_connections"] < 1 || tallies["wire_server_frames"] < 1 {
+		t.Errorf("wire relay tallies missing traffic: %v", tallies)
+	}
+	if code, body = get("/debug/obs/metrics"); code != 200 || !strings.Contains(string(body), "wire_server_frames") {
+		t.Errorf("/debug/obs/metrics: status %d body %q", code, body)
+	}
+	if code, _ = get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/: status %d", code)
 	}
 }
 

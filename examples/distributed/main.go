@@ -16,17 +16,22 @@
 // serial order), and the closing check confirms the parallel run reproduces
 // the serial async labels exactly. -state-backend picks the sparse or dense
 // node-state kernel (or "auto"); being bit-identical, it never changes a
-// line of the output.
+// line of the output. -trace and -metrics attach the internal/obs layer to
+// every scenario and dump a Chrome trace_event JSON / Prometheus text file
+// covering the whole session; observation never changes a line either.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/graph/gen"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/spectral"
@@ -41,6 +46,8 @@ func main() {
 		"workers for the async batch scheduler: a count, \"auto\" (GOMAXPROCS), or \"off\"")
 	stateBackend := flag.String("state-backend", "auto",
 		"engine state representation: auto, sparse, or dense (bit-identical output)")
+	trace := flag.String("trace", "", "write a Chrome trace_event JSON file covering every scenario")
+	metricsOut := flag.String("metrics", "", "write a Prometheus text dump of per-round metric snapshots")
 	flag.Parse()
 	spec, err := core.ParseTransportSpec(*transport)
 	if err != nil {
@@ -51,6 +58,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("transport: %s, async parallel workers: %d\n", *transport, workers)
+	var ob *obs.Observer
+	if *trace != "" || *metricsOut != "" {
+		ob = obs.NewObserver(obs.Options{Trace: *trace != ""})
+	}
 
 	p, err := gen.ClusteredRing(2, 150, 40, 1, rng.New(23))
 	if err != nil {
@@ -75,6 +86,7 @@ func main() {
 	}
 	run := func(name string, opt core.DistOptions) {
 		opt.Transport = spec
+		opt.Obs = ob
 		res, err := core.ClusterDistributed(g, params, opt)
 		if err != nil {
 			log.Fatal(err)
@@ -125,6 +137,7 @@ func main() {
 		Ticks:     2 * dres.Stats.Matches,
 		ClockSeed: 31,
 		Transport: spec,
+		Obs:       ob,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -139,6 +152,7 @@ func main() {
 		ClockSeed: 31,
 		Transport: spec,
 		Parallel:  workers,
+		Obs:       ob,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -152,4 +166,33 @@ func main() {
 		}
 	}
 	fmt.Printf("serial async == parallel async (workers=%d): %v\n", workers, same)
+
+	if ob != nil {
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := export.WriteChromeTrace(f, ob.Events()); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("trace: %d events -> %s\n", len(ob.Events()), *trace)
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := export.WriteMetrics(f, ob); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("metrics: %d snapshots -> %s\n", len(ob.Snapshots()), *metricsOut)
+		}
+	}
 }

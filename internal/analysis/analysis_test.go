@@ -19,6 +19,35 @@ func TestWallClock(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.WallClock, "wallclock_det")
 }
 
+// TestWallClockDistPkg runs the wallclock analyzer over a fixture loaded at
+// the literal production path "repro/internal/dist": adding the obs/export
+// exemption must not have weakened the rule where it matters.
+func TestWallClockDistPkg(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WallClock, "repro/internal/dist")
+}
+
+// TestWallClockObsExportExempt runs it over "repro/internal/obs/export",
+// the one package whose wall-clock reads (HTTP uptime) are sanctioned; the
+// fixture has bare time.Now/time.Since calls and no want expectations, so
+// any diagnostic fails the test.
+func TestWallClockObsExportExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WallClock, "repro/internal/obs/export")
+}
+
+// TestPkgClassification pins where the obs packages sit in the contract:
+// obs itself is fully deterministic, obs/export is ordered-output only.
+func TestPkgClassification(t *testing.T) {
+	if !analysis.IsDeterministicPkg("repro/internal/obs") {
+		t.Error("repro/internal/obs must be under the deterministic rules")
+	}
+	if analysis.IsDeterministicPkg("repro/internal/obs/export") {
+		t.Error("repro/internal/obs/export must NOT be under the wallclock rule")
+	}
+	if !analysis.IsOrderedOutputPkg("repro/internal/obs/export") {
+		t.Error("repro/internal/obs/export must be ordered-output")
+	}
+}
+
 func TestRawGo(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.RawGo, "rawgo_a")
 }

@@ -19,6 +19,11 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/rng":         true,
 	"repro/internal/wire":        true,
 	"repro/internal/loadbalance": true,
+	// obs is transcript-adjacent by design: its registries and snapshots are
+	// part of the determinism contract (bit-identical across worker counts),
+	// so it lives under the full deterministic rule set. The export package
+	// below is where wall clock is allowed.
+	"repro/internal/obs": true,
 }
 
 // orderedOutputPkgs produce the repo's printed artifacts — experiment
@@ -38,6 +43,12 @@ var orderedOutputPkgs = map[string]bool{
 	"repro/cmd/lbcluster":        true,
 	"repro/cmd/experiments":      true,
 	"repro/cmd/graphgen":         true,
+	// obs/export writes the observability artifacts (Chrome traces,
+	// Prometheus text, the /debug/obs endpoint). Its files must stay
+	// byte-reproducible for a given event/metric sequence, but wall clock is
+	// legitimate here (HTTP uptime) — the one sanctioned hole, which is why
+	// export is a separate package from obs rather than a file in it.
+	"repro/internal/obs/export": true,
 }
 
 // IsDeterministicPkg reports whether path is under the transcript contract.

@@ -1,0 +1,22 @@
+// Package dist is an analyzer fixture under the literal import path
+// "repro/internal/dist": it proves the wallclock rule still fires inside the
+// real deterministic packages after repro/internal/obs/export joined the
+// ordered-output (wall-clock-allowed) list. The fixture shadows nothing —
+// the analysistest GOPATH is testdata/src — but the path-based predicate
+// sees exactly the production package path.
+package dist
+
+import "time"
+
+func badPhaseStamp() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func badPhaseDuration(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func deadlineAllowed() time.Time {
+	//lintdet:allow wallclock(I/O deadline on a socket, not transcript state)
+	return time.Now()
+}

@@ -1,0 +1,16 @@
+// Package export is an analyzer fixture under the literal import path
+// "repro/internal/obs/export": the one sanctioned wall-clock hole. The
+// package is ordered-output (mapiter/floataccum still enforce) but NOT
+// deterministic, so the wallclock analyzer must stay silent on the reads
+// below — no want expectations in this file.
+package export
+
+import "time"
+
+func uptimeSeconds(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
+func requestStamp() time.Time {
+	return time.Now()
+}

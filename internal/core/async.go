@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/loadbalance"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -90,6 +91,12 @@ type AsyncOptions struct {
 	// never acks — a crashed neighbour — costs logarithmically many
 	// retries, not one per firing. Only meaningful with Reliable.
 	RetransmitAfter int
+	// Obs, when non-nil, attaches the observability layer: a run_async span
+	// and batch-commit instants on the tick clock, per-logical-shard traffic
+	// metrics, and one end-of-run state snapshot. The deterministic
+	// registry's snapshot is bit-identical across Parallel, Transport, and
+	// batch schedules; observation never changes the run.
+	Obs *obs.Observer
 }
 
 // gossipKind discriminates asynchronous-mode messages.
@@ -250,7 +257,9 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	// substrate bookkeeping minimal.
 	net := dist.NewNetwork[gossipMsg](n, 1)
 	defer net.Close()
-	transport, closeTransport, err := openTransport(opt.Transport, net.Workers(), GossipPayload, gossipCodec{})
+	net.SetObserver(opt.Obs)
+	eng.SetObserver(opt.Obs)
+	transport, closeTransport, err := openTransport(opt.Transport, net.Workers(), GossipPayload, gossipCodec{}, opt.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -552,6 +561,12 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	// Conservation is a property of the raw mass, measured before the query
 	// rescale below.
 	total := eng.TotalMass()
+	if o := opt.Obs; o != nil {
+		// End-of-run observation on the raw (pre-rescale) states, after the
+		// drain and reclaim: bit-identical across Parallel and Transport.
+		eng.observeRound(obs.I("ticks", int64(ticks)))
+		o.Snap(int64(ticks))
+	}
 	// Query thresholds the push-sum estimate s_v/w_v, the async analogue of
 	// the synchronous load (both converge to 1/|S| inside cluster S).
 	for v := 0; v < n; v++ {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // DistOptions configures the message-passing execution. Failure injection
@@ -55,6 +56,12 @@ type DistOptions struct {
 	// exactly the failure mode the reliable gossip layer exists to repair
 	// and F10 measures. 0 means unbounded.
 	MailboxCap int
+	// Obs, when non-nil, attaches the observability layer: phase spans and
+	// per-round instants on the network's logical clocks, per-logical-shard
+	// traffic and state metrics, and one registry snapshot per round. The
+	// deterministic registry's snapshots are bit-identical across Workers,
+	// Transport, and batch schedules; observation never changes the run.
+	Obs *obs.Observer
 }
 
 // msgKind discriminates protocol messages.
@@ -153,7 +160,9 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 
 	net := dist.NewNetwork[protoMsg](n, opt.Workers)
 	defer net.Close()
-	transport, closeTransport, err := openTransport(opt.Transport, net.Workers(), ProtoPayload, protoCodec{})
+	net.SetObserver(opt.Obs)
+	eng.SetObserver(opt.Obs)
+	transport, closeTransport, err := openTransport(opt.Transport, net.Workers(), ProtoPayload, protoCodec{}, opt.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -285,6 +294,15 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 			if len(s) > eng.stats.MaxStateSize {
 				eng.stats.MaxStateSize = len(s)
 			}
+		}
+		if o := opt.Obs; o != nil {
+			// End-of-round observation on the driving goroutine, after the
+			// commit barrier: the scanned states and the snapshot are pure
+			// functions of the round, independent of Workers and Transport.
+			eng.observeRound(
+				obs.I("matches", pairs.Total()),
+				obs.I("dropped_matches", dropped.Total()))
+			o.Snap(int64(eng.round))
 		}
 	}
 	eng.stats.Matches = int(pairs.Total())

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
 )
@@ -160,6 +161,13 @@ type Engine struct {
 	// (arena index = pool worker; index 0 serves the serial path). They
 	// amortise the per-merge allocation of mergeForStorage; see stateArena.
 	arenas []stateArena
+	// obsv/emetrics are the optional observability hooks (SetObserver); nil
+	// means off, and every hook site guards on nil so the disabled path costs
+	// one predictable branch. lastSW remembers StateWords at the previous
+	// round boundary so the per-round event can report a delta.
+	obsv     *obs.Observer
+	emetrics *obs.EngineMetrics
+	lastSW   int64
 }
 
 // NewEngine initialises a run: every node draws its identifier and the
@@ -308,6 +316,86 @@ func (e *Engine) LoadVector(id uint64) []float64 {
 // caller owns the pool's lifecycle (it may be shared across engines).
 func (e *Engine) SetPool(p *sched.Pool) { e.pool = p }
 
+// SetObserver attaches an observability sink: every subsequent round ends
+// with a serial shard-by-shard state scan (observeRound) publishing mass and
+// nnz gauges, the load-imbalance ratio, a state-size histogram, and a
+// "core/round" instant event. nil detaches. Observation never changes the
+// run: all hooks read state the round has already committed, on the driving
+// goroutine.
+func (e *Engine) SetObserver(o *obs.Observer) {
+	e.obsv = o
+	e.emetrics = nil
+	if o != nil && o.Reg != nil {
+		e.emetrics = obs.NewEngineMetrics(o.Reg, e.g.N(), o.Shards)
+	}
+}
+
+// nodeScan reports one node's state mass and entry count under the active
+// backend (exact zeros in dense rows are absent coordinates, not entries).
+func (e *Engine) nodeScan(v int) (mass float64, nnz int) {
+	if d := e.dense; d != nil {
+		for _, x := range d.row(v) {
+			mass += x
+			if x != 0 {
+				nnz++
+			}
+		}
+		return mass, nnz
+	}
+	s := e.states[v]
+	return s.Mass(), len(s)
+}
+
+// observeRound publishes the end-of-round observability readings: per-shard
+// mass/nnz gauges, the load-imbalance ratio (max shard nnz over mean shard
+// nnz), the max per-node state size, one histogram sample per node state,
+// and a "core/round" instant carrying the totals plus the caller's extra
+// args. The scan is a serial ascending-node walk on the driving goroutine,
+// so every published value is a pure function of the committed states —
+// bit-identical for any worker count, transport, or batch schedule.
+func (e *Engine) observeRound(extra ...obs.Arg) {
+	o := e.obsv
+	if o == nil {
+		return
+	}
+	var totalMass float64
+	var totalNNZ, maxShardNNZ, maxState int64
+	if em := e.emetrics; em != nil {
+		bounds := em.Bounds()
+		shards := len(bounds) - 1
+		for s := 0; s < shards; s++ {
+			var mass float64
+			var nnz int64
+			for v := bounds[s]; v < bounds[s+1]; v++ {
+				m, k := e.nodeScan(v)
+				mass += m
+				nnz += int64(k)
+				if int64(k) > maxState {
+					maxState = int64(k)
+				}
+				em.ObserveNNZ(k)
+			}
+			em.SetShard(s, mass, nnz)
+			totalMass += mass
+			totalNNZ += nnz
+			if nnz > maxShardNNZ {
+				maxShardNNZ = nnz
+			}
+		}
+		imbalance := 0.0
+		if totalNNZ > 0 {
+			imbalance = float64(maxShardNNZ) * float64(shards) / float64(totalNNZ)
+		}
+		em.SetSummary(imbalance, maxState)
+	}
+	args := append([]obs.Arg{
+		obs.F("mass", totalMass),
+		obs.I("nnz", totalNNZ),
+		obs.I("max_state", maxState),
+	}, extra...)
+	o.Instant("core", "round", int64(e.round), args...)
+}
+
 // Step performs one averaging round (§3.1): generate a random matching, and
 // matched pairs merge their states.
 func (e *Engine) Step() {
@@ -349,6 +437,12 @@ func (e *Engine) StepWith(m *matching.Matching) {
 	e.stats.Matches += m.Size()
 	e.round++
 	e.stats.Rounds = e.round
+	if e.obsv != nil {
+		e.observeRound(
+			obs.I("matches", int64(m.Size())),
+			obs.I("state_words", e.stats.StateWords-e.lastSW))
+		e.lastSW = e.stats.StateWords
+	}
 }
 
 // mergePairsParallel partitions the matched pairs over the pool. A node is
@@ -606,6 +700,15 @@ func Cluster(g *graph.Graph, params Params) (*Result, error) {
 // 0 or 1 mean sequential). Labels and stats are bit-identical to Cluster
 // for equal Params — parallelism changes the wall clock, never the run.
 func ClusterParallel(g *graph.Graph, params Params, workers int) (*Result, error) {
+	return ClusterParallelWithObs(g, params, workers, nil)
+}
+
+// ClusterParallelWithObs is ClusterParallel with an optional observer: each
+// round ends with the engine's observeRound readings and a registry snapshot
+// stamped with the round number, so a sequential run produces the same
+// per-round snapshot series as its distributed counterpart. nil o is exactly
+// ClusterParallel.
+func ClusterParallelWithObs(g *graph.Graph, params Params, workers int, o *obs.Observer) (*Result, error) {
 	var pool *sched.Pool
 	if workers = parallelWorkers(workers); workers > 1 {
 		pool = sched.NewPool(workers)
@@ -615,7 +718,13 @@ func ClusterParallel(g *graph.Graph, params Params, workers int) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	e.Run(e.params.Rounds)
+	e.SetObserver(o)
+	for i := 0; i < e.params.Rounds; i++ {
+		e.Step()
+		if o != nil {
+			o.Snap(int64(e.round))
+		}
+	}
 	return e.Query(), nil
 }
 

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph/gen"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// distSnapshots runs ClusterDistributed with a fresh observer and returns
+// the canonical text of its per-round deterministic snapshots plus the
+// result for cross-checking.
+func distSnapshots(t *testing.T, workers int, transport TransportSpec, model dist.DeliveryModel, trace bool) (string, *DistResult) {
+	t.Helper()
+	p, err := gen.ClusteredRing(2, 50, 12, 1, rng.New(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver(obs.Options{Trace: trace})
+	res, err := ClusterDistributed(p.G, Params{Beta: 0.5, Rounds: 8, Seed: 11}, DistOptions{
+		Workers:   workers,
+		Transport: transport,
+		Model:     model,
+		Obs:       o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := o.Snapshots()
+	if len(snaps) != 8 {
+		t.Fatalf("got %d snapshots, want one per round (8)", len(snaps))
+	}
+	return obs.SnapshotsText(snaps), res
+}
+
+// TestDistSnapshotsWorkerTransportInvariant is the observability analogue of
+// the transcript-equality contract: the deterministic registry's per-round
+// snapshots — per-logical-shard traffic, mass, nnz, imbalance — must be
+// bit-identical across worker counts and transports, with and without fault
+// injection, because every cell is keyed by logical shard (never worker) and
+// every gauge is written by a serial driving-goroutine scan.
+func TestDistSnapshotsWorkerTransportInvariant(t *testing.T) {
+	models := map[string]dist.DeliveryModel{
+		"faultfree": nil,
+		"faults":    dist.LinkFaults{DropProb: 0.05, DelayProb: 0.1, MaxPhases: 2, Seed: 5},
+	}
+	for name, model := range models {
+		t.Run(name, func(t *testing.T) {
+			ref, refRes := distSnapshots(t, 1, TransportSpec{}, model, false)
+			for _, workers := range []int{2, 8} {
+				got, res := distSnapshots(t, workers, TransportSpec{}, model, false)
+				if got != ref {
+					t.Errorf("workers=%d inprocess snapshots diverge:\n--- workers=1\n%s\n--- workers=%d\n%s", workers, ref, workers, got)
+				}
+				if res.TotalMass != refRes.TotalMass {
+					t.Errorf("workers=%d TotalMass %v, want %v", workers, res.TotalMass, refRes.TotalMass)
+				}
+			}
+			for _, workers := range []int{1, 2, 8} {
+				got, _ := distSnapshots(t, workers, TransportSpec{Kind: "ring"}, model, false)
+				if got != ref {
+					t.Errorf("workers=%d ring snapshots diverge from inprocess reference", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestDistObserverEffectZero pins that observation never changes the run:
+// with tracing on, off, or no observer at all, the clustering result —
+// labels, stats, counters, mass — is identical, and the deterministic
+// snapshots with tracing on equal those with tracing off.
+func TestDistObserverEffectZero(t *testing.T) {
+	p, err := gen.ClusteredRing(2, 50, 12, 1, rng.New(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Beta: 0.5, Rounds: 8, Seed: 11}
+	bare, err := ClusterDistributed(p.G, params, DistOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offSnaps, offRes := distSnapshots(t, 2, TransportSpec{}, nil, false)
+	onSnaps, onRes := distSnapshots(t, 2, TransportSpec{}, nil, true)
+	if offSnaps != onSnaps {
+		t.Error("snapshots differ between tracing on and off")
+	}
+	for i, want := range bare.Labels {
+		if offRes.Labels[i] != want || onRes.Labels[i] != want {
+			t.Fatalf("observed run labels diverge from unobserved at node %d", i)
+		}
+	}
+	if bare.TotalMass != offRes.TotalMass || bare.TotalMass != onRes.TotalMass {
+		t.Error("observed run mass diverges from unobserved")
+	}
+	if bare.NetworkMessages != offRes.NetworkMessages || bare.NetworkWords != onRes.NetworkWords {
+		t.Error("observed run traffic counters diverge from unobserved")
+	}
+}
+
+// TestDistSnapshotsMatchCounters cross-checks the snapshot cells against the
+// network's own counters: summed over shards, the sent/words/dropped tallies
+// of the final snapshot must equal the DistResult accounting.
+func TestDistSnapshotsMatchCounters(t *testing.T) {
+	p, err := gen.ClusteredRing(2, 50, 12, 1, rng.New(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver(obs.Options{})
+	res, err := ClusterDistributed(p.G, Params{Beta: 0.5, Rounds: 8, Seed: 11}, DistOptions{
+		Workers: 4,
+		Model:   dist.LinkFaults{DropProb: 0.05, Seed: 5},
+		Obs:     o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := o.Snapshots()
+	last := snaps[len(snaps)-1]
+	totals := map[string]int64{}
+	for _, c := range last.Counters {
+		totals[c.Name] = c.Total()
+	}
+	if totals[obs.MetricSent] != res.NetworkMessages {
+		t.Errorf("snapshot sent %d, counter %d", totals[obs.MetricSent], res.NetworkMessages)
+	}
+	if totals[obs.MetricWords] != res.NetworkWords {
+		t.Errorf("snapshot words %d, counter %d", totals[obs.MetricWords], res.NetworkWords)
+	}
+	if totals[obs.MetricDropped] != res.DroppedMessages {
+		t.Errorf("snapshot dropped %d, counter %d", totals[obs.MetricDropped], res.DroppedMessages)
+	}
+}
+
+// asyncSnapshot runs ClusterAsyncGossip with an observer and returns the
+// end-of-run snapshot text.
+func asyncSnapshot(t *testing.T, parallel int, transport TransportSpec, reliable bool) string {
+	t.Helper()
+	p, err := gen.ClusteredRing(2, 50, 12, 1, rng.New(403))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver(obs.Options{})
+	_, err = ClusterAsyncGossip(p.G, Params{Beta: 0.5, Rounds: 20, Seed: 13}, AsyncOptions{
+		Ticks:      3000,
+		ClockSeed:  17,
+		Parallel:   parallel,
+		Reliable:   reliable,
+		MailboxCap: 12,
+		Transport:  transport,
+		Obs:        o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := o.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots, want the single end-of-run one", len(snaps))
+	}
+	return obs.SnapshotsText(snaps)
+}
+
+// TestAsyncSnapshotScheduleInvariant: the async end-of-run snapshot is
+// bit-identical between serial and batched execution and across transports —
+// the same invariance the transcript tests pin, now visible through the
+// metrics layer.
+func TestAsyncSnapshotScheduleInvariant(t *testing.T) {
+	for _, reliable := range []bool{false, true} {
+		t.Run("reliable="+strconv.FormatBool(reliable), func(t *testing.T) {
+			ref := asyncSnapshot(t, 0, TransportSpec{}, reliable)
+			if got := asyncSnapshot(t, 4, TransportSpec{}, reliable); got != ref {
+				t.Errorf("parallel=4 snapshot diverges from serial:\n--- serial\n%s\n--- parallel\n%s", ref, got)
+			}
+			if got := asyncSnapshot(t, 4, TransportSpec{Kind: "ring"}, reliable); got != ref {
+				t.Errorf("ring snapshot diverges from inprocess")
+			}
+		})
+	}
+}
+
+// TestSequentialObsMatchesDistributed: ClusterParallelWithObs and the
+// fault-free distributed run share seeding and per-node streams, so their
+// per-round engine gauges (mass, nnz, imbalance, max_state) must agree
+// round for round; the traffic counters exist only on the distributed side.
+func TestSequentialObsMatchesDistributed(t *testing.T) {
+	p, err := gen.ClusteredRing(2, 50, 12, 1, rng.New(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Beta: 0.5, Rounds: 8, Seed: 11, StateBackend: BackendSparse}
+	seqObs := obs.NewObserver(obs.Options{})
+	if _, err := ClusterParallelWithObs(p.G, params, 1, seqObs); err != nil {
+		t.Fatal(err)
+	}
+	distObs := obs.NewObserver(obs.Options{})
+	if _, err := ClusterDistributed(p.G, params, DistOptions{Obs: distObs}); err != nil {
+		t.Fatal(err)
+	}
+	seqSnaps, distSnaps := seqObs.Snapshots(), distObs.Snapshots()
+	if len(seqSnaps) != len(distSnaps) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(seqSnaps), len(distSnaps))
+	}
+	gaugeText := func(s obs.Snapshot) string {
+		var b []byte
+		for _, g := range s.Gauges {
+			if g.Name == obs.MetricMass || g.Name == obs.MetricNNZ {
+				b = append(b, g.Name...)
+				for _, v := range g.Cells {
+					b = append(b, ' ')
+					b = strconv.AppendFloat(b, v, 'g', -1, 64)
+				}
+				b = append(b, '\n')
+			}
+		}
+		return string(b)
+	}
+	for i := range seqSnaps {
+		if got, want := gaugeText(distSnaps[i]), gaugeText(seqSnaps[i]); got != want {
+			t.Errorf("round %d engine gauges diverge:\nsequential:\n%s\ndistributed:\n%s", i+1, want, got)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -225,8 +226,10 @@ func ParseTransportSpec(s string) (TransportSpec, error) {
 // openTransport realises a TransportSpec for a network with the given
 // effective worker-shard count. It returns a nil transport for the
 // in-process default (the network's own zero-copy path) and a cleanup that
-// tears down whatever was opened or spawned.
-func openTransport[T any](spec TransportSpec, shards int, payload string, c wire.Codec[T]) (dist.Transport[T], func(), error) {
+// tears down whatever was opened or spawned. A non-nil observer attaches
+// frame/byte counters to a socket transport's environment registry (the
+// other transports have no wire traffic to count).
+func openTransport[T any](spec TransportSpec, shards int, payload string, c wire.Codec[T], o *obs.Observer) (dist.Transport[T], func(), error) {
 	noop := func() {}
 	switch spec.Kind {
 	case "", "inprocess":
@@ -260,6 +263,9 @@ func openTransport[T any](spec TransportSpec, shards int, payload string, c wire
 				cluster.Close()
 			}
 			return nil, noop, err
+		}
+		if o != nil && o.Env != nil {
+			sock.SetMetrics(obs.NewWireMetrics(o.Env, shards))
 		}
 		return sock, func() {
 			sock.Close()

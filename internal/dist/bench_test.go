@@ -3,6 +3,8 @@ package dist
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // mix is a cheap splitmix-style scramble standing in for per-node compute.
@@ -73,6 +75,54 @@ func BenchmarkDistPhaseDelay(b *testing.B) {
 		})
 	}
 	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
+}
+
+// BenchmarkDistPhaseObs is the observability overhead guard: the
+// BenchmarkDistPhase workload with obs disabled (the nil-check baseline —
+// must match BenchmarkDistPhase/workers=1 and report 0 allocs/op), with the
+// metric counters on, and with a discarding tracer on top. CI smoke-runs all
+// three rows so an obs hook growing an allocation or a hidden cost on the
+// disabled path cannot land silently.
+func BenchmarkDistPhaseObs(b *testing.B) {
+	const n = 50_000
+	modes := []struct {
+		name string
+		obsv func() *obs.Observer
+	}{
+		{"off", func() *obs.Observer { return nil }},
+		{"metrics", func() *obs.Observer { return obs.NewObserver(obs.Options{}) }},
+		{"trace", func() *obs.Observer {
+			o := obs.NewObserver(obs.Options{})
+			// Discarding tracer: measures event construction and the emit
+			// call without growing a recording buffer across b.N phases.
+			o.Tracer = obs.TracerFunc(func(obs.Event) {})
+			return o
+		}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			net := NewNetwork[uint64](n, 1)
+			defer net.Close()
+			net.SetObserver(mode.obsv())
+			net.Phase(func(v int) { net.Send(v, (v+1)%n, uint64(v), 1) })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Phase(func(v int) {
+					h := uint64(v)
+					for _, e := range net.Recv(v) {
+						h = mix(h ^ e.Body)
+					}
+					for k := 0; k < 24; k++ {
+						h = mix(h)
+					}
+					net.Send(v, (v+1)%n, h, 1)
+					net.Send(v, (v+7919)%n, h>>32, 2)
+				})
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mnodes/s")
+		})
+	}
 }
 
 // BenchmarkDistSend measures a single-node 1024-message fan-out phase:

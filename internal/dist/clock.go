@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
 )
@@ -76,6 +77,9 @@ func (net *Network[T]) RunAsyncSched(steps int, seed uint64, sch AsyncSched, fn 
 	}
 	net.started = true
 	net.async = true
+	if net.obsv != nil {
+		net.obsv.Begin("dist", "run_async", net.phase, obs.I("steps", int64(steps)))
+	}
 	clock := rng.New(seed ^ 0xa0761d6478bd642f)
 	if sch.Adjacency == nil || sch.Pool == nil || sch.Pool.Size() <= 1 {
 		for t := 0; t < steps; t++ {
@@ -90,6 +94,12 @@ func (net *Network[T]) RunAsyncSched(steps int, seed uint64, sch AsyncSched, fn 
 	for k := 1; k < net.ringSize; k++ {
 		net.asyncDeliver()
 		net.phase++
+	}
+	if net.obsv != nil {
+		net.obsv.End("dist", "run_async", net.phase,
+			obs.I("messages", net.counter.Messages()),
+			obs.I("dropped", net.counter.Dropped()),
+			obs.I("rejected", net.counter.Rejected()))
 	}
 }
 
@@ -149,7 +159,6 @@ func (net *Network[T]) runAsyncBatched(steps int, clock *rng.RNG, sch AsyncSched
 	next := -1                            // one-firing lookahead buffer
 	for t := 0; t < steps; {
 		window, members = window[:0], members[:0]
-		f.Reset()
 		for t+len(window) < steps && len(window) < maxBatch {
 			if next < 0 {
 				next = clock.Intn(net.n)
@@ -184,6 +193,21 @@ func (net *Network[T]) runAsyncBatched(steps int, clock *rng.RNG, sch AsyncSched
 			}
 		}
 		t += len(window)
+		f.Reset()
+		if o := net.obsv; o != nil && len(window) > 0 {
+			// Batch-commit instant on the async tick clock. Window geometry
+			// depends on the pool size (maxBatch = 4×workers), so these
+			// events describe THIS execution — they are diagnostics, not part
+			// of the worker-count-invariant snapshot fingerprint.
+			st := f.Stats()
+			o.Instant("sched", "batch", net.phase,
+				obs.I("span", int64(len(window))),
+				obs.I("members", int64(len(members))),
+				obs.F("fill", float64(len(members))/float64(len(window))),
+				obs.I("batches", st.Batches),
+				obs.I("offered", st.Offered),
+				obs.I("admitted", st.Admitted))
+		}
 	}
 }
 

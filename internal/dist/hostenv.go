@@ -21,15 +21,20 @@ type HostEnv struct {
 	// GoMaxProcs is the effective GOMAXPROCS at capture time — the worker
 	// count the sweep's top row actually used.
 	GoMaxProcs int `json:"gomaxprocs"`
+	// OverheadOnly marks a capture on a single-CPU host: every worker-sweep
+	// row then measures pool/barrier overhead rather than parallel speedup,
+	// and downstream readers must not interpret the sweep as a scaling curve.
+	OverheadOnly bool `json:"overhead_only,omitempty"`
 }
 
 // CaptureHostEnv records the current process's host environment.
 func CaptureHostEnv() HostEnv {
 	return HostEnv{
-		Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
-		CPU:        cpuModel(),
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Go:           runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPU:          cpuModel(),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		OverheadOnly: runtime.NumCPU() == 1,
 	}
 }
 

@@ -44,6 +44,8 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
+
+	"repro/internal/obs"
 )
 
 // Envelope is one delivered message: the sender's node ID and the payload.
@@ -114,6 +116,16 @@ type Network[T any] struct {
 	specOwner   []int32
 	specBuf     [][]specSend[T]
 	pendingTo   []int32
+
+	// Observability (SetObserver): obsv drives phase/async trace events from
+	// the driving goroutine; metrics tallies per-logical-shard traffic. Both
+	// nil when observation is off — the hot paths pay one pointer test, and
+	// the zero-alloc guard in obs_test.go pins that the disabled paths
+	// allocate nothing. lastSent..lastRejected hold the counter totals at the
+	// previous phase boundary, for per-phase deltas on the phase-end event.
+	obsv    *obs.Observer
+	metrics *obs.NetMetrics
+	lastC   [4]int64
 }
 
 // specSend is one captured speculative Send, replayed at window commit.
@@ -268,6 +280,41 @@ func (net *Network[T]) SetMailboxCap(cap int) {
 // MailboxCap returns the per-mailbox capacity (0 = unbounded).
 func (net *Network[T]) MailboxCap() int { return net.mailboxCap }
 
+// SetObserver attaches an observability sink (nil detaches): trace events
+// on the network's logical clocks and per-logical-shard traffic metrics in
+// o.Reg. It must be called before the first Phase or RunAsync. Metric cells
+// shard by o's fixed logical shard count — never by the worker count — so
+// the registry contents stay bit-identical across worker counts, transports,
+// and async batch schedules.
+func (net *Network[T]) SetObserver(o *obs.Observer) {
+	if net.started {
+		panic("dist: SetObserver after the network started")
+	}
+	net.obsv = o
+	net.metrics = nil
+	if o != nil && o.Reg != nil {
+		net.metrics = obs.NewNetMetrics(o.Reg, net.n, o.Shards)
+	}
+}
+
+// phaseBegin/phaseEnd emit the synchronous barrier span, with the phase's
+// traffic deltas (from the worker-sharded Counter totals) attached to the
+// closing event. Driving goroutine only.
+func (net *Network[T]) phaseBegin() {
+	net.obsv.Begin("dist", "phase", net.phase, obs.I("phase", net.phase))
+}
+
+func (net *Network[T]) phaseEnd() {
+	c := net.counter
+	cur := [4]int64{c.Messages(), c.Words(), c.Dropped(), c.Rejected()}
+	net.obsv.End("dist", "phase", net.phase,
+		obs.I("sent", cur[0]-net.lastC[0]),
+		obs.I("words", cur[1]-net.lastC[1]),
+		obs.I("dropped", cur[2]-net.lastC[2]),
+		obs.I("rejected", cur[3]-net.lastC[3]))
+	net.lastC = cur
+}
+
 // Crash permanently fails node v: from the next phase (or async step) on it
 // executes no callbacks, and every message addressed to it is dropped at
 // send time — counted as sent and as dropped, because the sender did put it
@@ -301,6 +348,9 @@ func (net *Network[T]) Phase(fn func(v int)) {
 		panic("dist: Phase after RunAsync (the mailbox contracts differ)")
 	}
 	net.started = true
+	if net.obsv != nil {
+		net.phaseBegin()
+	}
 	crashed := net.crashed
 	net.pool.Run(func(w int) {
 		for v := net.bounds[w]; v < net.bounds[w+1]; v++ {
@@ -312,6 +362,9 @@ func (net *Network[T]) Phase(fn func(v int)) {
 	})
 	net.deliver()
 	net.phase++
+	if net.obsv != nil {
+		net.phaseEnd()
+	}
 }
 
 // Send stages one unreliable message from node from to node to; subject to
@@ -352,8 +405,14 @@ func (net *Network[T]) send(from, to int, body T, words int64, reliable bool) {
 	}
 	w := int(net.shardOf[from])
 	net.counter.add(w, words)
+	if nm := net.metrics; nm != nil {
+		nm.OnSend(from, words)
+	}
 	if net.crashed != nil && net.crashed[to] {
 		net.counter.drop(w)
+		if nm := net.metrics; nm != nil {
+			nm.OnDrop(from)
+		}
 		return
 	}
 	delay := 0
@@ -363,6 +422,9 @@ func (net *Network[T]) send(from, to int, body T, words int64, reliable bool) {
 		d, ok := net.model.Classify(from, to, seq)
 		if !ok {
 			net.counter.drop(w)
+			if nm := net.metrics; nm != nil {
+				nm.OnDrop(from)
+			}
 			return
 		}
 		if d < 0 || d >= net.ringSize {
@@ -455,10 +517,22 @@ func (net *Network[T]) deliver() {
 					clear(net.inbox[v][net.mailboxCap:]) // drop payload references
 					net.inbox[v] = net.inbox[v][:net.mailboxCap]
 					rejected += int64(over)
+					if nm := net.metrics; nm != nil {
+						nm.OnReject(v, int64(over))
+					}
 				}
 			}
 			if rejected > 0 {
 				net.counter.reject(w, rejected)
+			}
+		}
+		if nm := net.metrics; nm != nil {
+			// Delivered = what survived truncation; observations target the
+			// destination's logical shard, which is schedule-independent.
+			for v := lo; v < hi; v++ {
+				if c := len(net.inbox[v]); c > 0 {
+					nm.OnDeliver(v, int64(c))
+				}
 			}
 		}
 		for src := range net.out {

@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// TestPhaseEvents pins the phase span shape: one B/E pair per Phase on the
+// phase-number clock, with the End carrying the per-phase counter deltas.
+func TestPhaseEvents(t *testing.T) {
+	const n = 16
+	o := obs.NewObserver(obs.Options{Trace: true})
+	net := NewNetwork[int](n, 1)
+	defer net.Close()
+	net.SetObserver(o)
+	for p := 0; p < 3; p++ {
+		net.Phase(func(v int) { net.Send(v, (v+1)%n, v, 2) })
+	}
+	events := o.Events()
+	var spans int
+	for i, e := range events {
+		if e.Cat != "dist" || e.Name != "phase" {
+			continue
+		}
+		switch e.Kind {
+		case obs.KindBegin:
+			if e.Tick != int64(spans) {
+				t.Errorf("event %d: begin tick %d, want %d", i, e.Tick, spans)
+			}
+		case obs.KindEnd:
+			spans++
+			var sent, words int64
+			for _, a := range e.Args {
+				switch a.Key {
+				case "sent":
+					sent = a.Int
+				case "words":
+					words = a.Int
+				}
+			}
+			if sent != n || words != 2*n {
+				t.Errorf("event %d: phase delta sent=%d words=%d, want %d/%d", i, sent, words, n, 2*n)
+			}
+		}
+	}
+	if spans != 3 {
+		t.Fatalf("got %d phase spans, want 3", spans)
+	}
+}
+
+// TestRunAsyncSpanAndBatchEvents checks the async clocks: one run_async B/E
+// span, and with a batched schedule at least one sched/batch instant whose
+// fill ratio is consistent with its span/members args.
+func TestRunAsyncSpanAndBatchEvents(t *testing.T) {
+	const n = 64
+	adj := func(v int) []int32 {
+		return []int32{int32((v + 1) % n), int32((v + n - 1) % n)}
+	}
+	o := obs.NewObserver(obs.Options{Trace: true})
+	net := NewNetwork[int](n, 1)
+	defer net.Close()
+	net.SetObserver(o)
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	net.RunAsyncSched(500, 77, AsyncSched{Adjacency: adj, Pool: pool}, func(v int) {
+		for range net.Recv(v) {
+		}
+		net.Send(v, (v+1)%n, v, 1)
+	})
+	var begins, ends, batches int
+	for _, e := range o.Events() {
+		switch {
+		case e.Cat == "dist" && e.Name == "run_async" && e.Kind == obs.KindBegin:
+			begins++
+		case e.Cat == "dist" && e.Name == "run_async" && e.Kind == obs.KindEnd:
+			ends++
+		case e.Cat == "sched" && e.Name == "batch":
+			batches++
+			var span, members int64
+			var fill float64
+			for _, a := range e.Args {
+				switch a.Key {
+				case "span":
+					span = a.Int
+				case "members":
+					members = a.Int
+				case "fill":
+					fill = a.Float
+				}
+			}
+			if span <= 0 || members > span {
+				t.Fatalf("batch event span=%d members=%d", span, members)
+			}
+			if want := float64(members) / float64(span); fill != want {
+				t.Fatalf("batch event fill=%v, want %v", fill, want)
+			}
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Fatalf("run_async spans B=%d E=%d, want 1/1", begins, ends)
+	}
+	if batches == 0 {
+		t.Fatal("batched async run emitted no sched/batch instants")
+	}
+}
+
+// TestHostEnvOverheadOnly pins satellite (a): a single-CPU capture is
+// self-identifying via the overhead_only JSON field, and the field is
+// omitted on multi-CPU hosts.
+func TestHostEnvOverheadOnly(t *testing.T) {
+	env := CaptureHostEnv()
+	if env.OverheadOnly != (env.NumCPU == 1) {
+		t.Fatalf("OverheadOnly=%v with NumCPU=%d", env.OverheadOnly, env.NumCPU)
+	}
+	data, err := json.Marshal(HostEnv{NumCPU: 1, GoMaxProcs: 1, OverheadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["overhead_only"] != true {
+		t.Fatalf("overhead_only missing from %s", data)
+	}
+	data, _ = json.Marshal(HostEnv{NumCPU: 8, GoMaxProcs: 8})
+	var m2 map[string]any
+	if err := json.Unmarshal(data, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := m2["overhead_only"]; present {
+		t.Fatalf("overhead_only should be omitted on multi-CPU capture: %s", data)
+	}
+}
+
+// TestPhaseHotPathNoObsAllocs is the zero-overhead-when-off guard in test
+// form: with no observer attached, a phase that sends on every node must not
+// allocate on behalf of the obs layer. The bound covers the network's own
+// steady-state allocations (mailbox growth is warmed away); the obs nil
+// checks must add zero.
+func TestPhaseHotPathNoObsAllocs(t *testing.T) {
+	const n = 256
+	net := NewNetwork[uint64](n, 1)
+	defer net.Close()
+	phase := func() {
+		net.Phase(func(v int) {
+			for _, e := range net.Recv(v) {
+				_ = e
+			}
+			net.Send(v, (v+1)%n, uint64(v), 1)
+		})
+	}
+	// Warm: let mailboxes, outboxes, and scratch reach steady state.
+	for i := 0; i < 8; i++ {
+		phase()
+	}
+	// The budget covers the pre-obs steady state (phase closure + pool run,
+	// ~3 allocations regardless of n); a hook that allocated per node or per
+	// message would show up as hundreds on this 256-node workload.
+	if avg := testing.AllocsPerRun(20, phase); avg > 6 {
+		t.Fatalf("unobserved phase allocates %.1f times per phase", avg)
+	}
+}

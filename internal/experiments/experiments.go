@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config controls experiment scale and reproducibility.
@@ -39,6 +40,12 @@ type Config struct {
 	// experiment. The backends are bit-identical, so like Transport and
 	// Parallel this changes throughput, never a table.
 	StateBackend string
+	// Obs, when non-nil, attaches the observability layer to every run on
+	// the dist runtime (currently F9 and F10): events accumulate in its
+	// trace and the metric registries tally across the whole sweep
+	// (registration is idempotent, counters are cumulative). Observation
+	// never changes a table.
+	Obs *obs.Observer
 }
 
 func (c Config) scale() float64 {

@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // tiny is the smallest config that still exercises every code path.
@@ -168,6 +170,32 @@ func TestF9Smoke(t *testing.T) {
 func TestF10Smoke(t *testing.T) {
 	tb, err := F10LossAblation(tiny)
 	checkTable(t, tb, err, 6)
+}
+
+// TestObsNeverChangesTable pins Config.Obs's contract: attaching an
+// observer to a dist-runtime experiment accumulates events and metric
+// snapshots without changing a cell of the table.
+func TestObsNeverChangesTable(t *testing.T) {
+	bare, err := F9AsyncGossip(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tiny
+	cfg.Obs = obs.NewObserver(obs.Options{Trace: true})
+	observed, err := F9AsyncGossip(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Markdown() != observed.Markdown() {
+		t.Errorf("observation changed the table:\n--- bare ---\n%s\n--- observed ---\n%s",
+			bare.Markdown(), observed.Markdown())
+	}
+	if len(cfg.Obs.Events()) == 0 {
+		t.Error("observer attached to F9 recorded no events")
+	}
+	if len(cfg.Obs.Snapshots()) == 0 {
+		t.Error("observer attached to F9 recorded no snapshots")
+	}
 }
 
 // TestF10Shape pins the acceptance claim of the loss ablation at smoke

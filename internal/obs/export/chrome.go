@@ -1,0 +1,97 @@
+// Package export serialises repro/internal/obs data for external tooling:
+// Chrome trace_event JSON (chrome://tracing, Perfetto), Prometheus-style
+// text exposition, and a live HTTP introspection handler for long-lived
+// daemons.
+//
+// This package is the one place observability may touch the wall clock (the
+// HTTP handler's uptime reading); it is registered as an ordered-output —
+// not deterministic — package in repro/internal/analysis/config.go, so the
+// wallclock analyzer keeps enforcing everywhere else while the file writers
+// here stay byte-deterministic (they serialise logical clocks only).
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// tickScale maps one logical tick to trace microseconds, spreading spans so
+// per-phase events stay readable in the viewer.
+const tickScale = 1000
+
+// chromeEvent is one trace_event record. Args is a map, which
+// encoding/json serialises with sorted keys — deterministic output without
+// any map iteration in this package.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object format of the trace_event spec.
+type chromeTrace struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+}
+
+// WriteChromeTrace writes the events as Chrome trace_event JSON. Timestamps
+// are logical ticks scaled by tickScale; each event category becomes one
+// trace "process" (named via process_name metadata), in first-appearance
+// order. The output is a pure function of the event sequence.
+func WriteChromeTrace(w io.Writer, events []obs.Event) error {
+	pidOf := make(map[string]int)
+	var trace chromeTrace
+	for _, e := range events {
+		pid, ok := pidOf[e.Cat]
+		if !ok {
+			pid = len(pidOf) + 1
+			pidOf[e.Cat] = pid
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": e.Cat},
+			})
+		}
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ts:   e.Tick * tickScale,
+			Pid:  pid,
+			Tid:  1,
+		}
+		switch e.Kind {
+		case obs.KindBegin:
+			ce.Ph = "B"
+		case obs.KindEnd:
+			ce.Ph = "E"
+		default:
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		if len(e.Args) > 0 {
+			args := make(map[string]any, len(e.Args))
+			for _, a := range e.Args {
+				if a.IsFloat {
+					args[a.Key] = a.Float
+				} else {
+					args[a.Key] = a.Int
+				}
+			}
+			ce.Args = args
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ce)
+	}
+	trace.Metadata = map[string]string{
+		"clock": "logical",
+		"unit":  fmt.Sprintf("1 tick = %d trace-us", tickScale),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

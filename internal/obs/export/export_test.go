@@ -1,0 +1,162 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func sampleObserver() *obs.Observer {
+	o := obs.NewObserver(obs.Options{Trace: true, Shards: 2})
+	c := o.Reg.Counter("dist_sent_total", 2)
+	c.Add(0, 10)
+	c.Add(1, 20)
+	g := o.Reg.Gauge("core_shard_mass", 2)
+	g.Set(0, 1.5)
+	g.Set(1, 2.5)
+	h := o.Reg.Histogram("core_state_nnz", []float64{1, 4})
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(99)
+	o.Env.Counter("wire_frames_total", 1).Add(0, 7)
+	o.Begin("dist", "phase", 0, obs.I("phase", 0))
+	o.End("dist", "phase", 1, obs.I("sent", 30))
+	o.Instant("core", "round", 1, obs.F("mass", 4.0))
+	o.Snap(1)
+	return o
+}
+
+// TestChromeTraceParses validates the trace_event output end to end: parses
+// as JSON, contains matched B/E phase spans and category metadata.
+func TestChromeTraceParses(t *testing.T) {
+	o := sampleObserver()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, o.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]string `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	var begins, ends, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "B":
+			begins++
+			if e.Name != "phase" || e.Cat != "dist" {
+				t.Errorf("unexpected begin event %+v", e)
+			}
+		case "E":
+			ends++
+		case "i":
+			instants++
+		}
+	}
+	if begins != 1 || ends != 1 || instants != 1 {
+		t.Fatalf("span counts B=%d E=%d i=%d, want 1/1/1", begins, ends, instants)
+	}
+	if doc.Metadata["clock"] != "logical" {
+		t.Fatalf("metadata missing logical clock marker: %v", doc.Metadata)
+	}
+}
+
+// TestChromeTraceDeterministic: the writer is a pure function of the event
+// sequence.
+func TestChromeTraceDeterministic(t *testing.T) {
+	o := sampleObserver()
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, o.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, o.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("trace output differs between identical writes")
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	o := sampleObserver()
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE dist_sent_total counter",
+		`dist_sent_total{shard="0"} 10`,
+		`dist_sent_total{shard="1"} 20`,
+		`core_shard_mass{shard="1"} 2.5`,
+		`core_state_nnz_bucket{le="1"} 1`,
+		`core_state_nnz_bucket{le="4"} 2`,
+		`core_state_nnz_bucket{le="+Inf"} 3`,
+		"core_state_nnz_count 3",
+		"wire_frames_total 7",
+		"# round=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPHandlerEndpoints(t *testing.T) {
+	o := sampleObserver()
+	h := Handler(HTTPOptions{
+		Observer: o,
+		Extra:    func() []obs.KV { return []obs.KV{{Key: "wire_server_connections", Val: 3}} },
+	})
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/debug/obs")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/obs: status %d", rec.Code)
+	}
+	var ov map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &ov); err != nil {
+		t.Fatalf("/debug/obs JSON: %v", err)
+	}
+	if ov["snapshots"].(float64) != 1 || ov["events"].(float64) != 3 {
+		t.Fatalf("/debug/obs overview wrong: %v", ov)
+	}
+
+	rec = get("/debug/obs/metrics")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "dist_sent_total") ||
+		!strings.Contains(rec.Body.String(), "wire_server_connections 3") {
+		t.Fatalf("/debug/obs/metrics: status %d body %q", rec.Code, rec.Body.String())
+	}
+
+	rec = get("/debug/obs/trace")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/obs/trace: status %d", rec.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/debug/obs/trace JSON: %v", err)
+	}
+
+	rec = get("/debug/pprof/")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/: status %d", rec.Code)
+	}
+}

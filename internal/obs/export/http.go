@@ -1,0 +1,100 @@
+package export
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// HTTPOptions configures the live introspection handler.
+type HTTPOptions struct {
+	// Observer supplies the registries, snapshots, and trace the endpoints
+	// expose. May be nil (a daemon with environment stats only).
+	Observer *obs.Observer
+	// Extra, when non-nil, is polled per request for live environment
+	// readings (e.g. a wire daemon's connection and frame counts); they are
+	// appended to /debug/obs and /debug/obs/metrics.
+	Extra func() []obs.KV
+}
+
+// obsOverview is the /debug/obs JSON document.
+type obsOverview struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Shards        int               `json:"shards,omitempty"`
+	Events        int               `json:"events"`
+	Snapshots     int               `json:"snapshots"`
+	Latest        *obs.Snapshot     `json:"latest,omitempty"`
+	Extra         []obs.KV          `json:"extra,omitempty"`
+	Endpoints     map[string]string `json:"endpoints"`
+}
+
+// Handler builds the /debug/obs + pprof introspection mux:
+//
+//	/debug/obs          JSON overview (uptime, latest snapshot, extras)
+//	/debug/obs/metrics  Prometheus-style text exposition (Reg + Env + extras)
+//	/debug/obs/trace    Chrome trace_event JSON of the recorded events
+//	/debug/pprof/...    the standard runtime profiles
+//
+// It is intended for long-lived daemons (lbcluster serve) and for
+// inspection after a run; concurrent requests only read atomics and
+// driving-goroutine-owned slices that are stable between rounds.
+func Handler(opt HTTPOptions) http.Handler {
+	// Uptime is the one wall-clock reading of the obs layer; it exists only
+	// in this HTTP view and never reaches a transcript or a file exporter.
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, req *http.Request) {
+		o := opt.Observer
+		ov := obsOverview{
+			UptimeSeconds: time.Since(start).Seconds(),
+			Endpoints: map[string]string{
+				"metrics": "/debug/obs/metrics",
+				"trace":   "/debug/obs/trace",
+				"pprof":   "/debug/pprof/",
+			},
+		}
+		if o != nil {
+			ov.Shards = o.Shards
+			ov.Events = len(o.Events())
+			snaps := o.Snapshots()
+			ov.Snapshots = len(snaps)
+			if len(snaps) > 0 {
+				ov.Latest = &snaps[len(snaps)-1]
+			}
+		}
+		if opt.Extra != nil {
+			ov.Extra = opt.Extra()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ov)
+	})
+	mux.HandleFunc("/debug/obs/metrics", func(w http.ResponseWriter, req *http.Request) {
+		var b []byte
+		if o := opt.Observer; o != nil {
+			b = AppendProm(b, o.Reg)
+			b = AppendProm(b, o.Env)
+		}
+		if opt.Extra != nil {
+			b = AppendExtras(b, opt.Extra())
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Write(b)
+	})
+	mux.HandleFunc("/debug/obs/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var events []obs.Event
+		if o := opt.Observer; o != nil {
+			events = o.Events()
+		}
+		WriteChromeTrace(w, events)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,120 @@
+package export
+
+import (
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// appendFloat renders a float in the shortest exact form, matching the
+// snapshot fingerprint encoding.
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendSample renders one `name{shard="i"} value` sample (the label is
+// omitted for single-cell metrics).
+func appendSample(b []byte, name string, cellIdx, cells int, renderVal func([]byte) []byte) []byte {
+	b = append(b, name...)
+	if cells > 1 {
+		b = append(b, `{shard="`...)
+		b = strconv.AppendInt(b, int64(cellIdx), 10)
+		b = append(b, `"}`...)
+	}
+	b = append(b, ' ')
+	b = renderVal(b)
+	return append(b, '\n')
+}
+
+// AppendProm appends a Prometheus-style text exposition of the registry's
+// current values: counters and gauges one sample per shard cell, histograms
+// in the cumulative `_bucket{le=...}` + `_count` form. Output is a pure
+// function of the registry contents (registration order, exact values).
+func AppendProm(b []byte, r *obs.Registry) []byte {
+	if r == nil {
+		return b
+	}
+	s := r.Snapshot(0)
+	for _, c := range s.Counters {
+		b = append(b, "# TYPE "...)
+		b = append(b, c.Name...)
+		b = append(b, " counter\n"...)
+		for i, v := range c.Cells {
+			v := v
+			b = appendSample(b, c.Name, i, len(c.Cells), func(b []byte) []byte {
+				return strconv.AppendInt(b, v, 10)
+			})
+		}
+	}
+	for _, g := range s.Gauges {
+		b = append(b, "# TYPE "...)
+		b = append(b, g.Name...)
+		b = append(b, " gauge\n"...)
+		for i, v := range g.Cells {
+			v := v
+			b = appendSample(b, g.Name, i, len(g.Cells), func(b []byte) []byte {
+				return appendFloat(b, v)
+			})
+		}
+	}
+	for _, h := range s.Hists {
+		b = append(b, "# TYPE "...)
+		b = append(b, h.Name...)
+		b = append(b, " histogram\n"...)
+		var cum int64
+		for i, cnt := range h.Counts {
+			cum += cnt
+			b = append(b, h.Name...)
+			b = append(b, `_bucket{le="`...)
+			if i < len(h.Bounds) {
+				b = appendFloat(b, h.Bounds[i])
+			} else {
+				b = append(b, "+Inf"...)
+			}
+			b = append(b, `"} `...)
+			b = strconv.AppendInt(b, cum, 10)
+			b = append(b, '\n')
+		}
+		b = append(b, h.Name...)
+		b = append(b, "_count "...)
+		b = strconv.AppendInt(b, cum, 10)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// AppendExtras appends live environment readings as untyped samples.
+func AppendExtras(b []byte, extras []obs.KV) []byte {
+	for _, kv := range extras {
+		b = append(b, kv.Key...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, kv.Val, 10)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// WriteMetrics writes the full metrics artifact for an observer: the
+// deterministic registry, the environment registry, and the per-round
+// snapshot log as trailing comment lines (so the file stays parseable as
+// Prometheus text exposition).
+func WriteMetrics(w io.Writer, o *obs.Observer) error {
+	var b []byte
+	if o != nil {
+		b = AppendProm(b, o.Reg)
+		b = AppendProm(b, o.Env)
+		if snaps := o.Snapshots(); len(snaps) > 0 {
+			b = append(b, "# per-round snapshots (canonical fingerprint encoding)\n"...)
+			text := strings.TrimSuffix(obs.SnapshotsText(snaps), "\n")
+			for _, line := range strings.Split(text, "\n") {
+				b = append(b, "# "...)
+				b = append(b, line...)
+				b = append(b, '\n')
+			}
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}

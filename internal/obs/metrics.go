@@ -1,0 +1,154 @@
+package obs
+
+// Deterministic metric names registered by the runtime hooks. The per-shard
+// cells of the dist counters are keyed by the sender's (sent/words/dropped)
+// or destination's (delivered/rejected) logical shard.
+const (
+	MetricSent      = "dist_sent_total"
+	MetricWords     = "dist_words_total"
+	MetricDropped   = "dist_dropped_total"
+	MetricDelivered = "dist_delivered_total"
+	MetricRejected  = "dist_rejected_total"
+
+	MetricMass      = "core_shard_mass"
+	MetricNNZ       = "core_shard_nnz"
+	MetricImbalance = "core_load_imbalance"
+	MetricMaxState  = "core_max_state"
+	MetricStateNNZ  = "core_state_nnz"
+
+	// Environment metrics (Env registry): cells are wire worker shards,
+	// which DO vary with the worker count — deliberately excluded from the
+	// deterministic snapshot fingerprint.
+	MetricWireFrames = "wire_frames_total"
+	MetricWireBytes  = "wire_bytes_total"
+)
+
+// NetMetrics is the dist.Network hook bundle: per-logical-shard traffic
+// tallies. Each observation is keyed by a node's ShardMap shard, so every
+// cell is a sum of schedule-independent contributions and the whole bundle
+// is bit-identical across worker counts, transports, and batch schedules.
+type NetMetrics struct {
+	m         *ShardMap
+	sent      *Counter
+	words     *Counter
+	dropped   *Counter
+	delivered *Counter
+	rejected  *Counter
+}
+
+// NewNetMetrics registers (or reuses) the dist traffic metrics for an
+// n-node network in r, sharded over the given logical shard count.
+func NewNetMetrics(r *Registry, n, shards int) *NetMetrics {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	return &NetMetrics{
+		m:         NewShardMap(n, shards),
+		sent:      r.Counter(MetricSent, shards),
+		words:     r.Counter(MetricWords, shards),
+		dropped:   r.Counter(MetricDropped, shards),
+		delivered: r.Counter(MetricDelivered, shards),
+		rejected:  r.Counter(MetricRejected, shards),
+	}
+}
+
+// OnSend tallies one message of the given word size against the sender's
+// logical shard.
+func (nm *NetMetrics) OnSend(from int, words int64) {
+	s := nm.m.Of(from)
+	nm.sent.Add(s, 1)
+	nm.words.Add(s, words)
+}
+
+// OnDrop tallies one substrate-lost message against the sender's shard.
+func (nm *NetMetrics) OnDrop(from int) {
+	nm.dropped.Add(nm.m.Of(from), 1)
+}
+
+// OnDeliver tallies k messages landing in node to's mailbox.
+func (nm *NetMetrics) OnDeliver(to int, k int64) {
+	nm.delivered.Add(nm.m.Of(to), k)
+}
+
+// OnReject tallies k mailbox-overflow rejections at node to.
+func (nm *NetMetrics) OnReject(to int, k int64) {
+	nm.rejected.Add(nm.m.Of(to), k)
+}
+
+// nnzBounds are the state-size histogram buckets (entries per node state).
+var nnzBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+
+// EngineMetrics is the core engine hook bundle: per-logical-shard node-state
+// mass and nnz gauges, the load-imbalance ratio, and a state-size histogram.
+// All values are written by observeRound's serial ascending-node scan on the
+// driving goroutine, so determinism is by construction.
+type EngineMetrics struct {
+	m         *ShardMap
+	mass      *Gauge
+	nnz       *Gauge
+	imbalance *Gauge
+	maxState  *Gauge
+	stateNNZ  *Histogram
+}
+
+// NewEngineMetrics registers (or reuses) the engine metrics for an n-node
+// engine in r, sharded over the given logical shard count.
+func NewEngineMetrics(r *Registry, n, shards int) *EngineMetrics {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	return &EngineMetrics{
+		m:         NewShardMap(n, shards),
+		mass:      r.Gauge(MetricMass, shards),
+		nnz:       r.Gauge(MetricNNZ, shards),
+		imbalance: r.Gauge(MetricImbalance, 1),
+		maxState:  r.Gauge(MetricMaxState, 1),
+		stateNNZ:  r.Histogram(MetricStateNNZ, nnzBounds),
+	}
+}
+
+// Bounds returns the logical shard boundary list for the engine's node
+// range, so the caller can scan shard by shard.
+func (em *EngineMetrics) Bounds() []int { return em.m.Bounds() }
+
+// SetShard stores one shard's scanned mass and nnz.
+func (em *EngineMetrics) SetShard(s int, mass float64, nnz int64) {
+	em.mass.Set(s, mass)
+	em.nnz.Set(s, float64(nnz))
+}
+
+// SetSummary stores the scalar round summary: the load-imbalance ratio
+// (max shard nnz / mean shard nnz) and the maximum per-node state size.
+func (em *EngineMetrics) SetSummary(imbalance float64, maxState int64) {
+	em.imbalance.Set(0, imbalance)
+	em.maxState.Set(0, float64(maxState))
+}
+
+// ObserveNNZ tallies one node's state entry count into the histogram.
+func (em *EngineMetrics) ObserveNNZ(k int) {
+	em.stateNNZ.Observe(float64(k))
+}
+
+// WireMetrics is the wire.Socket hook bundle: frames and bytes flushed per
+// destination worker shard. Worker shards vary with the worker count, so
+// this bundle registers into an Observer's Env registry, never Reg.
+type WireMetrics struct {
+	frames *Counter
+	bytes  *Counter
+}
+
+// NewWireMetrics registers (or reuses) the socket metrics with one cell per
+// worker shard.
+func NewWireMetrics(r *Registry, shards int) *WireMetrics {
+	return &WireMetrics{
+		frames: r.Counter(MetricWireFrames, shards),
+		bytes:  r.Counter(MetricWireBytes, shards),
+	}
+}
+
+// OnFlush tallies one barrier round-trip of the given total byte size on a
+// destination shard's connection.
+func (wm *WireMetrics) OnFlush(shard int, bytes int64) {
+	wm.frames.Add(shard, 1)
+	wm.bytes.Add(shard, bytes)
+}

@@ -1,0 +1,211 @@
+// Package obs is the repo's deterministic-first observability layer: event
+// tracing on the runtime's logical clocks, per-round metric snapshots, and
+// the data model the exporters in repro/internal/obs/export serialise.
+//
+// The package is transcript-adjacent, so it lives under the determinism
+// contract itself (it is listed in repro/internal/analysis's deterministic
+// packages). Two design rules make observation safe:
+//
+//   - Trace events are emitted only from the driving goroutine — phase
+//     barriers, engine round ends, async window commits — and timestamped by
+//     logical clocks (dist phase number, async tick, engine round), never by
+//     wall time. Per-message observations flow through sharded atomic
+//     counters instead of events, so worker scheduling can never reorder the
+//     event stream.
+//   - Metrics shard by a FIXED logical shard count (ShardMap), not by the
+//     worker count: integer atomic adds commute, so the per-cell tallies are
+//     bit-identical for any worker count, transport, and async batch
+//     schedule. Float-valued metrics (mass, imbalance) are computed at
+//     snapshot time by serial ascending-node scans on the driving goroutine.
+//
+// Everything here is optional and nil-safe: a nil *Observer (and nil metric
+// bundles at the instrumented call sites) compiles to a pointer test on the
+// hot paths, pinned by the zero-alloc guard in repro/internal/dist.
+package obs
+
+// DefaultShards is the logical shard count metrics use when Options.Shards
+// is unset. It is fixed (not derived from the worker count) on purpose: the
+// per-shard tallies are part of the deterministic snapshot fingerprint.
+const DefaultShards = 8
+
+// EventKind distinguishes span boundaries from point events, mirroring the
+// Chrome trace_event phases the exporter maps them to.
+type EventKind uint8
+
+const (
+	// KindBegin opens a span (Chrome "B").
+	KindBegin EventKind = iota
+	// KindEnd closes the innermost open span of the same Cat/Name ("E").
+	KindEnd
+	// KindInstant is a point event ("i").
+	KindInstant
+)
+
+// Arg is one key/value attachment of an Event: an int64 or a float64.
+// A fixed struct (rather than any) keeps event emission allocation-free
+// beyond the args slice itself.
+type Arg struct {
+	Key     string
+	Int     int64
+	Float   float64
+	IsFloat bool
+}
+
+// I makes an integer event argument.
+func I(key string, v int64) Arg { return Arg{Key: key, Int: v} }
+
+// F makes a float event argument.
+func F(key string, v float64) Arg { return Arg{Key: key, Float: v, IsFloat: true} }
+
+// Event is one trace record on a logical clock. Cat groups events into
+// exporter processes ("dist", "core", "sched", "wire"); Tick is the value of
+// whichever logical clock owns the category (dist phase number, engine
+// round, async schedule step).
+type Event struct {
+	Cat  string
+	Name string
+	Kind EventKind
+	Tick int64
+	Args []Arg
+}
+
+// Tracer consumes events. Implementations are called only from the driving
+// goroutine and must not block.
+type Tracer interface {
+	Emit(Event)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(Event)
+
+// Emit implements Tracer.
+func (f TracerFunc) Emit(e Event) { f(e) }
+
+// Trace is the recording Tracer: it retains every event in emission order
+// (which the driving-goroutine-only rule makes deterministic).
+type Trace struct {
+	events []Event
+}
+
+// Emit implements Tracer.
+func (t *Trace) Emit(e Event) { t.events = append(t.events, e) }
+
+// Events returns the recorded events in emission order. The slice is owned
+// by the Trace; callers must not mutate it.
+func (t *Trace) Events() []Event { return t.events }
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// KV is one named integer reading, the currency of live environment stats
+// (e.g. a wire daemon's connection count) that exporters append to metric
+// output without registering a metric.
+type KV struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// Options configures NewObserver.
+type Options struct {
+	// Trace, when true, installs a recording *Trace as the Tracer.
+	Trace bool
+	// Shards is the logical shard count for per-shard metrics; <= 0 means
+	// DefaultShards.
+	Shards int
+}
+
+// Observer bundles the three observation channels the runtime hooks feed:
+// an optional Tracer, the deterministic metric Registry (Reg — everything in
+// it is part of the snapshot fingerprint), and the environment Registry (Env
+// — worker-count- or wire-dependent readings like socket frames/bytes,
+// excluded from deterministic snapshots). A nil *Observer disables
+// everything; all methods are nil-safe.
+type Observer struct {
+	Tracer Tracer
+	// Reg holds deterministic metrics: bit-identical across worker counts,
+	// transports, and async batch schedules. Snap fingerprints only Reg.
+	Reg *Registry
+	// Env holds environment-dependent metrics (wire frames/bytes vary with
+	// the worker-shard count); exporters include it, snapshots do not.
+	Env *Registry
+	// Shards is the logical shard count metric bundles built against this
+	// observer use; <= 0 is treated as DefaultShards.
+	Shards int
+
+	snaps []Snapshot
+}
+
+// NewObserver creates an observer with fresh registries (and a recording
+// trace when opt.Trace is set).
+func NewObserver(opt Options) *Observer {
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	o := &Observer{Reg: NewRegistry(), Env: NewRegistry(), Shards: shards}
+	if opt.Trace {
+		o.Tracer = &Trace{}
+	}
+	return o
+}
+
+// shards returns the effective logical shard count.
+func (o *Observer) shards() int {
+	if o.Shards <= 0 {
+		return DefaultShards
+	}
+	return o.Shards
+}
+
+// Begin emits a span-open event. No-op on a nil observer or tracer.
+func (o *Observer) Begin(cat, name string, tick int64, args ...Arg) {
+	o.emit(Event{Cat: cat, Name: name, Kind: KindBegin, Tick: tick, Args: args})
+}
+
+// End emits a span-close event. No-op on a nil observer or tracer.
+func (o *Observer) End(cat, name string, tick int64, args ...Arg) {
+	o.emit(Event{Cat: cat, Name: name, Kind: KindEnd, Tick: tick, Args: args})
+}
+
+// Instant emits a point event. No-op on a nil observer or tracer.
+func (o *Observer) Instant(cat, name string, tick int64, args ...Arg) {
+	o.emit(Event{Cat: cat, Name: name, Kind: KindInstant, Tick: tick, Args: args})
+}
+
+func (o *Observer) emit(e Event) {
+	if o == nil || o.Tracer == nil {
+		return
+	}
+	o.Tracer.Emit(e)
+}
+
+// Snap records a deterministic snapshot of Reg under the given round (or
+// tick) stamp. Call it from the driving goroutine at round boundaries.
+// No-op on a nil observer or registry.
+func (o *Observer) Snap(round int64) {
+	if o == nil || o.Reg == nil {
+		return
+	}
+	o.snaps = append(o.snaps, o.Reg.Snapshot(round))
+}
+
+// Snapshots returns the recorded snapshots in order. The slice is owned by
+// the observer.
+func (o *Observer) Snapshots() []Snapshot {
+	if o == nil {
+		return nil
+	}
+	return o.snaps
+}
+
+// Events returns the recorded trace events when the Tracer is a recording
+// *Trace, and nil otherwise.
+func (o *Observer) Events() []Event {
+	if o == nil {
+		return nil
+	}
+	if t, ok := o.Tracer.(*Trace); ok {
+		return t.Events()
+	}
+	return nil
+}

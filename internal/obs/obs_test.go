@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestShardMapMatchesPartitionRule pins the logical shard rule to the same
+// contiguous balanced split as sched.Partition: bounds[s] = s*n/shards.
+func TestShardMapMatchesPartitionRule(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{0, 8}, {1, 8}, {7, 8}, {8, 8}, {100, 8}, {101, 3}, {5, 1},
+	} {
+		m := NewShardMap(tc.n, tc.shards)
+		b := m.Bounds()
+		if len(b) != tc.shards+1 || b[0] != 0 || b[tc.shards] != tc.n {
+			t.Fatalf("n=%d shards=%d: bad bounds %v", tc.n, tc.shards, b)
+		}
+		for s := 0; s < tc.shards; s++ {
+			if want := s * tc.n / tc.shards; b[s] != want {
+				t.Errorf("n=%d shards=%d: bounds[%d] = %d, want %d", tc.n, tc.shards, s, b[s], want)
+			}
+			for v := b[s]; v < b[s+1]; v++ {
+				if m.Of(v) != s {
+					t.Fatalf("n=%d shards=%d: Of(%d) = %d, want %d", tc.n, tc.shards, v, m.Of(v), s)
+				}
+			}
+		}
+	}
+}
+
+// TestCounterConcurrentAddsDeterministic checks the commutativity argument:
+// the same multiset of (cell, delta) observations yields identical cells no
+// matter how they are interleaved across goroutines.
+func TestCounterConcurrentAddsDeterministic(t *testing.T) {
+	run := func(goroutines int) []int64 {
+		r := NewRegistry()
+		c := r.Counter("t", 8)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < 4096; i += goroutines {
+					c.Add(i%8, int64(i))
+				}
+			}(g)
+		}
+		wg.Wait()
+		return c.Cells()
+	}
+	want := run(1)
+	for _, g := range []int{2, 8} {
+		got := run(g)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("goroutines=%d: cell %d = %d, want %d", g, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRegistryIdempotentReuse(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x", 4)
+	c1.Add(1, 5)
+	if c2 := r.Counter("x", 4); c2 != c1 {
+		t.Fatal("re-registration did not return the existing counter")
+	}
+	if got := r.Counter("x", 4).Cell(1); got != 5 {
+		t.Fatalf("reused counter lost state: %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	r.Counter("x", 8)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2, 2} // <=1: {0,1}; <=2: {1.5,2}; <=4: {3,4}; over: {5,100}
+	got := h.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestSnapshotTextCanonical pins the fingerprint encoding: registration
+// order, exact integers, shortest-round-trip floats.
+func TestSnapshotTextCanonical(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("msgs", 2)
+	g := r.Gauge("mass", 2)
+	h := r.Histogram("sizes", []float64{1})
+	c.Add(0, 3)
+	c.Add(1, 4)
+	g.Set(0, 0.1)
+	g.Set(1, 2)
+	h.Observe(0.5)
+	h.Observe(9)
+	got := SnapshotsText([]Snapshot{r.Snapshot(7)})
+	want := "round=7\ncounter msgs 3 4\ngauge mass 0.1 2\nhist sizes 1 1\n"
+	if got != want {
+		t.Fatalf("snapshot text:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestObserverNilSafe: every method must be a no-op on a nil observer (the
+// disabled configuration of every hook).
+func TestObserverNilSafe(t *testing.T) {
+	var o *Observer
+	o.Begin("c", "n", 0)
+	o.End("c", "n", 0)
+	o.Instant("c", "n", 0, I("k", 1), F("f", 0.5))
+	o.Snap(0)
+	if o.Snapshots() != nil || o.Events() != nil {
+		t.Fatal("nil observer returned data")
+	}
+}
+
+func TestObserverTraceOrder(t *testing.T) {
+	o := NewObserver(Options{Trace: true})
+	o.Begin("dist", "phase", 0, I("phase", 0))
+	o.Instant("core", "round", 1, F("mass", 12.5))
+	o.End("dist", "phase", 1)
+	ev := o.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	if ev[0].Kind != KindBegin || ev[1].Kind != KindInstant || ev[2].Kind != KindEnd {
+		t.Fatalf("event kinds out of order: %+v", ev)
+	}
+	if ev[1].Args[0].Key != "mass" || !ev[1].Args[0].IsFloat || ev[1].Args[0].Float != 12.5 {
+		t.Fatalf("instant args wrong: %+v", ev[1].Args)
+	}
+}
+
+func TestObserverSnapshots(t *testing.T) {
+	o := NewObserver(Options{})
+	c := o.Reg.Counter("x", 2)
+	c.Add(0, 1)
+	o.Snap(1)
+	c.Add(1, 2)
+	o.Snap(2)
+	text := SnapshotsText(o.Snapshots())
+	if !strings.Contains(text, "round=1\ncounter x 1 0\n") ||
+		!strings.Contains(text, "round=2\ncounter x 1 2\n") {
+		t.Fatalf("snapshot sequence wrong:\n%s", text)
+	}
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// cell is one padded atomic tally slot, the same cache-line discipline as
+// dist's counter shards: concurrent adds on different cells never contend.
+type cell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotone integer metric sharded over a fixed number of cells
+// (logical shards, not workers). Adds are atomic and commutative, so the
+// per-cell totals are deterministic for any execution schedule as long as
+// each observation targets a schedule-independent cell — which is what
+// ShardMap provides.
+type Counter struct {
+	name  string
+	cells []cell
+}
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Add adds delta to one cell.
+func (c *Counter) Add(cellIdx int, delta int64) {
+	c.cells[cellIdx].v.Add(delta)
+}
+
+// Cell returns one cell's current value.
+func (c *Counter) Cell(i int) int64 { return c.cells[i].v.Load() }
+
+// Cells returns a copy of all cell values.
+func (c *Counter) Cells() []int64 {
+	out := make([]int64, len(c.cells))
+	for i := range c.cells {
+		out[i] = c.cells[i].v.Load()
+	}
+	return out
+}
+
+// Total returns the sum over cells.
+func (c *Counter) Total() int64 {
+	var t int64
+	for i := range c.cells {
+		t += c.cells[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is a float-valued metric with per-cell last-write-wins semantics,
+// stored as IEEE-754 bits in atomics so exporters may read concurrently.
+// Writers are the driving goroutine's snapshot scans, so determinism is by
+// construction (serial ascending-order computation).
+type Gauge struct {
+	name  string
+	cells []atomic.Uint64
+}
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores v into one cell.
+func (g *Gauge) Set(cellIdx int, v float64) {
+	g.cells[cellIdx].Store(math.Float64bits(v))
+}
+
+// Cell returns one cell's current value.
+func (g *Gauge) Cell(i int) float64 { return math.Float64frombits(g.cells[i].Load()) }
+
+// Cells returns a copy of all cell values.
+func (g *Gauge) Cells() []float64 {
+	out := make([]float64, len(g.cells))
+	for i := range g.cells {
+		out[i] = math.Float64frombits(g.cells[i].Load())
+	}
+	return out
+}
+
+// Histogram is a fixed-bound cumulative histogram: count[i] tallies
+// observations <= Bounds[i], count[len(Bounds)] the overflow. Observation
+// order never matters (integer adds commute), so histograms are snapshot-
+// deterministic like counters.
+type Histogram struct {
+	name   string
+	bounds []float64
+	counts []cell
+}
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Bounds returns the upper bucket bounds (exclusive of the overflow bucket).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Observe tallies one observation into its bucket.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].v.Add(1)
+			return
+		}
+	}
+	h.counts[len(h.bounds)].v.Add(1)
+}
+
+// Counts returns a copy of the per-bucket counts (overflow last).
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].v.Load()
+	}
+	return out
+}
+
+// metricRef locates a registered metric for idempotent re-registration.
+type metricRef struct {
+	kind  byte // 'c', 'g', 'h'
+	index int
+}
+
+// Registry holds named metrics in registration order — the order snapshots
+// and exporters list them in, so registration must happen deterministically
+// (the runtime hooks register in fixed code order on the driving goroutine).
+// Registration is idempotent: re-registering a name with an identical shape
+// returns the existing metric, which lets several runs in one process (e.g.
+// an experiment sweep) accumulate into one registry.
+type Registry struct {
+	mu       sync.Mutex
+	byName   map[string]metricRef
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]metricRef)}
+}
+
+// Counter registers (or returns the existing) counter with the given cell
+// count. Panics on a name collision with a different kind or shape.
+func (r *Registry) Counter(name string, cells int) *Counter {
+	if cells < 1 {
+		cells = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ref, ok := r.byName[name]; ok {
+		if ref.kind != 'c' || len(r.counters[ref.index].cells) != cells {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		return r.counters[ref.index]
+	}
+	c := &Counter{name: name, cells: make([]cell, cells)}
+	r.byName[name] = metricRef{kind: 'c', index: len(r.counters)}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge with the given cell count.
+func (r *Registry) Gauge(name string, cells int) *Gauge {
+	if cells < 1 {
+		cells = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ref, ok := r.byName[name]; ok {
+		if ref.kind != 'g' || len(r.gauges[ref.index].cells) != cells {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		return r.gauges[ref.index]
+	}
+	g := &Gauge{name: name, cells: make([]atomic.Uint64, cells)}
+	r.byName[name] = metricRef{kind: 'g', index: len(r.gauges)}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram with the given
+// ascending upper bucket bounds (an overflow bucket is added implicitly).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ref, ok := r.byName[name]; ok {
+		if ref.kind != 'h' || len(r.hists[ref.index].bounds) != len(bounds) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		return r.hists[ref.index]
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]cell, len(bounds)+1),
+	}
+	r.byName[name] = metricRef{kind: 'h', index: len(r.hists)}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Snapshot captures every metric's current values under the given round
+// stamp, in registration order.
+func (r *Registry) Snapshot(round int64) Snapshot {
+	r.mu.Lock()
+	counters := append([]*Counter(nil), r.counters...)
+	gauges := append([]*Gauge(nil), r.gauges...)
+	hists := append([]*Histogram(nil), r.hists...)
+	r.mu.Unlock()
+	s := Snapshot{Round: round}
+	for _, c := range counters {
+		s.Counters = append(s.Counters, IntMetric{Name: c.name, Cells: c.Cells()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, FloatMetric{Name: g.name, Cells: g.Cells()})
+	}
+	for _, h := range hists {
+		s.Hists = append(s.Hists, HistMetric{
+			Name:   h.name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: h.Counts(),
+		})
+	}
+	return s
+}
+
+// ShardMap maps node IDs onto a fixed number of logical shards with the same
+// contiguous balanced rule as sched.Partition (bounds[i] = i*n/shards). The
+// mapping depends only on (n, shards) — never on the worker count — which is
+// what makes per-shard metric cells schedule-independent.
+type ShardMap struct {
+	n      int
+	shards int
+	of     []int32
+}
+
+// NewShardMap builds the node → logical shard lookup.
+func NewShardMap(n, shards int) *ShardMap {
+	if shards < 1 {
+		shards = 1
+	}
+	m := &ShardMap{n: n, shards: shards, of: make([]int32, n)}
+	for s := 0; s < shards; s++ {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		for v := lo; v < hi; v++ {
+			m.of[v] = int32(s)
+		}
+	}
+	return m
+}
+
+// Shards returns the logical shard count.
+func (m *ShardMap) Shards() int { return m.shards }
+
+// Of returns node v's logical shard.
+func (m *ShardMap) Of(v int) int { return int(m.of[v]) }
+
+// Bounds returns the shard boundary list: shard s owns [bounds[s],
+// bounds[s+1]).
+func (m *ShardMap) Bounds() []int {
+	b := make([]int, m.shards+1)
+	for s := 0; s <= m.shards; s++ {
+		b[s] = s * m.n / m.shards
+	}
+	return b
+}

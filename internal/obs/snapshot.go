@@ -1,0 +1,92 @@
+package obs
+
+import "strconv"
+
+// IntMetric is one counter's values at snapshot time.
+type IntMetric struct {
+	Name  string  `json:"name"`
+	Cells []int64 `json:"cells"`
+}
+
+// Total returns the sum over cells.
+func (m IntMetric) Total() int64 {
+	var t int64
+	for _, v := range m.Cells {
+		t += v
+	}
+	return t
+}
+
+// FloatMetric is one gauge's values at snapshot time.
+type FloatMetric struct {
+	Name  string    `json:"name"`
+	Cells []float64 `json:"cells"`
+}
+
+// HistMetric is one histogram's buckets at snapshot time (Counts has one
+// extra overflow bucket past the last bound).
+type HistMetric struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot is the full state of a Registry at one round boundary, in metric
+// registration order. Snapshots of deterministic registries are themselves
+// deterministic: AppendText serialises every cell exactly, so two runs agree
+// iff their snapshot texts are byte-identical — the transcript-style
+// equality the obs test suites pin.
+type Snapshot struct {
+	Round    int64         `json:"round"`
+	Counters []IntMetric   `json:"counters,omitempty"`
+	Gauges   []FloatMetric `json:"gauges,omitempty"`
+	Hists    []HistMetric  `json:"hists,omitempty"`
+}
+
+// AppendText appends a canonical, exact text encoding of the snapshot.
+// Floats use strconv's shortest round-trip form, so distinct bit patterns
+// produce distinct text (NaN payloads aside, which no metric emits).
+func (s Snapshot) AppendText(b []byte) []byte {
+	b = append(b, "round="...)
+	b = strconv.AppendInt(b, s.Round, 10)
+	b = append(b, '\n')
+	for _, c := range s.Counters {
+		b = append(b, "counter "...)
+		b = append(b, c.Name...)
+		for _, v := range c.Cells {
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, v, 10)
+		}
+		b = append(b, '\n')
+	}
+	for _, g := range s.Gauges {
+		b = append(b, "gauge "...)
+		b = append(b, g.Name...)
+		for _, v := range g.Cells {
+			b = append(b, ' ')
+			b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		}
+		b = append(b, '\n')
+	}
+	for _, h := range s.Hists {
+		b = append(b, "hist "...)
+		b = append(b, h.Name...)
+		for _, v := range h.Counts {
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, v, 10)
+		}
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// SnapshotsText renders a snapshot sequence as one canonical string, the
+// fingerprint the determinism suites compare across worker counts and
+// transports.
+func SnapshotsText(snaps []Snapshot) string {
+	var b []byte
+	for _, s := range snaps {
+		b = s.AppendText(b)
+	}
+	return string(b)
+}

@@ -26,9 +26,20 @@ type Firings struct {
 	adj func(v int) []int32
 	// mark[v] == gen when v is blocked for the current batch (a member, or
 	// adjacent to one).
-	mark []int64
-	gen  int64
-	size int
+	mark  []int64
+	gen   int64
+	size  int
+	stats FiringStats
+}
+
+// FiringStats are cumulative batch-formation tallies over the batcher's
+// lifetime: how many batches closed non-empty, how many offers were made, and
+// how many were admitted. Admitted/Offered is the acceptance rate of the
+// greedy independent-set formation; Admitted/Batches is the mean batch size.
+type FiringStats struct {
+	Batches  int64
+	Offered  int64
+	Admitted int64
 }
 
 // NewFirings creates a batcher for nodes 0..n-1 with the given conflict
@@ -46,6 +57,7 @@ func NewFirings(n int, adj func(v int) []int32) *Firings {
 // — admitting nothing — if v conflicts: the caller must close the batch
 // (Reset) and re-offer v to the next one, preserving schedule order.
 func (f *Firings) Offer(v int) bool {
+	f.stats.Offered++
 	if f.mark[v] == f.gen {
 		return false
 	}
@@ -54,14 +66,21 @@ func (f *Firings) Offer(v int) bool {
 		f.mark[u] = f.gen
 	}
 	f.size++
+	f.stats.Admitted++
 	return true
 }
 
 // Size returns the number of members admitted to the current batch.
 func (f *Firings) Size() int { return f.size }
 
+// Stats returns the cumulative batch-formation tallies.
+func (f *Firings) Stats() FiringStats { return f.stats }
+
 // Reset closes the current batch and starts an empty one.
 func (f *Firings) Reset() {
 	f.gen++
+	if f.size > 0 {
+		f.stats.Batches++
+	}
 	f.size = 0
 }

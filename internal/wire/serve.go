@@ -7,8 +7,29 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync/atomic"
 	"time"
 )
+
+// serverStats are the daemon-side relay tallies, exposed live by
+// ServerStats for a serving process's introspection endpoint. They are pure
+// environment diagnostics — per-process I/O volume, which varies with the
+// machine assignment — and never feed a transcript or a deterministic
+// registry.
+var serverStats struct {
+	conns    atomic.Int64
+	frames   atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// ServerStats reports this process's cumulative wire-serving tallies:
+// accepted connections, relayed frames, and frame body bytes in each
+// direction.
+func ServerStats() (conns, frames, bytesIn, bytesOut int64) {
+	return serverStats.conns.Load(), serverStats.frames.Load(),
+		serverStats.bytesIn.Load(), serverStats.bytesOut.Load()
+}
 
 // Connection handshake: the dialer's first frame identifies what the
 // connection will carry —
@@ -90,6 +111,7 @@ func serveConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	serverStats.conns.Add(1)
 	var in, out, frame []byte
 	for {
 		in, err = readFrame(br, in)
@@ -103,6 +125,9 @@ func serveConn(conn net.Conn) {
 		if frame, err = writeFrame(conn, frame, out); err != nil {
 			return
 		}
+		serverStats.frames.Add(1)
+		serverStats.bytesIn.Add(int64(len(in)))
+		serverStats.bytesOut.Add(int64(len(out)))
 	}
 }
 

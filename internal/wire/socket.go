@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 // Socket is a dist.Transport whose far side lives in other OS processes:
@@ -29,7 +30,16 @@ import (
 type Socket[T any] struct {
 	codec  Codec[T]
 	shards []socketShard[T]
+	// metrics, when non-nil, tallies frames and bytes per destination worker
+	// shard (SetMetrics). Worker shards vary with the run configuration, so
+	// these counters belong in an Observer's environment registry, never in
+	// the deterministic snapshot fingerprint.
+	metrics *obs.WireMetrics
 }
+
+// SetMetrics attaches per-shard frame/byte counters to the transport; nil
+// detaches. Call before the first Flush.
+func (s *Socket[T]) SetMetrics(m *obs.WireMetrics) { s.metrics = m }
 
 // socketShard is one destination worker shard's private endpoint.
 type socketShard[T any] struct {
@@ -154,6 +164,9 @@ func (s *Socket[T]) Flush(dst int, buckets [][]dist.Staged[T]) [][]dist.Staged[T
 	}
 	if len(out) != len(buckets) {
 		panic(fmt.Sprintf("wire: shard %d returned %d buckets for %d", dst, len(out), len(buckets)))
+	}
+	if wm := s.metrics; wm != nil {
+		wm.OnFlush(dst, int64(len(enc)+len(in)))
 	}
 	return out
 }
