@@ -5,6 +5,9 @@
 //
 //	lbcluster -in graph.txt -beta 0.25 [-rounds 0 -k 4] [-seed 1] [-out labels.txt]
 //	lbcluster serve -listen unix:/tmp/w0.sock
+//	lbcluster record -in graph.txt -beta 0.25 -o run.lbrec [run flags]
+//	lbcluster obs-diff [-strict] [-window N] [-json] a.lbrec b.lbrec
+//	lbcluster obs-convert [-format chrome|prom|fp] [-o out] run.lbrec
 //
 // The input is an edge list with an "n m" header (see internal/graph).
 // With -rounds 0 the round budget T = Θ(log n/(1−λ_{k+1})) is estimated
@@ -45,9 +48,20 @@
 // form. Both work with every engine; observation never changes the run (the
 // deterministic metrics are bit-identical across -parallel and -transport).
 //
+// -record FILE (or the `record` subcommand, whose -o spells the same thing)
+// writes the run as a persistent flight recording: the run manifest plus
+// every event and per-round snapshot as streaming binary frames (see
+// internal/obs/record). `obs-diff` bisects two recordings to the first
+// divergent frame — exit 0 identical, 1 divergent (report on stdout, -json
+// for machines), 2 unreadable — and `obs-convert` replays a recording
+// through the live exporters (chrome, prom) or condenses it to a golden
+// fingerprint (fp).
+//
 // `lbcluster serve -listen ... [-http addr]` additionally exposes live
 // introspection when -http is given: /debug/obs (JSON overview with the
 // daemon's wire relay tallies), /debug/obs/metrics, and /debug/pprof/.
+// serve's -trace N keeps the last N wire events in a bounded ring;
+// /debug/obs/trace streams the ring as Chrome trace JSON.
 package main
 
 import (
@@ -64,6 +78,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/obs/export"
+	"repro/internal/obs/record"
 	"repro/internal/sched"
 	"repro/internal/spectral"
 	"repro/internal/wire"
@@ -71,36 +86,32 @@ import (
 
 func main() {
 	wire.ServeIfWorker()
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		if err := serve(os.Args[2:]); err != nil {
-			fmt.Fprintf(os.Stderr, "lbcluster serve: %v\n", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			if err := serve(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "lbcluster serve: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "record":
+			if err := recordCmd(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "lbcluster record: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "obs-diff":
+			os.Exit(obsDiffCmd(os.Args[2:], os.Stdout, os.Stderr))
+		case "obs-convert":
+			if err := obsConvertCmd(os.Args[2:], os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "lbcluster obs-convert: %v\n", err)
+				os.Exit(1)
+			}
+			return
 		}
-		return
 	}
 	var o runOpts
-	flag.StringVar(&o.in, "in", "-", "input edge-list file ('-' = stdin)")
-	flag.StringVar(&o.out, "out", "-", "output label file ('-' = stdout)")
-	flag.Float64Var(&o.beta, "beta", 0.1, "lower bound on the minimum cluster size fraction")
-	flag.IntVar(&o.rounds, "rounds", 0, "averaging rounds T (0 = estimate from the spectral gap, needs -k)")
-	flag.IntVar(&o.k, "k", 0, "number of clusters (only used to estimate T when -rounds 0)")
-	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
-	flag.Float64Var(&o.thresholdScale, "threshold-scale", 1, "multiplier on the query threshold 1/(sqrt(2β)n)")
-	flag.BoolVar(&o.distributed, "distributed", false, "run on the message-passing engine and report network traffic")
-	flag.BoolVar(&o.gossip, "gossip", false, "run as asynchronous push-sum gossip on the message-passing engine")
-	flag.BoolVar(&o.reliable, "reliable", false, "with -gossip: retransmit-on-timeout layer (conserves push mass exactly under loss)")
-	flag.IntVar(&o.mailboxCap, "mailbox-cap", 0, "bound every node's mailbox to this many messages (0 = unbounded; -distributed/-gossip only)")
-	flag.Float64Var(&o.dropProb, "drop-prob", 0, "substrate message loss probability (-distributed/-gossip only)")
-	flag.StringVar(&o.stateBackend, "state-backend", "auto",
-		"node-state representation: auto, sparse, or dense (bit-identical results; dense packs seed weights in one contiguous block per node)")
-	flag.StringVar(&o.transport, "transport", "inprocess",
-		"delivery transport for -distributed/-gossip: inprocess, ring[:capacity], or socket[:machines]")
-	flag.StringVar(&o.transportAddrs, "transport-addrs", "",
-		"comma-separated `lbcluster serve` daemon addresses for -transport socket (overrides spawning)")
-	flag.StringVar(&o.trace, "trace", "", "write a Chrome trace_event JSON of the run's logical-clock events to this file")
-	flag.StringVar(&o.metricsOut, "metrics", "", "write the run's metric registry and per-round snapshots (Prometheus text) to this file")
-	parallel := flag.String("parallel", "auto",
-		"worker pool size for the hot paths: a count, \"auto\" (GOMAXPROCS), or \"off\"")
+	parallel := registerRunFlags(flag.CommandLine, &o)
 	flag.Parse()
 
 	workers, err := sched.ParseWorkers(*parallel)
@@ -115,6 +126,36 @@ func main() {
 	}
 }
 
+// registerRunFlags registers the clustering-mode flags on fs (shared
+// between the default mode and the record subcommand, which is the same run
+// with a flight recorder attached). The returned pointer is the unparsed
+// -parallel value.
+func registerRunFlags(fs *flag.FlagSet, o *runOpts) *string {
+	fs.StringVar(&o.in, "in", "-", "input edge-list file ('-' = stdin)")
+	fs.StringVar(&o.out, "out", "-", "output label file ('-' = stdout)")
+	fs.Float64Var(&o.beta, "beta", 0.1, "lower bound on the minimum cluster size fraction")
+	fs.IntVar(&o.rounds, "rounds", 0, "averaging rounds T (0 = estimate from the spectral gap, needs -k)")
+	fs.IntVar(&o.k, "k", 0, "number of clusters (only used to estimate T when -rounds 0)")
+	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
+	fs.Float64Var(&o.thresholdScale, "threshold-scale", 1, "multiplier on the query threshold 1/(sqrt(2β)n)")
+	fs.BoolVar(&o.distributed, "distributed", false, "run on the message-passing engine and report network traffic")
+	fs.BoolVar(&o.gossip, "gossip", false, "run as asynchronous push-sum gossip on the message-passing engine")
+	fs.BoolVar(&o.reliable, "reliable", false, "with -gossip: retransmit-on-timeout layer (conserves push mass exactly under loss)")
+	fs.IntVar(&o.mailboxCap, "mailbox-cap", 0, "bound every node's mailbox to this many messages (0 = unbounded; -distributed/-gossip only)")
+	fs.Float64Var(&o.dropProb, "drop-prob", 0, "substrate message loss probability (-distributed/-gossip only)")
+	fs.StringVar(&o.stateBackend, "state-backend", "auto",
+		"node-state representation: auto, sparse, or dense (bit-identical results; dense packs seed weights in one contiguous block per node)")
+	fs.StringVar(&o.transport, "transport", "inprocess",
+		"delivery transport for -distributed/-gossip: inprocess, ring[:capacity], or socket[:machines]")
+	fs.StringVar(&o.transportAddrs, "transport-addrs", "",
+		"comma-separated `lbcluster serve` daemon addresses for -transport socket (overrides spawning)")
+	fs.StringVar(&o.trace, "trace", "", "write a Chrome trace_event JSON of the run's logical-clock events to this file")
+	fs.StringVar(&o.metricsOut, "metrics", "", "write the run's metric registry and per-round snapshots (Prometheus text) to this file")
+	fs.StringVar(&o.recordOut, "record", "", "write a flight recording (manifest + events + snapshots, lbcluster obs-diff format) to this file")
+	return fs.String("parallel", "auto",
+		"worker pool size for the hot paths: a count, \"auto\" (GOMAXPROCS), or \"off\"")
+}
+
 // serve runs the worker daemon mode: a process other coordinators dial as a
 // machine shard of their socket transport. With -http it also exposes the
 // live introspection endpoints (/debug/obs, /debug/obs/metrics,
@@ -123,6 +164,8 @@ func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "", "wire address to listen on (unix:/path/to.sock or tcp:host:port)")
 	httpAddr := fs.String("http", "", "optional HTTP address (host:port) for /debug/obs and /debug/pprof introspection")
+	traceCap := fs.Int("trace", 0,
+		"retain the last N wire relay events in a bounded ring, served live as Chrome trace JSON on /debug/obs/trace (0 = off)")
 	fs.Parse(args)
 	if *listen == "" {
 		return fmt.Errorf("-listen is required")
@@ -141,16 +184,27 @@ func serve(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "serving wire payloads [%s] on %s\n",
 		strings.Join(wire.Payloads(), " "), *listen)
-	return serveDaemon(ln, httpLn)
+	return serveDaemon(ln, httpLn, *traceCap)
 }
 
 // serveDaemon drives a worker daemon on already-open listeners (split from
 // serve so tests can exercise the daemon with ephemeral ports): the wire
 // relay loop on wireLn, and — when httpLn is non-nil — the introspection
-// handler with the daemon's live relay tallies as extras.
-func serveDaemon(wireLn, httpLn net.Listener) error {
+// handler with the daemon's live relay tallies as extras. traceCap > 0
+// installs a bounded obs.RingTrace on the wire relay loops (a resident
+// daemon must never buffer an unbounded trace), exposed through the
+// handler's /debug/obs/trace endpoint.
+func serveDaemon(wireLn, httpLn net.Listener, traceCap int) error {
+	var ob *obs.Observer
+	if traceCap > 0 {
+		ring := obs.NewRingTrace(traceCap)
+		wire.SetServeTracer(ring)
+		defer wire.SetServeTracer(nil)
+		ob = obs.NewObserver(obs.Options{})
+		ob.Tracer = ring
+	}
 	if httpLn != nil {
-		h := export.Handler(export.HTTPOptions{Extra: func() []obs.KV {
+		h := export.Handler(export.HTTPOptions{Observer: ob, Extra: func() []obs.KV {
 			conns, frames, in, out := wire.ServerStats()
 			return []obs.KV{
 				{Key: "wire_server_connections", Val: conns},
@@ -185,13 +239,14 @@ type runOpts struct {
 	workers        int
 	trace          string
 	metricsOut     string
+	recordOut      string
 }
 
-// newObserver builds the run's observer from the -trace/-metrics flags; nil
-// when neither asks for observation (the engines' hooks then cost one nil
-// check).
+// newObserver builds the run's observer from the -trace/-metrics/-record
+// flags; nil when none asks for observation (the engines' hooks then cost
+// one nil check).
 func (o runOpts) newObserver() *obs.Observer {
-	if o.trace == "" && o.metricsOut == "" {
+	if o.trace == "" && o.metricsOut == "" && o.recordOut == "" {
 		return nil
 	}
 	return obs.NewObserver(obs.Options{Trace: o.trace != ""})
@@ -290,6 +345,20 @@ func run(o runOpts) error {
 		model = dist.LinkFaults{DropProb: o.dropProb, Seed: o.seed ^ 0x9e3779b97f4a7c15}
 	}
 	ob := o.newObserver()
+	var rec *record.Writer
+	var recFile *os.File
+	if o.recordOut != "" {
+		if recFile, err = os.Create(o.recordOut); err != nil {
+			return err
+		}
+		if rec, err = record.NewWriter(recFile, runManifest(o, g)); err != nil {
+			recFile.Close()
+			return err
+		}
+		// If the run fails below, the file is left without a trailer — a
+		// truncated recording, which the reader reports as exactly that.
+		record.Attach(ob, rec)
+	}
 	var labels []int
 	switch {
 	case o.gossip:
@@ -342,6 +411,17 @@ func run(o runOpts) error {
 	}
 	if err := writeObsArtifacts(o, ob); err != nil {
 		return err
+	}
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			recFile.Close()
+			return fmt.Errorf("recording: %w", err)
+		}
+		if err := recFile.Close(); err != nil {
+			return err
+		}
+		events, snaps := rec.Counts()
+		fmt.Fprintf(os.Stderr, "recording: %d events, %d snapshots -> %s\n", events, snaps, o.recordOut)
 	}
 	var w io.Writer = os.Stdout
 	if o.out != "-" {

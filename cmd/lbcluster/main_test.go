@@ -252,7 +252,7 @@ func TestServeHTTPIntrospection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer httpLn.Close()
-	go serveDaemon(wireLn, httpLn)
+	go serveDaemon(wireLn, httpLn, 256)
 
 	if err := run(runOpts{in: in, out: filepath.Join(dir, "labels.txt"), beta: 0.5, rounds: 40,
 		seed: 1, thresholdScale: 1, distributed: true, transport: "socket", transportAddrs: addr}); err != nil {
@@ -296,6 +296,35 @@ func TestServeHTTPIntrospection(t *testing.T) {
 	}
 	if code, _ = get("/debug/pprof/"); code != 200 {
 		t.Errorf("/debug/pprof/: status %d", code)
+	}
+	// The daemon ran with a 256-event ring tracer: /debug/obs/trace must
+	// stream the live ring as Chrome trace JSON carrying the wire relay
+	// instants the socket run just produced.
+	code, body = get("/debug/obs/trace")
+	if code != 200 {
+		t.Fatalf("/debug/obs/trace: status %d", code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Cat  string `json:"cat"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/debug/obs/trace JSON: %v", err)
+	}
+	sawConn, sawRelay := false, false
+	for _, e := range doc.TraceEvents {
+		if e.Cat == "wire" && e.Name == "conn" {
+			sawConn = true
+		}
+		if e.Cat == "wire" && e.Name == "relay" {
+			sawRelay = true
+		}
+	}
+	if !sawConn || !sawRelay {
+		t.Errorf("live ring trace missing wire events (conn=%v relay=%v) in %d events",
+			sawConn, sawRelay, len(doc.TraceEvents))
 	}
 }
 

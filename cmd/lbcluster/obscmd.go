@@ -1,0 +1,226 @@
+package main
+
+// The flight-recorder subcommands:
+//
+//	lbcluster record   — a clustering run with -record implied (and required)
+//	lbcluster obs-diff — first-divergence bisection of two recordings
+//	lbcluster obs-convert — recording → Chrome trace / Prometheus text /
+//	                        fingerprint
+//
+// obs-diff is the forensics entry point: exit 0 means the recordings'
+// deterministic frames are bit-identical, exit 1 names the first divergence
+// (text or -json), exit 2 means a recording could not be read at all.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+	"repro/internal/obs/record"
+	"repro/internal/sched"
+)
+
+// runManifest assembles a recording's manifest from the run options: the
+// Run section carries every knob that may change the observed transcript,
+// the Env section what the determinism contract guarantees cannot (worker
+// count, transport, state backend) plus host identification.
+func runManifest(o runOpts, g *graph.Graph) record.Manifest {
+	workload := "sequential"
+	switch {
+	case o.gossip && o.reliable:
+		workload = "gossip-reliable"
+	case o.gossip:
+		workload = "gossip"
+	case o.distributed:
+		workload = "distributed"
+	}
+	host := dist.CaptureHostEnv()
+	return record.Manifest{
+		Workload: workload,
+		Run: []record.Field{
+			record.FStr("in", o.in),
+			record.FInt("n", int64(g.N())),
+			record.FInt("m", int64(g.M())),
+			record.FFloat("beta", o.beta),
+			record.FInt("rounds", int64(o.rounds)),
+			record.FInt("seed", int64(o.seed)),
+			record.FFloat("threshold_scale", o.thresholdScale),
+			record.FInt("mailbox_cap", int64(o.mailboxCap)),
+			record.FFloat("drop_prob", o.dropProb),
+		},
+		Env: []record.Field{
+			record.FInt("workers", int64(o.workers)),
+			record.FStr("transport", o.transport),
+			record.FStr("state_backend", o.stateBackend),
+			record.FStr("go", host.Go),
+			record.FStr("cpu", host.CPU),
+			record.FInt("num_cpu", int64(host.NumCPU)),
+		},
+	}
+}
+
+// recordCmd is the record subcommand: the normal clustering run with the
+// -record flag required (spelled -o here, since the recording is the
+// point).
+func recordCmd(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var o runOpts
+	parallel := registerRunFlags(fs, &o)
+	out := fs.String("o", "", "recording output file (required; shorthand for -record)")
+	fs.Parse(args)
+	if *out != "" {
+		o.recordOut = *out
+	}
+	if o.recordOut == "" {
+		return fmt.Errorf("-o (or -record) is required: a record run's product is the recording")
+	}
+	workers, err := sched.ParseWorkers(*parallel)
+	if err != nil {
+		return err
+	}
+	o.workers = workers
+	return run(o)
+}
+
+// openRecording opens one recording file for streaming.
+func openRecording(path string) (*record.Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := record.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, f, nil
+}
+
+// obsDiffCmd bisects two recordings and returns the process exit code:
+// 0 identical, 1 divergent, 2 unreadable input or usage error.
+func obsDiffCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("obs-diff", flag.ExitOnError)
+	strict := fs.Bool("strict", false,
+		"compare environment event categories (sched/wire) too; off, they are skipped and only tallied")
+	window := fs.Int("window", 8, "common frames of context to keep before the divergence")
+	asJSON := fs.Bool("json", false, "emit the report as JSON (machine-readable, for CI)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: lbcluster obs-diff [-strict] [-window N] [-json] a.lbrec b.lbrec")
+		return 2
+	}
+	ra, fa, err := openRecording(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	defer fa.Close()
+	rb, fb, err := openRecording(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	defer fb.Close()
+	rep, err := record.Diff(ra, rb, record.DiffOptions{Window: *window, Strict: *strict})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		rep.WriteText(stdout)
+	}
+	if rep.Identical {
+		return 0
+	}
+	return 1
+}
+
+// obsConvertCmd converts a recording to one of the export formats, so a
+// recorded run yields the same artifacts the -trace/-metrics flags write
+// live.
+func obsConvertCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("obs-convert", flag.ExitOnError)
+	format := fs.String("format", "chrome",
+		"output format: chrome (trace_event JSON), prom (Prometheus text, final snapshot + per-round log), or fp (golden fingerprint)")
+	out := fs.String("o", "-", "output file ('-' = stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: lbcluster obs-convert [-format chrome|prom|fp] [-o out] run.lbrec")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var buf bytes.Buffer
+	switch *format {
+	case "chrome":
+		_, frames, err := record.ReadAll(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fs.Arg(0), err)
+		}
+		events := make([]obs.Event, 0, len(frames))
+		for _, fr := range frames {
+			if fr.Event != nil {
+				events = append(events, *fr.Event)
+			}
+		}
+		if err := export.WriteChromeTrace(&buf, events); err != nil {
+			return err
+		}
+	case "prom":
+		_, frames, err := record.ReadAll(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fs.Arg(0), err)
+		}
+		var snaps []obs.Snapshot
+		for _, fr := range frames {
+			if fr.Snap != nil {
+				snaps = append(snaps, *fr.Snap)
+			}
+		}
+		var b []byte
+		if len(snaps) > 0 {
+			b = export.AppendPromSnapshot(b, snaps[len(snaps)-1])
+			b = append(b, "# per-round snapshots (canonical fingerprint encoding)\n"...)
+			text := strings.TrimSuffix(obs.SnapshotsText(snaps), "\n")
+			for _, line := range strings.Split(text, "\n") {
+				b = append(b, "# "...)
+				b = append(b, line...)
+				b = append(b, '\n')
+			}
+		}
+		buf.Write(b)
+	case "fp":
+		r, err := record.NewReader(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fs.Arg(0), err)
+		}
+		fp, err := record.FingerprintReader(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fs.Arg(0), err)
+		}
+		buf.Write(fp.AppendText(nil))
+	default:
+		return fmt.Errorf("unknown -format %q (chrome, prom, or fp)", *format)
+	}
+
+	if *out == "-" {
+		_, err := stdout.Write(buf.Bytes())
+		return err
+	}
+	return os.WriteFile(*out, buf.Bytes(), 0o644)
+}

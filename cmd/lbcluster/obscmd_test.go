@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/record"
+)
+
+// recordRun produces a recording file via the run path (-record flag) and
+// returns its path.
+func recordRun(t *testing.T, dir, name, in string, mutate func(o *runOpts)) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	o := runOpts{
+		in: in, out: filepath.Join(dir, name+".labels"),
+		beta: 0.5, rounds: 10, seed: 1, thresholdScale: 1,
+		distributed: true, transport: "inprocess", workers: 1,
+		recordOut: path,
+	}
+	if mutate != nil {
+		mutate(&o)
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRecordAndObsDiffCLI is the CLI half of the acceptance criterion: the
+// same workload recorded at workers 1 vs 8, over inprocess and ring
+// transports, bisects bit-identical (exit 0); a perturbed recording exits 1
+// and the report names the divergent event with both-side values.
+func TestRecordAndObsDiffCLI(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeTestGraph(t, dir)
+	ref := recordRun(t, dir, "w1.lbrec", in, nil)
+	for _, tc := range []struct {
+		name   string
+		mutate func(o *runOpts)
+	}{
+		{"w8.lbrec", func(o *runOpts) { o.workers = 8 }},
+		{"w1ring.lbrec", func(o *runOpts) { o.transport = "ring" }},
+		{"w8ring.lbrec", func(o *runOpts) { o.workers = 8; o.transport = "ring" }},
+	} {
+		other := recordRun(t, dir, tc.name, in, tc.mutate)
+		var out, errw bytes.Buffer
+		if code := obsDiffCmd([]string{ref, other}, &out, &errw); code != 0 {
+			t.Fatalf("obs-diff %s: exit %d, output:\n%s%s", tc.name, code, out.String(), errw.String())
+		}
+		if !strings.Contains(out.String(), "identical") {
+			t.Errorf("obs-diff %s output does not say identical: %q", tc.name, out.String())
+		}
+	}
+
+	// Perturb one deterministic event argument and re-encode.
+	m, frames, err := func() (record.Manifest, []record.Frame, error) {
+		f, err := os.Open(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		return record.ReadAll(f)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := false
+	for _, fr := range frames {
+		e := fr.Event
+		if e == nil || obs.IsEnvCat(e.Cat) || len(e.Args) == 0 || e.Args[0].IsFloat {
+			continue
+		}
+		if fr.Index >= 10 {
+			e.Args[0].Int += 7
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("no deterministic event with an int arg to perturb")
+	}
+	perturbed := filepath.Join(dir, "perturbed.lbrec")
+	pf, err := os.Create(perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := record.NewWriter(pf, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range frames {
+		if fr.Event != nil {
+			w.Emit(*fr.Event)
+		} else {
+			w.Snap(*fr.Snap)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errw bytes.Buffer
+	if code := obsDiffCmd([]string{"-json", ref, perturbed}, &out, &errw); code != 1 {
+		t.Fatalf("obs-diff on perturbed recording: exit %d, want 1 (stderr: %s)", code, errw.String())
+	}
+	var rep record.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output: %v\n%s", err, out.String())
+	}
+	if rep.Identical || rep.Kind != "event" {
+		t.Fatalf("report identical=%v kind=%q, want an event divergence", rep.Identical, rep.Kind)
+	}
+	if rep.A == nil || rep.B == nil || rep.A.Event == nil || rep.B.Event == nil {
+		t.Fatal("JSON report missing both-side frames")
+	}
+	if rep.B.Event.Args[0].Int != rep.A.Event.Args[0].Int+7 {
+		t.Errorf("both-side values %d vs %d, want off by seven",
+			rep.A.Event.Args[0].Int, rep.B.Event.Args[0].Int)
+	}
+	if rep.Detail == "" || !strings.Contains(rep.Detail, "tick") {
+		t.Errorf("detail %q does not carry the logical tick", rep.Detail)
+	}
+
+	// Unreadable input is exit 2, not a divergence.
+	if code := obsDiffCmd([]string{ref, filepath.Join(dir, "nope.lbrec")}, &out, &errw); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	garbled := filepath.Join(dir, "garbled.lbrec")
+	if err := os.WriteFile(garbled, []byte("not a recording"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := obsDiffCmd([]string{ref, garbled}, &out, &errw); code != 2 {
+		t.Errorf("garbled file: exit %d, want 2", code)
+	}
+}
+
+// TestRecordCmdFlags: the record subcommand requires -o and produces a
+// readable recording with the run manifest.
+func TestRecordCmdFlags(t *testing.T) {
+	if err := recordCmd([]string{"-in", "x"}); err == nil {
+		t.Error("record without -o should fail")
+	}
+	dir := t.TempDir()
+	in, _ := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "run.lbrec")
+	if err := recordCmd([]string{"-in", in, "-o", out,
+		"-out", filepath.Join(dir, "labels.txt"),
+		"-beta", "0.5", "-rounds", "10", "-gossip", "-reliable"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := record.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Manifest()
+	if m.Workload != "gossip-reliable" {
+		t.Errorf("manifest workload %q, want gossip-reliable", m.Workload)
+	}
+	fp, err := record.FingerprintReader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Events == 0 {
+		t.Error("recording has no deterministic events")
+	}
+}
+
+// TestObsConvertCLI: a recording converts to Chrome trace JSON, Prometheus
+// text, and a parseable fingerprint.
+func TestObsConvertCLI(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeTestGraph(t, dir)
+	rec := recordRun(t, dir, "conv.lbrec", in, nil)
+
+	var out bytes.Buffer
+	if err := obsConvertCmd([]string{"-format", "chrome", rec}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("chrome output has no events")
+	}
+
+	out.Reset()
+	if err := obsConvertCmd([]string{"-format", "prom", rec}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# TYPE") || !strings.Contains(out.String(), "round=") {
+		t.Errorf("prom output missing exposition or snapshot log:\n%s", out.String())
+	}
+
+	fpPath := filepath.Join(dir, "conv.fp")
+	if err := obsConvertCmd([]string{"-format", "fp", "-o", fpPath, rec}, &out); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(fpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := record.ParseFingerprint(bytes.NewReader(blob)); err != nil {
+		t.Errorf("fp output does not parse: %v", err)
+	}
+
+	if err := obsConvertCmd([]string{"-format", "nope", rec}, &out); err == nil {
+		t.Error("unknown format should fail")
+	}
+}

@@ -46,6 +46,9 @@ func TestPkgClassification(t *testing.T) {
 	if !analysis.IsOrderedOutputPkg("repro/internal/obs/export") {
 		t.Error("repro/internal/obs/export must be ordered-output")
 	}
+	if !analysis.IsDeterministicPkg("repro/internal/obs/record") {
+		t.Error("repro/internal/obs/record must be under the deterministic rules (its bytes are transcript-determined)")
+	}
 }
 
 func TestRawGo(t *testing.T) {

@@ -24,6 +24,12 @@ var deterministicPkgs = map[string]bool{
 	// so it lives under the full deterministic rule set. The export package
 	// below is where wall clock is allowed.
 	"repro/internal/obs": true,
+	// record is the flight recorder: its output bytes are a pure function of
+	// the manifest and the observed event/snapshot sequence, so it lives
+	// under the full deterministic rule set. File I/O is sanctioned here the
+	// same way wire's socket I/O is — the bytes are transcript-determined,
+	// only their destination is environmental.
+	"repro/internal/obs/record": true,
 }
 
 // orderedOutputPkgs produce the repo's printed artifacts — experiment

@@ -36,7 +36,14 @@ func AppendProm(b []byte, r *obs.Registry) []byte {
 	if r == nil {
 		return b
 	}
-	s := r.Snapshot(0)
+	return AppendPromSnapshot(b, r.Snapshot(0))
+}
+
+// AppendPromSnapshot renders one snapshot's metrics in the same exposition
+// form — the seam `lbcluster obs-convert -format prom` replays recorded
+// snapshots through, so a recording converts to exactly the text a live
+// registry would have exposed.
+func AppendPromSnapshot(b []byte, s obs.Snapshot) []byte {
 	for _, c := range s.Counters {
 		b = append(b, "# TYPE "...)
 		b = append(b, c.Name...)

@@ -23,6 +23,8 @@
 // hot paths, pinned by the zero-alloc guard in repro/internal/dist.
 package obs
 
+import "sync"
+
 // DefaultShards is the logical shard count metrics use when Options.Shards
 // is unset. It is fixed (not derived from the worker count) on purpose: the
 // per-shard tallies are part of the deterministic snapshot fingerprint.
@@ -82,7 +84,9 @@ type TracerFunc func(Event)
 func (f TracerFunc) Emit(e Event) { f(e) }
 
 // Trace is the recording Tracer: it retains every event in emission order
-// (which the driving-goroutine-only rule makes deterministic).
+// (which the driving-goroutine-only rule makes deterministic). It grows
+// without bound, which is right for batch runs; long-lived processes should
+// use RingTrace instead.
 type Trace struct {
 	events []Event
 }
@@ -96,6 +100,128 @@ func (t *Trace) Events() []Event { return t.events }
 
 // Len returns the number of recorded events.
 func (t *Trace) Len() int { return len(t.events) }
+
+// EventSource is implemented by tracers that can replay what they retained
+// (Trace fully, RingTrace the last-N window). Observer.Events and the HTTP
+// trace endpoint use it, so any retaining tracer is exportable.
+type EventSource interface {
+	Events() []Event
+}
+
+// RingTrace is the fixed-capacity tracer for resident processes (lbcluster
+// serve): it retains the most recent capacity events and counts what it
+// evicted. Unlike the other tracers it is safe for concurrent Emit — a
+// daemon's per-connection pumps all feed one ring — at the cost of a mutex;
+// its event order is arrival order, which is deterministic only when a
+// single driving goroutine emits (the in-run tracers' rule). A flight
+// recorder wanting every event should use record.Writer instead.
+type RingTrace struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest retained event
+	n       int // retained count, <= len(buf)
+	dropped int64
+}
+
+// NewRingTrace creates a ring retaining the last capacity events
+// (capacity < 1 is treated as 1).
+func NewRingTrace(capacity int) *RingTrace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingTrace{buf: make([]Event, capacity)}
+}
+
+// Emit implements Tracer, evicting the oldest event when full.
+func (r *RingTrace) Emit(e Event) {
+	r.mu.Lock()
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = e
+		r.n++
+	} else {
+		r.buf[r.start] = e
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (r *RingTrace) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *RingTrace) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns how many events were evicted to make room.
+func (r *RingTrace) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// multiTracer fans every event out to several tracers in order.
+type multiTracer []Tracer
+
+// Emit implements Tracer.
+func (m multiTracer) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
+// Events implements EventSource by delegating to the first retaining
+// tracer, so wrapping a Trace in a tee keeps it exportable.
+func (m multiTracer) Events() []Event {
+	for _, t := range m {
+		if s, ok := t.(EventSource); ok {
+			return s.Events()
+		}
+	}
+	return nil
+}
+
+// MultiTracer combines tracers: every event goes to each in order. Nil
+// members are skipped; zero or one effective member collapses to nil or the
+// member itself. The flight recorder uses it to stream to disk while an
+// in-memory Trace keeps the run exportable.
+func MultiTracer(ts ...Tracer) Tracer {
+	var m multiTracer
+	for _, t := range ts {
+		if t != nil {
+			m = append(m, t)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	}
+	return m
+}
+
+// IsEnvCat reports whether an event category describes the execution
+// environment rather than the deterministic transcript: "sched" events
+// narrate the batch schedule (present only when the async scheduler runs
+// batched) and "wire" events narrate socket/daemon traffic (dependent on the
+// machine split). Environment categories are the event-stream analogue of
+// the Env metric registry: exporters include them, but the divergence
+// tooling in repro/internal/obs/record excludes them from fingerprints and
+// lockstep comparison, so recordings of the same workload at different
+// worker counts, transports, and batch schedules compare bit-identical.
+func IsEnvCat(cat string) bool { return cat == "sched" || cat == "wire" }
 
 // KV is one named integer reading, the currency of live environment stats
 // (e.g. a wire daemon's connection count) that exporters append to metric
@@ -131,6 +257,10 @@ type Observer struct {
 	// Shards is the logical shard count metric bundles built against this
 	// observer use; <= 0 is treated as DefaultShards.
 	Shards int
+	// SnapSink, when non-nil, additionally receives every snapshot Snap
+	// records, in order, on the driving goroutine — the seam the flight
+	// recorder streams snapshots to disk through.
+	SnapSink func(Snapshot)
 
 	snaps []Snapshot
 }
@@ -186,7 +316,11 @@ func (o *Observer) Snap(round int64) {
 	if o == nil || o.Reg == nil {
 		return
 	}
-	o.snaps = append(o.snaps, o.Reg.Snapshot(round))
+	s := o.Reg.Snapshot(round)
+	o.snaps = append(o.snaps, s)
+	if o.SnapSink != nil {
+		o.SnapSink(s)
+	}
 }
 
 // Snapshots returns the recorded snapshots in order. The slice is owned by
@@ -198,13 +332,14 @@ func (o *Observer) Snapshots() []Snapshot {
 	return o.snaps
 }
 
-// Events returns the recorded trace events when the Tracer is a recording
-// *Trace, and nil otherwise.
+// Events returns the recorded trace events when the Tracer retains them (a
+// recording *Trace, a *RingTrace's live window, or a tee over one), and nil
+// otherwise.
 func (o *Observer) Events() []Event {
 	if o == nil {
 		return nil
 	}
-	if t, ok := o.Tracer.(*Trace); ok {
+	if t, ok := o.Tracer.(EventSource); ok {
 		return t.Events()
 	}
 	return nil

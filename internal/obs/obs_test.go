@@ -157,3 +157,98 @@ func TestObserverSnapshots(t *testing.T) {
 		t.Fatalf("snapshot sequence wrong:\n%s", text)
 	}
 }
+
+// TestRingTrace pins the fixed-capacity tracer: last-N retention, oldest
+// eviction with a drop count, and in-order replay through Events.
+func TestRingTrace(t *testing.T) {
+	r := NewRingTrace(3)
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := int64(0); i < 5; i++ {
+		r.Emit(Event{Cat: "dist", Name: "phase", Kind: KindInstant, Tick: i})
+	}
+	if r.Len() != 3 || r.Dropped() != 2 {
+		t.Fatalf("len %d dropped %d, want 3 and 2", r.Len(), r.Dropped())
+	}
+	ev := r.Events()
+	for i, want := range []int64{2, 3, 4} {
+		if ev[i].Tick != want {
+			t.Fatalf("event %d tick %d, want %d (ring %+v)", i, ev[i].Tick, want, ev)
+		}
+	}
+	// The ring is the one tracer documented safe for concurrent Emit.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(Event{Cat: "wire", Name: "relay", Tick: int64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 3 || len(r.Events()) != 3 {
+		t.Fatalf("ring len %d after concurrent emits, want 3", r.Len())
+	}
+	// Capacity floor: a degenerate capacity still retains the latest event.
+	one := NewRingTrace(0)
+	one.Emit(Event{Tick: 1})
+	one.Emit(Event{Tick: 2})
+	if ev := one.Events(); len(ev) != 1 || ev[0].Tick != 2 {
+		t.Fatalf("capacity-floor ring retained %+v", ev)
+	}
+}
+
+// TestMultiTracer: the tee fans out in order, collapses degenerate cases,
+// and stays exportable when it wraps a retaining tracer.
+func TestMultiTracer(t *testing.T) {
+	if MultiTracer() != nil || MultiTracer(nil, nil) != nil {
+		t.Fatal("empty tee should be nil")
+	}
+	tr := &Trace{}
+	if MultiTracer(nil, tr) != Tracer(tr) {
+		t.Fatal("single-member tee should collapse to the member")
+	}
+	var order []string
+	f := TracerFunc(func(e Event) { order = append(order, "f:"+e.Name) })
+	tee := MultiTracer(tr, f)
+	o := &Observer{Tracer: tee}
+	o.Instant("core", "round", 3)
+	if len(tr.Events()) != 1 || len(order) != 1 || order[0] != "f:round" {
+		t.Fatalf("tee did not fan out: trace %d func %v", len(tr.Events()), order)
+	}
+	if got := o.Events(); len(got) != 1 || got[0].Name != "round" {
+		t.Fatalf("tee lost EventSource: %+v", got)
+	}
+}
+
+// TestObserverSnapSink: the recording seam sees every snapshot, in order,
+// identical to what the observer retains.
+func TestObserverSnapSink(t *testing.T) {
+	o := NewObserver(Options{})
+	var sunk []Snapshot
+	o.SnapSink = func(s Snapshot) { sunk = append(sunk, s) }
+	c := o.Reg.Counter("x", 1)
+	c.Add(0, 1)
+	o.Snap(1)
+	c.Add(0, 1)
+	o.Snap(2)
+	if SnapshotsText(sunk) != SnapshotsText(o.Snapshots()) {
+		t.Fatalf("sink saw %q, observer kept %q", SnapshotsText(sunk), SnapshotsText(o.Snapshots()))
+	}
+}
+
+// TestIsEnvCat pins the environment-category set the divergence tooling
+// excludes from lockstep comparison.
+func TestIsEnvCat(t *testing.T) {
+	for _, tc := range []struct {
+		cat string
+		env bool
+	}{{"sched", true}, {"wire", true}, {"dist", false}, {"core", false}} {
+		if IsEnvCat(tc.cat) != tc.env {
+			t.Errorf("IsEnvCat(%q) = %v, want %v", tc.cat, !tc.env, tc.env)
+		}
+	}
+}

@@ -1,0 +1,430 @@
+package record
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// DiffOptions configures the bisector.
+type DiffOptions struct {
+	// Window is how many common frames before the divergence the report
+	// retains as context; <= 0 means 8.
+	Window int
+	// Strict compares environment event categories ("sched", "wire") too.
+	// Off by default: those narrate the execution schedule and machine
+	// split, which legitimately differ between bit-identical runs.
+	Strict bool
+}
+
+// Report is the bisector's verdict: either the recordings are identical
+// (over manifest identity and the deterministic frame sequence), or it
+// names the first divergence with both sides' frames and the preceding
+// common window. It marshals to JSON for CI and renders as text for
+// humans.
+type Report struct {
+	Identical bool `json:"identical"`
+	// Kind classifies the first divergence: "manifest", "event",
+	// "snapshot", "type" (event vs snapshot at the same position),
+	// "length" (one recording is a strict prefix), or "truncated" (one
+	// recording ends without a trailer).
+	Kind string `json:"kind,omitempty"`
+	// Pos is the position in the compared (deterministic) frame sequence
+	// where the divergence sits; Frames is how many positions matched
+	// before it. Equal when divergent; Frames alone when identical.
+	Pos    int64 `json:"pos,omitempty"`
+	Frames int64 `json:"frames_compared"`
+	// Detail is the one-line human summary of the first difference —
+	// which field of which event, or which metric cell of which round.
+	Detail string `json:"detail,omitempty"`
+	// A and B are each side's frame at the divergence (absent on the side
+	// that ended, and for manifest divergences).
+	A *Frame `json:"a,omitempty"`
+	B *Frame `json:"b,omitempty"`
+	// Window holds the last common frames before the divergence, oldest
+	// first (side A's copies; they matched, so the distinction is moot).
+	Window []Frame `json:"window,omitempty"`
+	// ManifestDiffs lists the differing identity fields on a manifest
+	// divergence.
+	ManifestDiffs []string `json:"manifest_diffs,omitempty"`
+	// EnvNotes are informational asymmetries that are NOT divergences:
+	// differing Env manifest fields and skipped environment-category
+	// event counts.
+	EnvNotes []string `json:"env_notes,omitempty"`
+}
+
+// diverge fills the failure fields.
+func (rep *Report) diverge(kind string, pos int64, detail string, a, b *Frame) {
+	rep.Identical = false
+	rep.Kind = kind
+	rep.Pos = pos
+	rep.Detail = detail
+	rep.A = a
+	rep.B = b
+}
+
+// side pairs a reader with its env-event tally for lockstep pulls.
+type side struct {
+	r         *Reader
+	label     string
+	envEvents int64
+	truncated bool
+}
+
+// nextDet returns the side's next deterministic frame: env-category events
+// are counted and skipped unless strict. done reports a clean or truncated
+// end (truncated recorded on the side); err only genuine corruption/I/O.
+func (s *side) nextDet(strict bool) (f Frame, done bool, err error) {
+	for {
+		f, err := s.r.Next()
+		if err == io.EOF {
+			return Frame{}, true, nil
+		}
+		if err == ErrTruncated {
+			s.truncated = true
+			return Frame{}, true, nil
+		}
+		if err != nil {
+			return Frame{}, false, fmt.Errorf("%s: %w", s.label, err)
+		}
+		if !strict && f.Event != nil && obs.IsEnvCat(f.Event.Cat) {
+			s.envEvents++
+			continue
+		}
+		return f, false, nil
+	}
+}
+
+// Diff streams two recordings in lockstep and reports the first
+// divergence. The error return is reserved for unreadable input (I/O,
+// corruption); every comparison outcome — including one side being
+// truncated — is part of the Report.
+func Diff(a, b *Reader, opt DiffOptions) (*Report, error) {
+	window := opt.Window
+	if window <= 0 {
+		window = 8
+	}
+	rep := &Report{Identical: true}
+	compareManifests(a.Manifest(), b.Manifest(), rep)
+	if !rep.Identical {
+		return rep, nil
+	}
+	sa := &side{r: a, label: "recording a"}
+	sb := &side{r: b, label: "recording b"}
+	ring := make([]Frame, 0, window)
+	var pos int64
+	for {
+		fa, doneA, err := sa.nextDet(opt.Strict)
+		if err != nil {
+			return nil, err
+		}
+		fb, doneB, err := sb.nextDet(opt.Strict)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case doneA && doneB:
+			rep.Frames = pos
+			finishNotes(sa, sb, rep)
+			if sa.truncated != sb.truncated {
+				// Same frames, but one side has no trailer: surface it —
+				// the truncated recording may simply have stopped early.
+				trunc := sa
+				if sb.truncated {
+					trunc = sb
+				}
+				rep.diverge("truncated", pos,
+					fmt.Sprintf("%s ends without a trailer after the last common frame", trunc.label), nil, nil)
+			}
+			return rep, nil
+		case doneA || doneB:
+			rep.Frames = pos
+			finishNotes(sa, sb, rep)
+			ended, other := sa, &fb
+			kind := "length"
+			if doneB {
+				ended, other = sb, &fa
+			}
+			if ended.truncated {
+				kind = "truncated"
+			}
+			detail := fmt.Sprintf("%s ends at frame position %d; the other continues with %s",
+				ended.label, pos, describeFrame(other))
+			var af, bf *Frame
+			if doneB {
+				af = other
+			} else {
+				bf = other
+			}
+			rep.diverge(kind, pos, detail, af, bf)
+			rep.Window = append(rep.Window, ring...)
+			return rep, nil
+		}
+		if detail := compareFrames(&fa, &fb); detail != "" {
+			rep.Frames = pos
+			finishNotes(sa, sb, rep)
+			kind := "event"
+			if fa.Snap != nil || fb.Snap != nil {
+				kind = "snapshot"
+			}
+			if (fa.Event == nil) != (fb.Event == nil) {
+				kind = "type"
+			}
+			rep.diverge(kind, pos, detail, &fa, &fb)
+			rep.Window = append(rep.Window, ring...)
+			return rep, nil
+		}
+		if len(ring) == window {
+			copy(ring, ring[1:])
+			ring = ring[:window-1]
+		}
+		ring = append(ring, fa)
+		pos++
+	}
+}
+
+// finishNotes records the informational asymmetries.
+func finishNotes(a, b *side, rep *Report) {
+	if a.envEvents != b.envEvents {
+		rep.EnvNotes = append(rep.EnvNotes, fmt.Sprintf(
+			"environment events skipped: %d vs %d (sched/wire narration differs; rerun with Strict to compare)",
+			a.envEvents, b.envEvents))
+	}
+}
+
+// compareManifests checks identity (workload + Run) and notes Env
+// asymmetries.
+func compareManifests(a, b Manifest, rep *Report) {
+	var diffs []string
+	if a.Workload != b.Workload {
+		diffs = append(diffs, fmt.Sprintf("workload: %q vs %q", a.Workload, b.Workload))
+	}
+	diffs = append(diffs, compareFields(a.Run, b.Run)...)
+	if len(diffs) > 0 {
+		rep.diverge("manifest", 0, diffs[0], nil, nil)
+		rep.ManifestDiffs = diffs
+	}
+	for _, note := range compareFields(a.Env, b.Env) {
+		rep.EnvNotes = append(rep.EnvNotes, "env "+note)
+	}
+}
+
+// compareFields reports pairwise differences in ordered field sections.
+func compareFields(a, b []Field) []string {
+	var diffs []string
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i].Key != b[i].Key:
+			diffs = append(diffs, fmt.Sprintf("field %d: key %q vs %q", i, a[i].Key, b[i].Key))
+		case a[i].Kind != b[i].Kind || a[i].Int != b[i].Int || a[i].Str != b[i].Str ||
+			math.Float64bits(a[i].Float) != math.Float64bits(b[i].Float):
+			diffs = append(diffs, fmt.Sprintf("%s: %s vs %s", a[i].Key, a[i].Value(), b[i].Value()))
+		}
+	}
+	for i := n; i < len(a); i++ {
+		diffs = append(diffs, fmt.Sprintf("%s: %s vs (absent)", a[i].Key, a[i].Value()))
+	}
+	for i := n; i < len(b); i++ {
+		diffs = append(diffs, fmt.Sprintf("%s: (absent) vs %s", b[i].Key, b[i].Value()))
+	}
+	return diffs
+}
+
+// compareFrames returns "" when equal, else the first-difference detail.
+func compareFrames(a, b *Frame) string {
+	switch {
+	case a.Event != nil && b.Event != nil:
+		return compareEvents(a.Event, b.Event)
+	case a.Snap != nil && b.Snap != nil:
+		return compareSnaps(a.Snap, b.Snap)
+	default:
+		return fmt.Sprintf("frame type differs: %s vs %s", describeFrame(a), describeFrame(b))
+	}
+}
+
+// compareEvents names the first differing field of two events.
+func compareEvents(a, b *obs.Event) string {
+	id := func(e *obs.Event) string {
+		return fmt.Sprintf("%s/%s(%s) tick %d", e.Cat, e.Name, kindLetter(e.Kind), e.Tick)
+	}
+	if a.Cat != b.Cat || a.Name != b.Name || a.Kind != b.Kind {
+		return fmt.Sprintf("event identity differs: %s vs %s", id(a), id(b))
+	}
+	if a.Tick != b.Tick {
+		return fmt.Sprintf("event %s/%s(%s): logical tick %d vs %d", a.Cat, a.Name, kindLetter(a.Kind), a.Tick, b.Tick)
+	}
+	if len(a.Args) != len(b.Args) {
+		return fmt.Sprintf("event %s: %d args vs %d", id(a), len(a.Args), len(b.Args))
+	}
+	for i := range a.Args {
+		aa, ba := a.Args[i], b.Args[i]
+		if aa.Key != ba.Key {
+			return fmt.Sprintf("event %s: arg %d key %q vs %q", id(a), i, aa.Key, ba.Key)
+		}
+		if aa.IsFloat != ba.IsFloat ||
+			(aa.IsFloat && math.Float64bits(aa.Float) != math.Float64bits(ba.Float)) ||
+			(!aa.IsFloat && aa.Int != ba.Int) {
+			return fmt.Sprintf("event %s: arg %s = %s vs %s", id(a), aa.Key, argValue(aa), argValue(ba))
+		}
+	}
+	return ""
+}
+
+// compareSnaps names the first differing metric cell of two snapshots.
+func compareSnaps(a, b *obs.Snapshot) string {
+	at := fmt.Sprintf("snapshot round %d", a.Round)
+	if a.Round != b.Round {
+		return fmt.Sprintf("snapshot round stamp %d vs %d", a.Round, b.Round)
+	}
+	if len(a.Counters) != len(b.Counters) || len(a.Gauges) != len(b.Gauges) || len(a.Hists) != len(b.Hists) {
+		return fmt.Sprintf("%s: metric sets differ (%d/%d/%d vs %d/%d/%d counters/gauges/hists)",
+			at, len(a.Counters), len(a.Gauges), len(a.Hists), len(b.Counters), len(b.Gauges), len(b.Hists))
+	}
+	for i := range a.Counters {
+		ac, bc := a.Counters[i], b.Counters[i]
+		if ac.Name != bc.Name {
+			return fmt.Sprintf("%s: counter %d named %q vs %q", at, i, ac.Name, bc.Name)
+		}
+		if len(ac.Cells) != len(bc.Cells) {
+			return fmt.Sprintf("%s: counter %s has %d cells vs %d", at, ac.Name, len(ac.Cells), len(bc.Cells))
+		}
+		for j := range ac.Cells {
+			if ac.Cells[j] != bc.Cells[j] {
+				return fmt.Sprintf("%s: counter %s cell %d (logical shard %d): %d vs %d",
+					at, ac.Name, j, j, ac.Cells[j], bc.Cells[j])
+			}
+		}
+	}
+	for i := range a.Gauges {
+		ag, bg := a.Gauges[i], b.Gauges[i]
+		if ag.Name != bg.Name {
+			return fmt.Sprintf("%s: gauge %d named %q vs %q", at, i, ag.Name, bg.Name)
+		}
+		if len(ag.Cells) != len(bg.Cells) {
+			return fmt.Sprintf("%s: gauge %s has %d cells vs %d", at, ag.Name, len(ag.Cells), len(bg.Cells))
+		}
+		for j := range ag.Cells {
+			if math.Float64bits(ag.Cells[j]) != math.Float64bits(bg.Cells[j]) {
+				return fmt.Sprintf("%s: gauge %s cell %d (logical shard %d): %s vs %s",
+					at, ag.Name, j, j, floatText(ag.Cells[j]), floatText(bg.Cells[j]))
+			}
+		}
+	}
+	for i := range a.Hists {
+		ah, bh := a.Hists[i], b.Hists[i]
+		if ah.Name != bh.Name {
+			return fmt.Sprintf("%s: hist %d named %q vs %q", at, i, ah.Name, bh.Name)
+		}
+		if len(ah.Counts) != len(bh.Counts) {
+			return fmt.Sprintf("%s: hist %s has %d buckets vs %d", at, ah.Name, len(ah.Counts), len(bh.Counts))
+		}
+		for j := range ah.Counts {
+			if ah.Counts[j] != bh.Counts[j] {
+				return fmt.Sprintf("%s: hist %s bucket %d: %d vs %d", at, ah.Name, j, ah.Counts[j], bh.Counts[j])
+			}
+		}
+		for j := range ah.Bounds {
+			if j < len(bh.Bounds) && math.Float64bits(ah.Bounds[j]) != math.Float64bits(bh.Bounds[j]) {
+				return fmt.Sprintf("%s: hist %s bound %d: %s vs %s",
+					at, ah.Name, j, floatText(ah.Bounds[j]), floatText(bh.Bounds[j]))
+			}
+		}
+		if len(ah.Bounds) != len(bh.Bounds) {
+			return fmt.Sprintf("%s: hist %s has %d bounds vs %d", at, ah.Name, len(ah.Bounds), len(bh.Bounds))
+		}
+	}
+	return ""
+}
+
+// Rendering helpers.
+
+func kindLetter(k obs.EventKind) string {
+	switch k {
+	case obs.KindBegin:
+		return "B"
+	case obs.KindEnd:
+		return "E"
+	default:
+		return "i"
+	}
+}
+
+func argValue(a obs.Arg) string {
+	if a.IsFloat {
+		return floatText(a.Float)
+	}
+	return strconv.FormatInt(a.Int, 10)
+}
+
+func floatText(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// FormatEvent renders one event in the report's compact one-line form:
+// "[dist] E phase tick=7 {phase=7 words=812}".
+func FormatEvent(e *obs.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s %s tick=%d", e.Cat, kindLetter(e.Kind), e.Name, e.Tick)
+	if len(e.Args) > 0 {
+		b.WriteString(" {")
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(a.Key)
+			b.WriteByte('=')
+			b.WriteString(argValue(a))
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// describeFrame renders a frame reference for report text.
+func describeFrame(f *Frame) string {
+	switch {
+	case f == nil:
+		return "(none)"
+	case f.Event != nil:
+		return fmt.Sprintf("frame %d: %s", f.Index, FormatEvent(f.Event))
+	case f.Snap != nil:
+		return fmt.Sprintf("frame %d: snapshot round %d", f.Index, f.Snap.Round)
+	default:
+		return fmt.Sprintf("frame %d", f.Index)
+	}
+}
+
+// WriteText renders the report for humans: the verdict, the first
+// divergence with both sides, and the trailing common window.
+func (rep *Report) WriteText(w io.Writer) {
+	if rep.Identical {
+		fmt.Fprintf(w, "identical: %d frames compared\n", rep.Frames)
+	} else {
+		fmt.Fprintf(w, "first divergence at frame position %d (%s)\n", rep.Pos, rep.Kind)
+		fmt.Fprintf(w, "  %s\n", rep.Detail)
+		if rep.A != nil {
+			fmt.Fprintf(w, "  a: %s\n", describeFrame(rep.A))
+		}
+		if rep.B != nil {
+			fmt.Fprintf(w, "  b: %s\n", describeFrame(rep.B))
+		}
+		for _, d := range rep.ManifestDiffs {
+			fmt.Fprintf(w, "  manifest: %s\n", d)
+		}
+		if len(rep.Window) > 0 {
+			fmt.Fprintf(w, "  last %d common frames:\n", len(rep.Window))
+			for i := range rep.Window {
+				fmt.Fprintf(w, "    %s\n", describeFrame(&rep.Window[i]))
+			}
+		}
+	}
+	for _, n := range rep.EnvNotes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}

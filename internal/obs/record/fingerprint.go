@@ -1,0 +1,228 @@
+package record
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Fingerprint is a recording's compact transcript identity: the manifest
+// hash, a digest over the deterministic event stream, and one digest per
+// snapshot (golden-trace regression checks these in, so a future change
+// that perturbs the transcript fails naming the first divergent round
+// instead of a bare hash mismatch).
+//
+// Environment event categories (obs.IsEnvCat) are excluded, so recordings
+// of one workload at any worker count, transport, or batch schedule share
+// a fingerprint — the same invariance the determinism suites pin.
+type Fingerprint struct {
+	// Manifest is Manifest.Hash(): version, workload, and the Run section.
+	Manifest uint64 `json:"manifest"`
+	// Events counts deterministic-category events; EventsDigest chains
+	// their canonical encodings.
+	Events       int64  `json:"events"`
+	EventsDigest uint64 `json:"events_digest"`
+	// Rounds carries one entry per snapshot frame, in file order.
+	Rounds []RoundDigest `json:"rounds"`
+}
+
+// RoundDigest is one snapshot's stamp and digest (FNV-1a 64 over the
+// canonical snapshot text — the same encoding the determinism suites
+// compare, so equal digests mean bit-identical metric cells).
+type RoundDigest struct {
+	Round  int64  `json:"round"`
+	Digest uint64 `json:"digest"`
+}
+
+// appendEventCanon appends an event's table-independent canonical encoding
+// (raw strings, not interned IDs, so the digest never depends on string-
+// table construction order).
+func appendEventCanon(b []byte, e *obs.Event) []byte {
+	b = appendString(b, e.Cat)
+	b = appendString(b, e.Name)
+	b = append(b, byte(e.Kind))
+	b = binary.AppendVarint(b, e.Tick)
+	b = binary.AppendUvarint(b, uint64(len(e.Args)))
+	for _, a := range e.Args {
+		b = appendString(b, a.Key)
+		if a.IsFloat {
+			b = append(b, 1)
+			b = appendFloatBits(b, a.Float)
+		} else {
+			b = append(b, 0)
+			b = binary.AppendVarint(b, a.Int)
+		}
+	}
+	return b
+}
+
+// FingerprintReader consumes a recording stream and computes its
+// fingerprint.
+func FingerprintReader(r *Reader) (*Fingerprint, error) {
+	fp := &Fingerprint{Manifest: r.Manifest().Hash(), EventsDigest: fnvOffset}
+	var scratch []byte
+	for {
+		f, err := r.Next()
+		if err == io.EOF {
+			return fp, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case f.Event != nil:
+			if obs.IsEnvCat(f.Event.Cat) {
+				continue
+			}
+			scratch = appendEventCanon(scratch[:0], f.Event)
+			fp.EventsDigest = fnv1a(fp.EventsDigest, scratch)
+			fp.Events++
+		case f.Snap != nil:
+			scratch = f.Snap.AppendText(scratch[:0])
+			fp.Rounds = append(fp.Rounds, RoundDigest{
+				Round:  f.Snap.Round,
+				Digest: fnv1a(fnvOffset, scratch),
+			})
+		}
+	}
+}
+
+// fpHeader is the first line of the fingerprint text format.
+const fpHeader = "lbrec-fp v1"
+
+// AppendText appends the fingerprint's canonical text form — the format
+// golden files are checked in as:
+//
+//	lbrec-fp v1
+//	manifest <16 hex>
+//	events <count> <16 hex>
+//	round <round> <16 hex>
+//	...
+func (fp *Fingerprint) AppendText(b []byte) []byte {
+	b = append(b, fpHeader...)
+	b = append(b, '\n')
+	b = append(b, "manifest "...)
+	b = appendHex64(b, fp.Manifest)
+	b = append(b, '\n')
+	b = append(b, "events "...)
+	b = strconv.AppendInt(b, fp.Events, 10)
+	b = append(b, ' ')
+	b = appendHex64(b, fp.EventsDigest)
+	b = append(b, '\n')
+	for _, rd := range fp.Rounds {
+		b = append(b, "round "...)
+		b = strconv.AppendInt(b, rd.Round, 10)
+		b = append(b, ' ')
+		b = appendHex64(b, rd.Digest)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// appendHex64 appends v as exactly 16 lowercase hex digits.
+func appendHex64(b []byte, v uint64) []byte {
+	var tmp [16]byte
+	for i := 15; i >= 0; i-- {
+		tmp[i] = "0123456789abcdef"[v&0xf]
+		v >>= 4
+	}
+	return append(b, tmp[:]...)
+}
+
+// ParseFingerprint parses the text form back.
+func ParseFingerprint(r io.Reader) (*Fingerprint, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != fpHeader {
+		return nil, fmt.Errorf("record: not a fingerprint file (want %q header)", fpHeader)
+	}
+	fp := &Fingerprint{}
+	sawManifest, sawEvents := false, false
+	for line := 2; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		bad := func() error { return fmt.Errorf("record: fingerprint line %d malformed: %q", line, text) }
+		switch fields[0] {
+		case "manifest":
+			if len(fields) != 2 {
+				return nil, bad()
+			}
+			v, err := strconv.ParseUint(fields[1], 16, 64)
+			if err != nil {
+				return nil, bad()
+			}
+			fp.Manifest, sawManifest = v, true
+		case "events":
+			if len(fields) != 3 {
+				return nil, bad()
+			}
+			n, err1 := strconv.ParseInt(fields[1], 10, 64)
+			d, err2 := strconv.ParseUint(fields[2], 16, 64)
+			if err1 != nil || err2 != nil {
+				return nil, bad()
+			}
+			fp.Events, fp.EventsDigest, sawEvents = n, d, true
+		case "round":
+			if len(fields) != 3 {
+				return nil, bad()
+			}
+			round, err1 := strconv.ParseInt(fields[1], 10, 64)
+			d, err2 := strconv.ParseUint(fields[2], 16, 64)
+			if err1 != nil || err2 != nil {
+				return nil, bad()
+			}
+			fp.Rounds = append(fp.Rounds, RoundDigest{Round: round, Digest: d})
+		default:
+			return nil, bad()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawManifest || !sawEvents {
+		return nil, fmt.Errorf("record: fingerprint missing manifest or events line")
+	}
+	return fp, nil
+}
+
+// CompareFingerprints names the first divergent component between two
+// fingerprints (conventionally a = the recorded run, b = the golden
+// reference). An empty string means they match exactly.
+func CompareFingerprints(a, b *Fingerprint) string {
+	if a.Manifest != b.Manifest {
+		return fmt.Sprintf("manifest hash differs: %016x vs %016x (workload or Run parameters changed)",
+			a.Manifest, b.Manifest)
+	}
+	n := len(a.Rounds)
+	if len(b.Rounds) < n {
+		n = len(b.Rounds)
+	}
+	for i := 0; i < n; i++ {
+		if a.Rounds[i].Round != b.Rounds[i].Round {
+			return fmt.Sprintf("snapshot %d stamped round %d vs round %d", i, a.Rounds[i].Round, b.Rounds[i].Round)
+		}
+		if a.Rounds[i].Digest != b.Rounds[i].Digest {
+			return fmt.Sprintf("first divergent round: round %d snapshot digest %016x vs %016x",
+				a.Rounds[i].Round, a.Rounds[i].Digest, b.Rounds[i].Digest)
+		}
+	}
+	if len(a.Rounds) != len(b.Rounds) {
+		return fmt.Sprintf("round count differs: %d vs %d (first missing: index %d)",
+			len(a.Rounds), len(b.Rounds), n)
+	}
+	if a.Events != b.Events {
+		return fmt.Sprintf("deterministic event count differs: %d vs %d", a.Events, b.Events)
+	}
+	if a.EventsDigest != b.EventsDigest {
+		return fmt.Sprintf("event stream digest differs: %016x vs %016x (same count %d — an event's fields changed)",
+			a.EventsDigest, b.EventsDigest, a.Events)
+	}
+	return ""
+}

@@ -1,0 +1,164 @@
+package record_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/record"
+)
+
+// FuzzRecording drives the reader with arbitrary bytes, mirroring the wire
+// codec fuzzers: decoding must never panic or over-allocate, and whatever
+// decodes cleanly must re-encode to a recording that decodes to the same
+// manifest and frames (round-trip identity on the decoded form — byte
+// identity is not required, since an adversarial input may intern strings
+// in a non-first-use order the writer never produces).
+func FuzzRecording(f *testing.F) {
+	// Seed with a real recording and a few structured corruptions of it.
+	var buf bytes.Buffer
+	w, err := record.NewWriter(&buf, record.Manifest{
+		Workload: "fuzz",
+		Run:      []record.Field{record.FInt("rounds", 2), record.FFloat("beta", 0.5)},
+		Env:      []record.Field{record.FStr("transport", "inprocess")},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.Emit(obs.Event{Cat: "dist", Name: "phase", Kind: obs.KindBegin, Tick: 1,
+		Args: []obs.Arg{obs.I("sent", 3), obs.F("mass", 2.5)}})
+	w.Emit(obs.Event{Cat: "dist", Name: "phase", Kind: obs.KindEnd, Tick: 1})
+	w.Snap(obs.Snapshot{Round: 1,
+		Counters: []obs.IntMetric{{Name: "sent", Cells: []int64{1, 2}}},
+		Gauges:   []obs.FloatMetric{{Name: "mass", Cells: []float64{0.5}}},
+		Hists:    []obs.HistMetric{{Name: "words", Bounds: []float64{1}, Counts: []int64{2, 0}}}})
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-3])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0xff
+	f.Add(flipped)
+	f.Add([]byte("LBREC\x01"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, frames, err := record.ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics and hangs are the bug class
+		}
+		var out bytes.Buffer
+		w, werr := record.NewWriter(&out, m)
+		if werr != nil {
+			t.Fatalf("re-encoding accepted manifest failed: %v", werr)
+		}
+		for _, fr := range frames {
+			if fr.Event != nil {
+				w.Emit(*fr.Event)
+			} else if fr.Snap != nil {
+				w.Snap(*fr.Snap)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("re-encoding accepted frames failed: %v", err)
+		}
+		m2, frames2, err := record.ReadAll(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded recording rejected: %v", err)
+		}
+		if !manifestsEqual(m, m2) {
+			t.Fatalf("manifest drifted through re-encode:\n%+v\n%+v", m, m2)
+		}
+		if len(frames) != len(frames2) {
+			t.Fatalf("frame count drifted: %d vs %d", len(frames), len(frames2))
+		}
+		for i := range frames {
+			if !framesEqual(frames[i], frames2[i]) {
+				t.Fatalf("frame %d drifted:\n%+v\n%+v", i, frames[i], frames2[i])
+			}
+		}
+	})
+}
+
+// framesEqual compares frames by float bits, not float value, so NaN
+// payloads an adversarial input smuggles in still count as round-tripped.
+func framesEqual(a, b record.Frame) bool {
+	if a.Index != b.Index {
+		return false
+	}
+	switch {
+	case a.Event != nil && b.Event != nil:
+		ea, eb := a.Event, b.Event
+		if ea.Cat != eb.Cat || ea.Name != eb.Name || ea.Kind != eb.Kind ||
+			ea.Tick != eb.Tick || len(ea.Args) != len(eb.Args) {
+			return false
+		}
+		for i := range ea.Args {
+			x, y := ea.Args[i], eb.Args[i]
+			if x.Key != y.Key || x.IsFloat != y.IsFloat || x.Int != y.Int ||
+				math.Float64bits(x.Float) != math.Float64bits(y.Float) {
+				return false
+			}
+		}
+		return true
+	case a.Snap != nil && b.Snap != nil:
+		sa, sb := a.Snap, b.Snap
+		if sa.Round != sb.Round || len(sa.Counters) != len(sb.Counters) ||
+			len(sa.Gauges) != len(sb.Gauges) || len(sa.Hists) != len(sb.Hists) {
+			return false
+		}
+		if !reflect.DeepEqual(sa.Counters, sb.Counters) {
+			return false
+		}
+		for i := range sa.Gauges {
+			if sa.Gauges[i].Name != sb.Gauges[i].Name || !floatsBitsEqual(sa.Gauges[i].Cells, sb.Gauges[i].Cells) {
+				return false
+			}
+		}
+		for i := range sa.Hists {
+			if sa.Hists[i].Name != sb.Hists[i].Name ||
+				!floatsBitsEqual(sa.Hists[i].Bounds, sb.Hists[i].Bounds) ||
+				!reflect.DeepEqual(sa.Hists[i].Counts, sb.Hists[i].Counts) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// manifestsEqual compares manifests with float-bits semantics, for the
+// same NaN reason.
+func manifestsEqual(a, b record.Manifest) bool {
+	fields := func(x, y []record.Field) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i].Key != y[i].Key || x[i].Kind != y[i].Kind || x[i].Int != y[i].Int ||
+				x[i].Str != y[i].Str || math.Float64bits(x[i].Float) != math.Float64bits(y[i].Float) {
+				return false
+			}
+		}
+		return true
+	}
+	return a.Workload == b.Workload && fields(a.Run, b.Run) && fields(a.Env, b.Env)
+}
+
+func floatsBitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

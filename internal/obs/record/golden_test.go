@@ -1,0 +1,182 @@
+package record_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph/gen"
+	"repro/internal/obs"
+	"repro/internal/obs/record"
+	"repro/internal/rng"
+)
+
+// updateGolden regenerates the checked-in fingerprints:
+//
+//	go test ./internal/obs/record -run TestGoldenTraces -update-golden
+//
+// Only legitimate transcript changes (a protocol or instrumentation change
+// that is supposed to alter the observed sequence) warrant an update; an
+// unexpected diff here is the regression the golden traces exist to catch.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden fingerprints")
+
+// recordSBMSync is the canonical synchronous golden workload: a planted
+// 2-block SBM clustered by the distributed protocol.
+func recordSBMSync(t *testing.T, workers int) []byte {
+	t.Helper()
+	p, err := gen.SBMBalanced(2, 40, 8, 1, rng.New(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := record.Manifest{
+		Workload: "sbm-sync",
+		Run: []record.Field{
+			record.FStr("graph", "sbm-balanced k=2 size=40 din=8 dout=1 seed=777"),
+			record.FFloat("beta", 0.5),
+			record.FInt("rounds", 6),
+			record.FInt("seed", 29),
+		},
+		Env: []record.Field{record.FInt("workers", int64(workers))},
+	}
+	var buf bytes.Buffer
+	w, err := record.NewWriter(&buf, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver(obs.Options{})
+	record.Attach(o, w)
+	if _, err := core.ClusterDistributed(p.G, core.Params{Beta: 0.5, Rounds: 6, Seed: 29}, core.DistOptions{
+		Workers: workers,
+		Obs:     o,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTraces checks the canonical workloads' fingerprints against the
+// checked-in golden files: the manifest hash pins the workload identity,
+// the per-round digests pin every snapshot cell, and the event digest pins
+// the deterministic trace. A failure names the first divergent round.
+//
+// Each workload is also recorded under a second execution shape (different
+// worker count or the batched scheduler) that must match the same golden —
+// the worker/transport/schedule invariance, pinned against a checked-in
+// reference rather than a same-process twin.
+func TestGoldenTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  func(t *testing.T) []byte // canonical shape
+		alt  func(t *testing.T) []byte // second shape, same fingerprint
+	}{
+		{
+			name: "sbm-sync",
+			rec:  func(t *testing.T) []byte { return recordSBMSync(t, 1) },
+			alt:  func(t *testing.T) []byte { return recordSBMSync(t, 4) },
+		},
+		{
+			name: "async-gossip",
+			rec:  func(t *testing.T) []byte { return recordAsync(t, 0, core.TransportSpec{}, false, nil) },
+			alt:  func(t *testing.T) []byte { return recordAsync(t, 4, core.TransportSpec{}, false, nil) },
+		},
+		{
+			name: "faulty-reliable",
+			rec: func(t *testing.T) []byte {
+				return recordAsync(t, 0, core.TransportSpec{}, true, dist.LinkFaults{DropProb: 0.05, Seed: 5})
+			},
+			alt: func(t *testing.T) []byte {
+				return recordAsync(t, 4, core.TransportSpec{Kind: "ring"}, true, dist.LinkFaults{DropProb: 0.05, Seed: 5})
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", tc.name+".fp")
+			fp := fingerprintBytes(t, tc.rec(t))
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, fp.AppendText(nil), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update-golden)", err)
+			}
+			golden, err := record.ParseFingerprint(bytes.NewReader(blob))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg := record.CompareFingerprints(fp, golden); msg != "" {
+				t.Errorf("fingerprint diverges from golden: %s", msg)
+			}
+			// The golden text format itself is part of the contract.
+			if !*updateGolden && !bytes.Equal(fp.AppendText(nil), blob) {
+				t.Errorf("fingerprint text rendering drifted from the checked-in form")
+			}
+			if altFP := fingerprintBytes(t, tc.alt(t)); record.CompareFingerprints(altFP, golden) != "" {
+				t.Errorf("alternate execution shape diverges from golden: %s",
+					record.CompareFingerprints(altFP, golden))
+			}
+		})
+	}
+}
+
+// TestFingerprintTextRoundTrip pins AppendText/ParseFingerprint identity
+// and that CompareFingerprints names the right component.
+func TestFingerprintTextRoundTrip(t *testing.T) {
+	fp := &record.Fingerprint{
+		Manifest:     0xdeadbeefcafe0123,
+		Events:       42,
+		EventsDigest: 0x0123456789abcdef,
+		Rounds: []record.RoundDigest{
+			{Round: 1, Digest: 0x1111111111111111},
+			{Round: 2, Digest: 0x2222222222222222},
+		},
+	}
+	text := fp.AppendText(nil)
+	back, err := record.ParseFingerprint(bytes.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := record.CompareFingerprints(fp, back); msg != "" {
+		t.Fatalf("text round-trip lost content: %s", msg)
+	}
+	if !bytes.Equal(back.AppendText(nil), text) {
+		t.Fatal("re-rendered text differs")
+	}
+
+	perturbed := *fp
+	perturbed.Rounds = append([]record.RoundDigest(nil), fp.Rounds...)
+	perturbed.Rounds[1].Digest++
+	msg := record.CompareFingerprints(fp, &perturbed)
+	if msg == "" || !bytes.Contains([]byte(msg), []byte("round 2")) {
+		t.Errorf("round digest divergence message %q does not name round 2", msg)
+	}
+	perturbed = *fp
+	perturbed.Manifest++
+	if msg := record.CompareFingerprints(fp, &perturbed); msg == "" {
+		t.Error("manifest hash divergence not reported")
+	}
+	perturbed = *fp
+	perturbed.Events++
+	if msg := record.CompareFingerprints(fp, &perturbed); msg == "" {
+		t.Error("event count divergence not reported")
+	}
+
+	if _, err := record.ParseFingerprint(bytes.NewReader([]byte("not a fingerprint"))); err == nil {
+		t.Error("garbage accepted as a fingerprint")
+	}
+	if _, err := record.ParseFingerprint(bytes.NewReader([]byte("lbrec-fp v1\nmanifest xyz\n"))); err == nil {
+		t.Error("malformed manifest line accepted")
+	}
+}

@@ -1,0 +1,302 @@
+package record
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// ErrTruncated reports a recording that ends without a trailer frame — the
+// run crashed, the disk filled, or frames were cut. The frames read before
+// the cut are valid; the diff tooling reports truncation as a divergence
+// of its own kind rather than an I/O failure.
+var ErrTruncated = errors.New("record: recording truncated (no trailer)")
+
+// Frame is one replayed recording entry: exactly one of Event or Snap is
+// non-nil. Index counts event+snapshot frames from 0 in file order — the
+// coordinate divergence reports use.
+type Frame struct {
+	Index int64         `json:"index"`
+	Event *obs.Event    `json:"event,omitempty"`
+	Snap  *obs.Snapshot `json:"snapshot,omitempty"`
+}
+
+// Reader streams a recording: NewReader consumes the header and manifest,
+// Next returns event/snapshot frames in file order and io.EOF after a
+// complete trailer (ErrTruncated if the stream ends without one). All
+// structural corruption — bad magic, unknown frame types, out-of-range
+// string IDs, counts exceeding the frame, digest mismatches — returns an
+// error and never panics: recordings cross trust boundaries like wire
+// frames do.
+type Reader struct {
+	r        *bufio.Reader
+	manifest Manifest
+	strs     []string
+	buf      []byte
+	next     int64
+	events   int64
+	snaps    int64
+	digest   uint64
+	done     bool
+	err      error
+}
+
+// NewReader opens a recording stream and reads through its manifest.
+func NewReader(r io.Reader) (*Reader, error) {
+	rr := &Reader{r: bufio.NewReaderSize(r, 1<<16), digest: fnvOffset}
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(rr.r, head); err != nil {
+		return nil, fmt.Errorf("record: reading header: %w", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("record: bad magic %q — not a recording", head[:len(magic)])
+	}
+	if head[len(magic)] != version {
+		return nil, fmt.Errorf("record: format version %d, this reader speaks %d", head[len(magic)], version)
+	}
+	body, err := rr.readFrame()
+	if err != nil {
+		return nil, fmt.Errorf("record: reading manifest: %w", err)
+	}
+	if len(body) < 1 || body[0] != frameManifest {
+		return nil, fmt.Errorf("record: first frame is not the manifest")
+	}
+	if rr.manifest, err = decodeManifest(body[1:]); err != nil {
+		return nil, err
+	}
+	return rr, nil
+}
+
+// Manifest returns the recording's manifest.
+func (r *Reader) Manifest() Manifest { return r.manifest }
+
+// Counts returns how many event and snapshot frames Next has returned so
+// far (after io.EOF: the whole recording's totals, verified against the
+// trailer).
+func (r *Reader) Counts() (events, snaps int64) { return r.events, r.snaps }
+
+// readFrame reads one length-prefixed frame body and folds it into the
+// running digest.
+func (r *Reader) readFrame() ([]byte, error) {
+	n, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("frame length %d exceeds limit", n)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	body := r.buf[:n]
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		// A length prefix without its body is truncation mid-frame.
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	r.digest = fnv1a(r.digest, body)
+	return body, nil
+}
+
+// Next returns the next event or snapshot frame. It returns io.EOF after a
+// verified trailer, ErrTruncated when the stream ends early, and a
+// descriptive error on any corruption. Errors are sticky.
+func (r *Reader) Next() (Frame, error) {
+	if r.err != nil {
+		return Frame{}, r.err
+	}
+	for {
+		if r.done {
+			r.err = io.EOF
+			return Frame{}, r.err
+		}
+		digestBefore := r.digest // the trailer digest covers frames before it
+		body, err := r.readFrame()
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				r.err = ErrTruncated
+			} else {
+				r.err = fmt.Errorf("record: frame %d: %w", r.next, err)
+			}
+			return Frame{}, r.err
+		}
+		if len(body) < 1 {
+			r.err = fmt.Errorf("record: frame %d: empty body", r.next)
+			return Frame{}, r.err
+		}
+		switch body[0] {
+		case frameStr:
+			if len(body)-1 > maxString {
+				r.err = fmt.Errorf("record: string of %d bytes exceeds limit", len(body)-1)
+				return Frame{}, r.err
+			}
+			r.strs = append(r.strs, string(body[1:]))
+		case frameEvent:
+			e, err := r.decodeEvent(body[1:])
+			if err != nil {
+				r.err = fmt.Errorf("record: frame %d: %w", r.next, err)
+				return Frame{}, r.err
+			}
+			f := Frame{Index: r.next, Event: e}
+			r.next++
+			r.events++
+			return f, nil
+		case frameSnap:
+			s, err := r.decodeSnap(body[1:])
+			if err != nil {
+				r.err = fmt.Errorf("record: frame %d: %w", r.next, err)
+				return Frame{}, r.err
+			}
+			f := Frame{Index: r.next, Snap: s}
+			r.next++
+			r.snaps++
+			return f, nil
+		case frameEnd:
+			if err := r.checkTrailer(body[1:], digestBefore); err != nil {
+				r.err = err
+				return Frame{}, r.err
+			}
+			r.done = true
+		case frameManifest:
+			r.err = fmt.Errorf("record: frame %d: duplicate manifest", r.next)
+			return Frame{}, r.err
+		default:
+			r.err = fmt.Errorf("record: frame %d: unknown frame type 0x%02x", r.next, body[0])
+			return Frame{}, r.err
+		}
+	}
+}
+
+// str resolves an interned string ID.
+func (r *Reader) str(d *decoder, id uint64, what string) string {
+	if d.err != nil {
+		return ""
+	}
+	if id >= uint64(len(r.strs)) {
+		d.fail("%s string id %d out of range (%d defined)", what, id, len(r.strs))
+		return ""
+	}
+	return r.strs[id]
+}
+
+// decodeEvent decodes one event frame body.
+func (r *Reader) decodeEvent(body []byte) (*obs.Event, error) {
+	d := &decoder{data: body}
+	e := &obs.Event{}
+	e.Cat = r.str(d, d.uvarint("event cat"), "cat")
+	e.Name = r.str(d, d.uvarint("event name"), "name")
+	kind := d.byte("event kind")
+	if d.err == nil && kind > byte(obs.KindInstant) {
+		d.fail("unknown event kind 0x%02x", kind)
+	}
+	e.Kind = obs.EventKind(kind)
+	e.Tick = d.varint("event tick")
+	n := d.count("event arg count", 3)
+	for i := 0; i < n && d.err == nil; i++ {
+		a := obs.Arg{Key: r.str(d, d.uvarint("arg key"), "arg key")}
+		switch d.byte("arg flag") {
+		case 0:
+			a.Int = d.varint("arg int")
+		case 1:
+			a.IsFloat = true
+			a.Float = d.floatBits("arg float")
+		default:
+			d.fail("unknown arg flag")
+		}
+		e.Args = append(e.Args, a)
+	}
+	if d.err == nil && len(d.data) != 0 {
+		d.fail("%d trailing bytes in event", len(d.data))
+	}
+	return e, d.err
+}
+
+// decodeSnap decodes one snapshot frame body.
+func (r *Reader) decodeSnap(body []byte) (*obs.Snapshot, error) {
+	d := &decoder{data: body}
+	s := &obs.Snapshot{Round: d.varint("snapshot round")}
+	nc := d.count("counter count", 2)
+	for i := 0; i < nc && d.err == nil; i++ {
+		m := obs.IntMetric{Name: r.str(d, d.uvarint("counter name"), "counter")}
+		cells := d.count("counter cells", 1)
+		for j := 0; j < cells && d.err == nil; j++ {
+			m.Cells = append(m.Cells, d.varint("counter cell"))
+		}
+		s.Counters = append(s.Counters, m)
+	}
+	ng := d.count("gauge count", 2)
+	for i := 0; i < ng && d.err == nil; i++ {
+		m := obs.FloatMetric{Name: r.str(d, d.uvarint("gauge name"), "gauge")}
+		cells := d.count("gauge cells", 8)
+		for j := 0; j < cells && d.err == nil; j++ {
+			m.Cells = append(m.Cells, d.floatBits("gauge cell"))
+		}
+		s.Gauges = append(s.Gauges, m)
+	}
+	nh := d.count("hist count", 2)
+	for i := 0; i < nh && d.err == nil; i++ {
+		m := obs.HistMetric{Name: r.str(d, d.uvarint("hist name"), "hist")}
+		bounds := d.count("hist bounds", 8)
+		for j := 0; j < bounds && d.err == nil; j++ {
+			m.Bounds = append(m.Bounds, d.floatBits("hist bound"))
+		}
+		counts := d.count("hist counts", 1)
+		for j := 0; j < counts && d.err == nil; j++ {
+			m.Counts = append(m.Counts, d.varint("hist counts"))
+		}
+		s.Hists = append(s.Hists, m)
+	}
+	if d.err == nil && len(d.data) != 0 {
+		d.fail("%d trailing bytes in snapshot", len(d.data))
+	}
+	return s, d.err
+}
+
+// checkTrailer verifies the trailer against what was actually read.
+func (r *Reader) checkTrailer(body []byte, digestBefore uint64) error {
+	d := &decoder{data: body}
+	events := d.uvarint("trailer event count")
+	snaps := d.uvarint("trailer snapshot count")
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.data) != 8 {
+		return fmt.Errorf("record: trailer digest is %d bytes, want 8", len(d.data))
+	}
+	digest := binary.LittleEndian.Uint64(d.data)
+	if int64(events) != r.events || int64(snaps) != r.snaps {
+		return fmt.Errorf("record: trailer counts %d events / %d snapshots, read %d / %d",
+			events, snaps, r.events, r.snaps)
+	}
+	if digest != digestBefore {
+		return fmt.Errorf("record: trailer digest mismatch — recording corrupted")
+	}
+	return nil
+}
+
+// ReadAll replays a whole recording into memory: the manifest and every
+// event/snapshot frame. Intended for conversion and tests; the diff path
+// streams instead.
+func ReadAll(r io.Reader) (Manifest, []Frame, error) {
+	rr, err := NewReader(r)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	var frames []Frame
+	for {
+		f, err := rr.Next()
+		if err == io.EOF {
+			return rr.Manifest(), frames, nil
+		}
+		if err != nil {
+			return rr.Manifest(), frames, err
+		}
+		frames = append(frames, f)
+	}
+}

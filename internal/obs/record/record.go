@@ -1,0 +1,349 @@
+// Package record is the flight recorder of the observability layer: a
+// persistent, streaming binary format for repro/internal/obs event traces
+// and metric snapshots, plus the divergence forensics built on it — a
+// first-divergence bisector over two recordings and compact fingerprints
+// for golden-trace regression.
+//
+// A recording is a run manifest followed by the run's trace, frame by
+// frame, in emission order:
+//
+//	magic "LBREC" | version byte
+//	frames: uvarint body length | body
+//	body:   type byte | type-specific payload
+//
+// Frame types: the manifest (exactly once, first), string-table
+// definitions (each assigns the next integer ID to a category / event name
+// / arg key, so the hot frames carry varint IDs instead of strings), event
+// frames, snapshot frames, and a trailer carrying frame counts and a
+// running digest so truncation is detectable. Integers are varints and
+// floats are fixed-width IEEE-754 bits — the repro/internal/wire encoding
+// conventions — so the encoding is exact and canonical: two runs produce
+// byte-identical recordings iff their observed transcripts are identical,
+// which is what makes lockstep comparison meaningful.
+//
+// The manifest splits into a Run section (transcript identity: parameters,
+// seeds, the workload) and an Env section (environment: worker count,
+// transport, host). Only the Run section is hashed and compared, mirroring
+// the obs Reg/Env registry split: recordings of the same workload at
+// different worker counts or transports are expected — and verified — to
+// be bit-identical. Event categories obs.IsEnvCat classifies as
+// environmental ("sched", "wire") are likewise recorded but excluded from
+// fingerprints and non-strict diffs.
+//
+// Like repro/internal/obs/export, this package is an I/O boundary: the
+// Writer streams to an io.Writer so long runs never buffer their trace in
+// memory. Unlike export it performs no wall-clock reads and its output is
+// a pure function of the manifest and the observed sequence, so it lives
+// under the full deterministic rule set in repro/internal/analysis — file
+// I/O is sanctioned here the same way wire's socket I/O is: the bytes
+// written are transcript-determined, only their destination is
+// environmental.
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Format constants. Version bumps when the frame encoding changes; readers
+// reject other versions loudly rather than misparse.
+const (
+	magic   = "LBREC"
+	version = 1
+)
+
+// Frame type bytes.
+const (
+	frameManifest byte = 0x01
+	frameStr      byte = 0x02
+	frameEvent    byte = 0x03
+	frameSnap     byte = 0x04
+	frameEnd      byte = 0x05
+)
+
+// maxFrame bounds one frame body, like wire's frame protocol: far beyond
+// any real event or snapshot, so a corrupt length prefix reads as an error
+// instead of an allocation demand.
+const maxFrame = 1 << 30
+
+// maxString bounds one interned string; categories, event names, and arg
+// keys are short identifiers.
+const maxString = 1 << 16
+
+// Field kind bytes in manifest sections.
+const (
+	fieldInt   byte = 'i'
+	fieldFloat byte = 'f'
+	fieldStr   byte = 's'
+)
+
+// Field is one named manifest value: an int64, a float64, or a string.
+type Field struct {
+	Key   string  `json:"key"`
+	Kind  byte    `json:"-"`
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+	Str   string  `json:"str,omitempty"`
+}
+
+// FInt makes an integer manifest field.
+func FInt(key string, v int64) Field { return Field{Key: key, Kind: fieldInt, Int: v} }
+
+// FFloat makes a float manifest field.
+func FFloat(key string, v float64) Field { return Field{Key: key, Kind: fieldFloat, Float: v} }
+
+// FStr makes a string manifest field.
+func FStr(key string, v string) Field { return Field{Key: key, Kind: fieldStr, Str: v} }
+
+// Value renders the field's value in the canonical exact text form (floats
+// in shortest round-trip notation).
+func (f Field) Value() string {
+	switch f.Kind {
+	case fieldInt:
+		return fmt.Sprintf("%d", f.Int)
+	case fieldFloat:
+		return fmt.Sprintf("%g", f.Float)
+	default:
+		return f.Str
+	}
+}
+
+// Manifest identifies a recording. Workload and Run are the transcript
+// identity — two recordings are comparable iff these match bit for bit —
+// while Env records the execution environment for forensics (worker count,
+// transport, host) and never participates in hashes or compatibility.
+type Manifest struct {
+	// Workload names the run shape (e.g. "distributed", "gossip",
+	// "sbm-sync" for a golden workload).
+	Workload string `json:"workload"`
+	// Run is the ordered transcript-identity section: every parameter that
+	// is allowed to change the observed sequence (seeds, rounds, fault
+	// rates, the input graph's digest).
+	Run []Field `json:"run"`
+	// Env is the ordered environment section: parameters the determinism
+	// contract guarantees do NOT change the observed sequence (worker
+	// count, transport, state backend) plus host identification.
+	Env []Field `json:"env,omitempty"`
+}
+
+// appendField appends one field's canonical encoding.
+func appendField(b []byte, f Field) []byte {
+	b = appendString(b, f.Key)
+	b = append(b, f.Kind)
+	switch f.Kind {
+	case fieldInt:
+		b = binary.AppendVarint(b, f.Int)
+	case fieldFloat:
+		b = appendFloatBits(b, f.Float)
+	case fieldStr:
+		b = appendString(b, f.Str)
+	}
+	return b
+}
+
+// appendIdentity appends the manifest's transcript-identity encoding — the
+// byte sequence Hash digests and manifest comparison uses: format version,
+// workload, and the Run section.
+func (m Manifest) appendIdentity(b []byte) []byte {
+	b = append(b, version)
+	b = appendString(b, m.Workload)
+	b = binary.AppendUvarint(b, uint64(len(m.Run)))
+	for _, f := range m.Run {
+		b = appendField(b, f)
+	}
+	return b
+}
+
+// Hash digests the manifest's transcript identity (FNV-1a 64 over the
+// canonical encoding of version, workload, and Run — never Env). Equal
+// hashes are a necessary condition for two recordings to compare clean.
+func (m Manifest) Hash() uint64 {
+	return fnv1a(fnvOffset, m.appendIdentity(nil))
+}
+
+// encode appends the full manifest frame body (identity section + Env).
+func (m Manifest) encode(b []byte) []byte {
+	b = append(b, frameManifest)
+	b = m.appendIdentity(b)
+	b = binary.AppendUvarint(b, uint64(len(m.Env)))
+	for _, f := range m.Env {
+		b = appendField(b, f)
+	}
+	return b
+}
+
+// Encoding primitives, the wire conventions: uvarint lengths and counts,
+// zigzag varints for signed integers, fixed-width IEEE-754 bits for floats
+// (exact for every value including negative zero; distinct NaN payloads
+// stay distinct).
+
+// appendString appends a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendFloatBits appends a float64 as 8 little-endian IEEE-754 bytes.
+func appendFloatBits(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// decoder walks one frame body; all methods fail loudly (sticky error) and
+// never panic — recordings cross trust boundaries like wire frames do.
+type decoder struct {
+	data []byte
+	err  error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("record: "+format, args...)
+	}
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(d.data)
+	if k <= 0 {
+		d.fail("truncated %s", what)
+		return 0
+	}
+	d.data = d.data[k:]
+	return v
+}
+
+func (d *decoder) varint(what string) int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Varint(d.data)
+	if k <= 0 {
+		d.fail("truncated %s", what)
+		return 0
+	}
+	d.data = d.data[k:]
+	return v
+}
+
+func (d *decoder) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) < 1 {
+		d.fail("truncated %s", what)
+		return 0
+	}
+	v := d.data[0]
+	d.data = d.data[1:]
+	return v
+}
+
+func (d *decoder) floatBits(what string) float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) < 8 {
+		d.fail("truncated %s", what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data))
+	d.data = d.data[8:]
+	return v
+}
+
+func (d *decoder) string(what string) string {
+	n := d.uvarint(what + " length")
+	if d.err != nil {
+		return ""
+	}
+	if n > maxString {
+		d.fail("%s length %d exceeds limit", what, n)
+		return ""
+	}
+	if uint64(len(d.data)) < n {
+		d.fail("truncated %s", what)
+		return ""
+	}
+	s := string(d.data[:n])
+	d.data = d.data[n:]
+	return s
+}
+
+// count reads an element count and bounds it by the bytes remaining (each
+// element costs at least minBytes), so a corrupt count cannot demand an
+// absurd allocation.
+func (d *decoder) count(what string, minBytes int) int {
+	n := d.uvarint(what)
+	if d.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(len(d.data)/minBytes)+1 {
+		d.fail("%s %d exceeds frame", what, n)
+		return 0
+	}
+	return int(n)
+}
+
+// field decodes one manifest field.
+func (d *decoder) field() Field {
+	f := Field{Key: d.string("field key")}
+	f.Kind = d.byte("field kind")
+	switch f.Kind {
+	case fieldInt:
+		f.Int = d.varint("field int")
+	case fieldFloat:
+		f.Float = d.floatBits("field float")
+	case fieldStr:
+		f.Str = d.string("field string")
+	default:
+		if d.err == nil {
+			d.fail("unknown field kind 0x%02x", f.Kind)
+		}
+	}
+	return f
+}
+
+// decodeManifest decodes a manifest frame body (after the type byte).
+func decodeManifest(body []byte) (Manifest, error) {
+	d := &decoder{data: body}
+	var m Manifest
+	if v := d.byte("format version"); d.err == nil && v != version {
+		return m, fmt.Errorf("record: format version %d, this reader speaks %d", v, version)
+	}
+	m.Workload = d.string("workload")
+	if n := d.count("run field count", 2); d.err == nil {
+		for i := 0; i < n; i++ {
+			m.Run = append(m.Run, d.field())
+		}
+	}
+	if n := d.count("env field count", 2); d.err == nil {
+		for i := 0; i < n; i++ {
+			m.Env = append(m.Env, d.field())
+		}
+	}
+	if d.err == nil && len(d.data) != 0 {
+		d.fail("%d trailing bytes in manifest", len(d.data))
+	}
+	return m, d.err
+}
+
+// FNV-1a 64, inlined so the package needs no hash/fnv dependency decisions
+// — the digest is part of the format and must never drift.
+const (
+	fnvOffset uint64 = 0xcbf29ce484222325
+	fnvPrime  uint64 = 0x100000001b3
+)
+
+func fnv1a(h uint64, data []byte) uint64 {
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}

@@ -1,0 +1,308 @@
+package record_test
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/record"
+)
+
+// sampleManifest exercises every field kind in both sections.
+func sampleManifest() record.Manifest {
+	return record.Manifest{
+		Workload: "unit",
+		Run: []record.Field{
+			record.FInt("rounds", 8),
+			record.FFloat("beta", 0.5),
+			record.FStr("graph", "ring"),
+			record.FInt("negative", -3),
+		},
+		Env: []record.Field{
+			record.FInt("workers", 4),
+			record.FStr("host", "test"),
+		},
+	}
+}
+
+// sampleEvents covers all kinds, negative ticks, int and float args
+// (including negative zero, which the bit encoding must preserve).
+func sampleEvents() []obs.Event {
+	return []obs.Event{
+		{Cat: "dist", Name: "phase", Kind: obs.KindBegin, Tick: 1},
+		{Cat: "dist", Name: "phase", Kind: obs.KindEnd, Tick: 1,
+			Args: []obs.Arg{obs.I("sent", 42), obs.F("mass", 1.5)}},
+		{Cat: "core", Name: "round", Kind: obs.KindInstant, Tick: -7,
+			Args: []obs.Arg{obs.F("negzero", math.Copysign(0, -1)), obs.I("neg", -9)}},
+		{Cat: "sched", Name: "batch", Kind: obs.KindInstant, Tick: 3,
+			Args: []obs.Arg{obs.I("size", 5)}},
+	}
+}
+
+func sampleSnaps() []obs.Snapshot {
+	return []obs.Snapshot{
+		{
+			Round:    1,
+			Counters: []obs.IntMetric{{Name: "sent", Cells: []int64{1, 2, 3, -4}}},
+			Gauges:   []obs.FloatMetric{{Name: "mass", Cells: []float64{0.5, math.Copysign(0, -1)}}},
+			Hists: []obs.HistMetric{{
+				Name:   "msg_words",
+				Bounds: []float64{1, 8, 64},
+				Counts: []int64{5, 3, 1, 0},
+			}},
+		},
+		{Round: 2, Counters: []obs.IntMetric{{Name: "sent", Cells: []int64{9}}}},
+	}
+}
+
+// encodeSample writes the sample recording and returns its bytes.
+func encodeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := record.NewWriter(&buf, sampleManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sampleEvents() {
+		w.Emit(e)
+	}
+	for _, s := range sampleSnaps() {
+		w.Snap(s)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRoundTrip pins write → read identity for the manifest and every
+// frame, in order, including the frame Index coordinates and trailer
+// counts.
+func TestRoundTrip(t *testing.T) {
+	rec := encodeSample(t)
+	m, frames, err := record.ReadAll(bytes.NewReader(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, sampleManifest()) {
+		t.Errorf("manifest round-trip mismatch:\ngot  %+v\nwant %+v", m, sampleManifest())
+	}
+	events, snaps := sampleEvents(), sampleSnaps()
+	if len(frames) != len(events)+len(snaps) {
+		t.Fatalf("got %d frames, want %d", len(frames), len(events)+len(snaps))
+	}
+	for i, f := range frames {
+		if f.Index != int64(i) {
+			t.Errorf("frame %d has Index %d", i, f.Index)
+		}
+		if i < len(events) {
+			if f.Event == nil || !reflect.DeepEqual(*f.Event, events[i]) {
+				t.Errorf("frame %d: got %+v, want event %+v", i, f, events[i])
+			}
+		} else {
+			want := snaps[i-len(events)]
+			if f.Snap == nil || !reflect.DeepEqual(*f.Snap, want) {
+				t.Errorf("frame %d: got %+v, want snapshot %+v", i, f, want)
+			}
+		}
+	}
+	// Negative zero must survive as negative zero, not plain zero.
+	nz := frames[2].Event.Args[0].Float
+	if math.Float64bits(nz) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("negative zero decoded as %v (bits %x)", nz, math.Float64bits(nz))
+	}
+}
+
+// TestWriterByteDeterminism: the same manifest and sequence must produce
+// byte-identical recordings — the property lockstep comparison and golden
+// digests stand on.
+func TestWriterByteDeterminism(t *testing.T) {
+	a, b := encodeSample(t), encodeSample(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two recordings of the same sequence differ byte for byte")
+	}
+}
+
+// TestReaderCounts pins the trailer-verified totals.
+func TestReaderCounts(t *testing.T) {
+	r, err := record.NewReader(bytes.NewReader(encodeSample(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, snaps := r.Counts()
+	if events != int64(len(sampleEvents())) || snaps != int64(len(sampleSnaps())) {
+		t.Errorf("counts %d/%d, want %d/%d", events, snaps, len(sampleEvents()), len(sampleSnaps()))
+	}
+	// Errors are sticky: a second Next after EOF stays EOF.
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("Next after EOF = %v, want io.EOF", err)
+	}
+}
+
+// drain reads a recording to its end and returns the terminal error
+// (io.EOF for a complete recording).
+func drain(data []byte) error {
+	r, err := record.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	for {
+		if _, err := r.Next(); err != nil {
+			return err
+		}
+	}
+}
+
+// TestCorruptHeaderRejected: bad magic and unknown versions fail at open.
+func TestCorruptHeaderRejected(t *testing.T) {
+	rec := encodeSample(t)
+	bad := append([]byte("XXREC"), rec[5:]...)
+	if _, err := record.NewReader(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: err = %v, want magic complaint", err)
+	}
+	bad = append([]byte(nil), rec...)
+	bad[5] = 99
+	if _, err := record.NewReader(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: err = %v, want version complaint", err)
+	}
+}
+
+// TestTruncationDetected: every proper prefix of a recording either fails
+// to open or drains to ErrTruncated — never io.EOF, never a panic. Cutting
+// the trailer is the canonical crash artifact.
+func TestTruncationDetected(t *testing.T) {
+	rec := encodeSample(t)
+	for cut := 0; cut < len(rec); cut++ {
+		err := drain(rec[:cut])
+		if err == nil || err == io.EOF {
+			t.Fatalf("prefix of %d/%d bytes drained clean (err=%v), want truncation or error", cut, len(rec), err)
+		}
+	}
+	if err := drain(rec[:len(rec)-9]); err != record.ErrTruncated {
+		t.Errorf("trailer cut: err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestCorruptionDetected: flipping any single byte after the header must
+// surface as an error by the time the recording is drained — either a
+// decode failure at the damaged frame or the trailer digest mismatch.
+func TestCorruptionDetected(t *testing.T) {
+	rec := encodeSample(t)
+	for i := 6; i < len(rec); i++ {
+		bad := append([]byte(nil), rec...)
+		bad[i] ^= 0x40
+		if err := drain(bad); err == nil || err == io.EOF {
+			t.Fatalf("flipped byte %d went undetected", i)
+		}
+	}
+}
+
+// TestEmptyRecording: a manifest-only recording (no frames) is valid.
+func TestEmptyRecording(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := record.NewWriter(&buf, sampleManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, frames, err := record.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 0 || m.Workload != "unit" {
+		t.Errorf("empty recording: %d frames, workload %q", len(frames), m.Workload)
+	}
+}
+
+// TestManifestHash: the hash covers workload and Run — and nothing else.
+func TestManifestHash(t *testing.T) {
+	base := sampleManifest()
+	envOnly := sampleManifest()
+	envOnly.Env = []record.Field{record.FInt("workers", 999)}
+	if base.Hash() != envOnly.Hash() {
+		t.Error("Env fields changed the manifest hash; only Run may")
+	}
+	runChanged := sampleManifest()
+	runChanged.Run[0] = record.FInt("rounds", 9)
+	if base.Hash() == runChanged.Hash() {
+		t.Error("Run field change did not change the manifest hash")
+	}
+	wlChanged := sampleManifest()
+	wlChanged.Workload = "other"
+	if base.Hash() == wlChanged.Hash() {
+		t.Error("workload change did not change the manifest hash")
+	}
+}
+
+// TestCloseIdempotentAndSticky: double Close is safe; frames after Close
+// are dropped rather than corrupting the trailer.
+func TestCloseIdempotentAndSticky(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := record.NewWriter(&buf, sampleManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Emit(sampleEvents()[0])
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.Emit(sampleEvents()[1]) // must be ignored
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, frames, err := record.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Errorf("got %d frames, want 1 (post-Close emit must be dropped)", len(frames))
+	}
+}
+
+// failAfter fails every write past a byte budget, exercising sticky I/O
+// errors.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+// TestWriterStickyError: an I/O failure mid-recording is reported by Close.
+func TestWriterStickyError(t *testing.T) {
+	w, err := record.NewWriter(&failAfter{n: 1 << 10}, sampleManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the 64 KiB buffer so the failure actually surfaces.
+	e := obs.Event{Cat: "dist", Name: "phase", Kind: obs.KindInstant}
+	for i := 0; i < 50000; i++ {
+		e.Tick = int64(i)
+		w.Emit(e)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close reported success after write failures")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() nil after write failures")
+	}
+}

@@ -1,0 +1,4 @@
+lbrec-fp v1
+manifest 74293119d657fd29
+events 3 95c641054506be1b
+round 3000 f3f7b1a1609fb12e

@@ -1,0 +1,4 @@
+lbrec-fp v1
+manifest 57f31857917daa94
+events 3 c95854c2d3b7f0d8
+round 3000 4dfe3216e0dbbfb1

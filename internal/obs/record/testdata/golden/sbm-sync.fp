@@ -1,0 +1,9 @@
+lbrec-fp v1
+manifest c414d76cc856afd7
+events 54 5b4bf2af830b6c5f
+round 1 93e39ecf00a1c642
+round 2 b1323dab5cd4bbfd
+round 3 064d16fc624e9456
+round 4 2b15a7b3243671df
+round 5 c7dd0796d99b5f74
+round 6 e57809a4b875d087

@@ -1,0 +1,154 @@
+package record_test
+
+// Shared workload recorders: each runs a real clustering workload with a
+// flight recorder attached and returns the recording bytes. The bisector
+// and golden tests exercise them across worker counts, transports, and
+// batch schedules, where the determinism contract promises bit-identical
+// deterministic frames.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph/gen"
+	"repro/internal/obs"
+	"repro/internal/obs/record"
+	"repro/internal/rng"
+)
+
+// distManifest is the manifest every dist-sync recording in these tests
+// carries: identical Run sections (transcript identity), varying Env.
+func distManifest(workers int, transport string, faults bool) record.Manifest {
+	m := record.Manifest{
+		Workload: "dist-sync",
+		Run: []record.Field{
+			record.FStr("graph", "clustered-ring k=2 size=50 din=12 cross=1 seed=401"),
+			record.FFloat("beta", 0.5),
+			record.FInt("rounds", 8),
+			record.FInt("seed", 11),
+		},
+		Env: []record.Field{
+			record.FInt("workers", int64(workers)),
+			record.FStr("transport", transport),
+		},
+	}
+	if faults {
+		m.Run = append(m.Run, record.FStr("faults", "drop=0.05 delay=0.1 maxphases=2 seed=5"))
+	}
+	return m
+}
+
+// recordDist runs the synchronous distributed workload with a recorder
+// attached and returns the recording.
+func recordDist(t *testing.T, workers int, transport core.TransportSpec, model dist.DeliveryModel) []byte {
+	t.Helper()
+	p, err := gen.ClusteredRing(2, 50, 12, 1, rng.New(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := record.NewWriter(&buf, distManifest(workers, transport.Kind, model != nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver(obs.Options{})
+	record.Attach(o, w)
+	if _, err := core.ClusterDistributed(p.G, core.Params{Beta: 0.5, Rounds: 8, Seed: 11}, core.DistOptions{
+		Workers:   workers,
+		Transport: transport,
+		Model:     model,
+		Obs:       o,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// recordAsync runs the asynchronous gossip workload (serial when parallel
+// is 0, batched otherwise) with a recorder attached.
+func recordAsync(t *testing.T, parallel int, transport core.TransportSpec, reliable bool, model dist.DeliveryModel) []byte {
+	t.Helper()
+	p, err := gen.ClusteredRing(2, 50, 12, 1, rng.New(403))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := record.Manifest{
+		Workload: "async-gossip",
+		Run: []record.Field{
+			record.FStr("graph", "clustered-ring k=2 size=50 din=12 cross=1 seed=403"),
+			record.FFloat("beta", 0.5),
+			record.FInt("rounds", 20),
+			record.FInt("seed", 13),
+			record.FInt("ticks", 3000),
+			record.FInt("clockseed", 17),
+			record.FInt("mailboxcap", 12),
+		},
+		Env: []record.Field{record.FInt("parallel", int64(parallel)), record.FStr("transport", transport.Kind)},
+	}
+	if reliable {
+		m.Run = append(m.Run, record.FInt("reliable", 1))
+	}
+	if model != nil {
+		m.Run = append(m.Run, record.FStr("faults", "drop=0.05 seed=5"))
+	}
+	var buf bytes.Buffer
+	w, err := record.NewWriter(&buf, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver(obs.Options{})
+	record.Attach(o, w)
+	if _, err := core.ClusterAsyncGossip(p.G, core.Params{Beta: 0.5, Rounds: 20, Seed: 13}, core.AsyncOptions{
+		Ticks:      3000,
+		ClockSeed:  17,
+		Parallel:   parallel,
+		Reliable:   reliable,
+		MailboxCap: 12,
+		Transport:  transport,
+		Model:      model,
+		Obs:        o,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// diffBytes runs the bisector over two recordings.
+func diffBytes(t *testing.T, a, b []byte, opt record.DiffOptions) *record.Report {
+	t.Helper()
+	ra, err := record.NewReader(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := record.NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := record.Diff(ra, rb, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// fingerprintBytes computes a recording's fingerprint.
+func fingerprintBytes(t *testing.T, rec []byte) *record.Fingerprint {
+	t.Helper()
+	r, err := record.NewReader(bytes.NewReader(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := record.FingerprintReader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}

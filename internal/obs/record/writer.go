@@ -1,0 +1,225 @@
+package record
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Writer streams a recording: the manifest at creation, then one frame per
+// event or snapshot as the run emits them, then a trailer on Close. Frames
+// go through a buffered writer, so a long run's recording cost is
+// sequential appends — nothing is retained in memory beyond the string
+// table (a handful of category/name/key identifiers).
+//
+// Writer implements obs.Tracer; install it as (or tee it into) an
+// Observer's Tracer and wire Observer.SnapSink to Snap. Like every in-run
+// tracer it must only be driven from the run's driving goroutine.
+//
+// Errors are sticky: the first write error is retained, subsequent frames
+// are dropped, and Close (and Err) report it — Emit cannot return an error
+// through the Tracer interface, so a recording that hit an I/O error must
+// be detected at Close, not assumed good.
+type Writer struct {
+	w      *bufio.Writer
+	strIDs map[string]uint64
+	frame  []byte   // frame assembly scratch
+	head   []byte   // length-prefix scratch
+	keys   []uint64 // arg-key ID scratch
+	events int64
+	snaps  int64
+	digest uint64
+	closed bool
+	err    error
+}
+
+// NewWriter starts a recording on w by writing the header and manifest.
+// The caller owns w (and closes any underlying file after Close).
+func NewWriter(w io.Writer, m Manifest) (*Writer, error) {
+	rw := &Writer{
+		w:      bufio.NewWriterSize(w, 1<<16),
+		strIDs: make(map[string]uint64),
+		digest: fnvOffset,
+	}
+	if _, err := rw.w.WriteString(magic); err != nil {
+		return nil, err
+	}
+	if err := rw.w.WriteByte(version); err != nil {
+		return nil, err
+	}
+	rw.writeFrame(m.encode(rw.frame[:0]))
+	if rw.err != nil {
+		return nil, rw.err
+	}
+	return rw, nil
+}
+
+// writeFrame writes one length-prefixed frame and folds the body into the
+// running digest. No-op once an error is sticky.
+func (w *Writer) writeFrame(body []byte) {
+	w.frame = body // retain capacity for the next assembly
+	if w.err != nil {
+		return
+	}
+	if len(body) > maxFrame {
+		w.err = fmt.Errorf("record: frame of %d bytes exceeds limit", len(body))
+		return
+	}
+	w.digest = fnv1a(w.digest, body)
+	w.head = binary.AppendUvarint(w.head[:0], uint64(len(body)))
+	if _, err := w.w.Write(w.head); err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.w.Write(body); err != nil {
+		w.err = err
+	}
+}
+
+// sid interns s, emitting a string-table frame on first use. IDs are dense
+// and assigned in first-appearance order, so identical event sequences
+// produce identical recordings byte for byte.
+func (w *Writer) sid(s string) uint64 {
+	if id, ok := w.strIDs[s]; ok {
+		return id
+	}
+	if len(s) > maxString {
+		if w.err == nil {
+			w.err = fmt.Errorf("record: string of %d bytes exceeds limit", len(s))
+		}
+		return 0
+	}
+	id := uint64(len(w.strIDs))
+	w.strIDs[s] = id
+	body := append(w.frame[:0], frameStr)
+	body = append(body, s...)
+	w.writeFrame(body)
+	return id
+}
+
+// Emit implements obs.Tracer: one event frame per trace event.
+func (w *Writer) Emit(e obs.Event) {
+	if w.err != nil || w.closed {
+		return
+	}
+	cat, name := w.sid(e.Cat), w.sid(e.Name)
+	// Intern arg keys before assembling the event body: string frames and
+	// the body share the frame scratch.
+	keys := w.keys[:0]
+	for _, a := range e.Args {
+		keys = append(keys, w.sid(a.Key))
+	}
+	w.keys = keys
+	body := append(w.frame[:0], frameEvent)
+	body = binary.AppendUvarint(body, cat)
+	body = binary.AppendUvarint(body, name)
+	body = append(body, byte(e.Kind))
+	body = binary.AppendVarint(body, e.Tick)
+	body = binary.AppendUvarint(body, uint64(len(e.Args)))
+	for i, a := range e.Args {
+		body = binary.AppendUvarint(body, keys[i])
+		if a.IsFloat {
+			body = append(body, 1)
+			body = appendFloatBits(body, a.Float)
+		} else {
+			body = append(body, 0)
+			body = binary.AppendVarint(body, a.Int)
+		}
+	}
+	w.writeFrame(body)
+	w.events++
+}
+
+// Snap writes one snapshot frame; wire it to Observer.SnapSink.
+func (w *Writer) Snap(s obs.Snapshot) {
+	if w.err != nil || w.closed {
+		return
+	}
+	// Intern every metric name first: writeFrame reuses w.frame, so string
+	// frames must not interleave with the snapshot body assembly.
+	for _, c := range s.Counters {
+		w.sid(c.Name)
+	}
+	for _, g := range s.Gauges {
+		w.sid(g.Name)
+	}
+	for _, h := range s.Hists {
+		w.sid(h.Name)
+	}
+	body := append(w.frame[:0], frameSnap)
+	body = binary.AppendVarint(body, s.Round)
+	body = binary.AppendUvarint(body, uint64(len(s.Counters)))
+	for _, c := range s.Counters {
+		body = binary.AppendUvarint(body, w.strIDs[c.Name])
+		body = binary.AppendUvarint(body, uint64(len(c.Cells)))
+		for _, v := range c.Cells {
+			body = binary.AppendVarint(body, v)
+		}
+	}
+	body = binary.AppendUvarint(body, uint64(len(s.Gauges)))
+	for _, g := range s.Gauges {
+		body = binary.AppendUvarint(body, w.strIDs[g.Name])
+		body = binary.AppendUvarint(body, uint64(len(g.Cells)))
+		for _, v := range g.Cells {
+			body = appendFloatBits(body, v)
+		}
+	}
+	body = binary.AppendUvarint(body, uint64(len(s.Hists)))
+	for _, h := range s.Hists {
+		body = binary.AppendUvarint(body, w.strIDs[h.Name])
+		body = binary.AppendUvarint(body, uint64(len(h.Bounds)))
+		for _, v := range h.Bounds {
+			body = appendFloatBits(body, v)
+		}
+		body = binary.AppendUvarint(body, uint64(len(h.Counts)))
+		for _, v := range h.Counts {
+			body = binary.AppendVarint(body, v)
+		}
+	}
+	w.writeFrame(body)
+	w.snaps++
+}
+
+// Attach wires w into an observer: events tee into w alongside any existing
+// tracer, and every snapshot the run records streams to w through SnapSink.
+// Call before the run starts; pair with Close after it ends.
+func Attach(o *obs.Observer, w *Writer) {
+	o.Tracer = obs.MultiTracer(o.Tracer, w)
+	prev := o.SnapSink
+	o.SnapSink = func(s obs.Snapshot) {
+		if prev != nil {
+			prev(s)
+		}
+		w.Snap(s)
+	}
+}
+
+// Counts returns how many event and snapshot frames have been written.
+func (w *Writer) Counts() (events, snaps int64) { return w.events, w.snaps }
+
+// Err returns the sticky error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Close writes the trailer (event/snapshot counts and the running digest —
+// what lets a reader distinguish a complete recording from a truncated
+// one), flushes, and returns the first error of the whole recording.
+// The underlying writer is not closed. Close is idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	digest := w.digest // trailer digest covers every frame before it
+	body := append(w.frame[:0], frameEnd)
+	body = binary.AppendUvarint(body, uint64(w.events))
+	body = binary.AppendUvarint(body, uint64(w.snaps))
+	body = binary.LittleEndian.AppendUint64(body, digest)
+	w.writeFrame(body)
+	if err := w.w.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // serverStats are the daemon-side relay tallies, exposed live by
@@ -29,6 +31,37 @@ var serverStats struct {
 func ServerStats() (conns, frames, bytesIn, bytesOut int64) {
 	return serverStats.conns.Load(), serverStats.frames.Load(),
 		serverStats.bytesIn.Load(), serverStats.bytesOut.Load()
+}
+
+// tracerBox wraps the serve tracer for atomic swapping (an interface can't
+// be stored in an atomic.Pointer directly).
+type tracerBox struct{ t obs.Tracer }
+
+// serveTracer, when set, receives "wire"-category instants from the relay
+// loops: one "conn" per accepted handshake and one "relay" per relayed
+// frame. The category is environmental by definition (obs.IsEnvCat) — the
+// events narrate this process's share of the machine split, ticked by the
+// daemon's own cumulative frame clock, and never join a transcript or a
+// recording fingerprint.
+var serveTracer atomic.Pointer[tracerBox]
+
+// SetServeTracer installs (or, with nil, removes) the tracer the serving
+// loops emit to. The tracer must be safe for concurrent Emit — connection
+// pumps are concurrent goroutines — which obs.RingTrace is; the unbounded
+// obs.Trace is not.
+func SetServeTracer(t obs.Tracer) {
+	if t == nil {
+		serveTracer.Store(nil)
+		return
+	}
+	serveTracer.Store(&tracerBox{t: t})
+}
+
+// emitServe sends one wire instant to the installed tracer, if any.
+func emitServe(name string, tick int64, args ...obs.Arg) {
+	if box := serveTracer.Load(); box != nil {
+		box.t.Emit(obs.Event{Cat: "wire", Name: name, Kind: obs.KindInstant, Tick: tick, Args: args})
+	}
 }
 
 // Connection handshake: the dialer's first frame identifies what the
@@ -107,11 +140,12 @@ func Serve(ln net.Listener) error {
 func serveConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
-	relay, err := acceptHandshake(conn, br)
+	relay, shard, err := acceptHandshake(conn, br)
 	if err != nil {
 		return
 	}
-	serverStats.conns.Add(1)
+	conns := serverStats.conns.Add(1)
+	emitServe("conn", conns, obs.I("shard", int64(shard)))
 	var in, out, frame []byte
 	for {
 		in, err = readFrame(br, in)
@@ -125,25 +159,29 @@ func serveConn(conn net.Conn) {
 		if frame, err = writeFrame(conn, frame, out); err != nil {
 			return
 		}
-		serverStats.frames.Add(1)
+		frames := serverStats.frames.Add(1)
 		serverStats.bytesIn.Add(int64(len(in)))
 		serverStats.bytesOut.Add(int64(len(out)))
+		emitServe("relay", frames,
+			obs.I("shard", int64(shard)), obs.I("bytes_in", int64(len(in))), obs.I("bytes_out", int64(len(out))))
 	}
 }
 
 // acceptHandshake validates the dialer's opening frame and answers it,
-// returning the relay for the connection's payload type.
-func acceptHandshake(conn net.Conn, br *bufio.Reader) (RelayFunc, error) {
+// returning the relay for the connection's payload type and the worker
+// shard the connection serves (diagnostic: it labels the daemon's trace
+// events, never routing).
+func acceptHandshake(conn net.Conn, br *bufio.Reader) (RelayFunc, uint64, error) {
 	//lintdet:allow wallclock(socket handshake deadline; fail-loudly I/O timeout, not transcript state)
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	defer conn.SetDeadline(time.Time{})
 	body, err := readFrame(br, nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	_, k := binary.Uvarint(body) // shard index, diagnostic only
+	shard, k := binary.Uvarint(body)
 	if k <= 0 {
-		return nil, fmt.Errorf("wire: malformed handshake")
+		return nil, 0, fmt.Errorf("wire: malformed handshake")
 	}
 	name := string(body[k:])
 	relay, ok := NewRelay(name)
@@ -156,10 +194,10 @@ func acceptHandshake(conn net.Conn, br *bufio.Reader) (RelayFunc, error) {
 				name, strings.Join(Payloads(), ", "))...)
 	}
 	if _, err := writeFrame(conn, nil, status); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if !ok {
-		return nil, fmt.Errorf("wire: unknown payload %q", name)
+		return nil, 0, fmt.Errorf("wire: unknown payload %q", name)
 	}
-	return relay, nil
+	return relay, shard, nil
 }
