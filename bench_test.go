@@ -276,6 +276,38 @@ func BenchmarkClusterDistributed(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterDistributedPartition prices the partition modes on the
+// graph family that motivates them: a hub-heavy preferential-attachment
+// graph at 8 workers. Besides wall clock, each row reports the split's
+// max and mean shard cost (degree-weighted for degree/adaptive, node count
+// for count) — max/mean is the barrier imbalance the weighted split fixes.
+func BenchmarkClusterDistributedPartition(b *testing.B) {
+	g, err := gen.PreferentialAttachment(50000, 4, rng.New(41))
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.Params{Beta: 0.25, Rounds: 20, Seed: 5}
+	for _, mode := range []string{core.PartitionCount, core.PartitionDegree, core.PartitionAdaptive} {
+		b.Run("partition="+mode, func(b *testing.B) {
+			var res *core.DistResult
+			for i := 0; i < b.N; i++ {
+				res, err = core.ClusterDistributed(g, params, core.DistOptions{
+					Workers:   8,
+					Partition: core.PartitionSpec{Mode: mode},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.ShardCostMax), "maxshardcost")
+			b.ReportMetric(res.ShardCostMean, "meanshardcost")
+			if res.ShardCostMean > 0 {
+				b.ReportMetric(float64(res.ShardCostMax)/res.ShardCostMean, "imbalance")
+			}
+		})
+	}
+}
+
 // BenchmarkClusterDistributedSocket is the end-to-end run over the real
 // multi-process socket transport: same graph and params as the in-process
 // sweep above (at the 2-machine × workers split), so the ratio between the

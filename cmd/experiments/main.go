@@ -7,7 +7,8 @@
 //
 //	experiments [-run T1,F2,... | -run all] [-scale 1.0] [-seed 1] [-out results/]
 //	            [-transport inprocess|ring[:cap]|socket[:machines]] [-parallel N|auto]
-//	            [-state-backend auto|sparse|dense] [-trace out.json] [-metrics out.prom]
+//	            [-state-backend auto|sparse|dense] [-partition count|degree|adaptive]
+//	            [-trace out.json] [-metrics out.prom]
 //
 // Experiments F9 and F10 run their executions as real messages on the dist
 // runtime, so their tables include wire traffic (F10 additionally sweeps
@@ -98,6 +99,8 @@ func main() {
 		"workers for the parallel async scheduler: a count, \"auto\" (GOMAXPROCS), or \"off\"")
 	stateBackend := flag.String("state-backend", "auto",
 		"engine state representation: auto, sparse, or dense (tables are bit-identical across backends)")
+	partition := flag.String("partition", "count",
+		"dist-runtime node split across workers: count, degree, or adaptive (tables are bit-identical across modes)")
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file covering the dist-runtime experiments")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text dump of per-round metric snapshots")
 	flag.Parse()
@@ -112,11 +115,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
 	}
+	pspec, err := core.ParsePartitionSpec(*partition)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 	var ob *obs.Observer
 	if *trace != "" || *metricsOut != "" {
 		ob = obs.NewObserver(obs.Options{Trace: *trace != ""})
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Transport: spec, Parallel: workers, StateBackend: *stateBackend, Obs: ob}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Transport: spec, Parallel: workers, StateBackend: *stateBackend, Partition: pspec, Obs: ob}
 	var selected []experiments.Experiment
 	if strings.EqualFold(*runFlag, "all") {
 		selected = experiments.All()

@@ -8,6 +8,8 @@
 //	graphgen -family caveman -k 6 -size 30
 //	graphgen -family regular -n 1000 -din 8
 //	graphgen -family barbell -size 50
+//	graphgen -family pa -n 4000 -m 4
+//	graphgen -family powerlaw -k 4 -size 500 -dout 2
 package main
 
 import (
@@ -22,25 +24,26 @@ import (
 )
 
 func main() {
-	family := flag.String("family", "ring", "ring | sbm | caveman | regular | barbell")
-	k := flag.Int("k", 2, "number of clusters (ring, sbm, caveman)")
-	size := flag.Int("size", 100, "cluster size (ring, sbm, caveman, barbell)")
-	n := flag.Int("n", 100, "node count (regular)")
+	family := flag.String("family", "ring", "ring | sbm | caveman | regular | barbell | pa | powerlaw")
+	k := flag.Int("k", 2, "number of clusters (ring, sbm, caveman, powerlaw)")
+	size := flag.Int("size", 100, "cluster size (ring, sbm, caveman, barbell, powerlaw)")
+	n := flag.Int("n", 100, "node count (regular, pa)")
 	din := flag.Int("din", 16, "internal degree (ring, regular) / expected internal degree (sbm)")
-	dout := flag.Float64("dout", 2, "expected external degree (sbm)")
+	dout := flag.Float64("dout", 2, "expected external degree (sbm, powerlaw)")
 	cross := flag.Int("cross", 1, "cross matchings between adjacent clusters (ring)")
+	m := flag.Int("m", 4, "edges per arriving node (pa)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	out := flag.String("out", "-", "edge-list output ('-' = stdout)")
 	truthFile := flag.String("truth", "", "optional ground-truth label output file")
 	flag.Parse()
 
-	if err := run(*family, *k, *size, *n, *din, *dout, *cross, *seed, *out, *truthFile); err != nil {
+	if err := run(*family, *k, *size, *n, *din, *dout, *cross, *m, *seed, *out, *truthFile); err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(family string, k, size, n, din int, dout float64, cross int, seed uint64, out, truthFile string) error {
+func run(family string, k, size, n, din int, dout float64, cross, m int, seed uint64, out, truthFile string) error {
 	r := rng.New(seed)
 	var g *graph.Graph
 	var truth []int
@@ -68,6 +71,18 @@ func run(family string, k, size, n, din int, dout float64, cross int, seed uint6
 		g = rg
 	case "barbell":
 		p := gen.Barbell(size)
+		g, truth = p.G, p.Truth
+	case "pa":
+		pg, err := gen.PreferentialAttachment(n, m, r)
+		if err != nil {
+			return err
+		}
+		g = pg
+	case "powerlaw":
+		p, err := gen.PowerLawCluster(k, size, 2.5, 2, float64(size)/4, dout, r)
+		if err != nil {
+			return err
+		}
 		g, truth = p.G, p.Truth
 	default:
 		return fmt.Errorf("unknown family %q", family)

@@ -12,7 +12,7 @@ func TestGenerateRing(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "g.txt")
 	truth := filepath.Join(dir, "t.txt")
-	if err := run("ring", 3, 30, 0, 8, 0, 1, 1, out, truth); err != nil {
+	if err := run("ring", 3, 30, 0, 8, 0, 1, 4, 1, out, truth); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -43,10 +43,12 @@ func TestGenerateFamilies(t *testing.T) {
 		{"caveman", 3, 6, 0, 0},
 		{"regular", 0, 0, 40, 4},
 		{"barbell", 0, 10, 0, 0},
+		{"pa", 0, 0, 60, 0},
+		{"powerlaw", 3, 20, 0, 0},
 	}
 	for _, c := range cases {
 		out := filepath.Join(dir, c.family+".txt")
-		if err := run(c.family, c.k, c.size, c.n, c.din, 2, 1, 1, out, ""); err != nil {
+		if err := run(c.family, c.k, c.size, c.n, c.din, 2, 1, 4, 1, out, ""); err != nil {
 			t.Errorf("%s: %v", c.family, err)
 			continue
 		}
@@ -68,15 +70,19 @@ func TestGenerateFamilies(t *testing.T) {
 
 func TestGenerateErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("unknown", 2, 10, 0, 4, 0, 1, 1, filepath.Join(dir, "x"), ""); err == nil {
+	if err := run("unknown", 2, 10, 0, 4, 0, 1, 4, 1, filepath.Join(dir, "x"), ""); err == nil {
 		t.Error("unknown family should fail")
 	}
 	// regular has no planted truth.
-	if err := run("regular", 0, 0, 10, 3, 0, 1, 1, filepath.Join(dir, "y"), filepath.Join(dir, "t")); err == nil {
+	if err := run("regular", 0, 0, 10, 3, 0, 1, 4, 1, filepath.Join(dir, "y"), filepath.Join(dir, "t")); err == nil {
 		t.Error("truth for regular should fail")
 	}
 	// bad parameters propagate.
-	if err := run("ring", 1, 10, 0, 4, 0, 1, 1, filepath.Join(dir, "z"), ""); err == nil {
+	if err := run("ring", 1, 10, 0, 4, 0, 1, 4, 1, filepath.Join(dir, "z"), ""); err == nil {
 		t.Error("k=1 ring should fail")
+	}
+	// pa has no planted truth either.
+	if err := run("pa", 0, 0, 20, 0, 0, 1, 4, 1, filepath.Join(dir, "p"), filepath.Join(dir, "pt")); err == nil {
+		t.Error("truth for pa should fail")
 	}
 }

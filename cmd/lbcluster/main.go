@@ -28,6 +28,14 @@
 // backpressure) and -drop-prob injects link-level push loss; both apply to
 // the -distributed and -gossip engines.
 //
+// -partition selects how the node range splits across workers: "count"
+// (default, equal node counts), "degree" (cost-weighted by degree, so
+// hub-heavy graphs balance edge work instead of node counts), or
+// "adaptive" (starts from degree and re-splits between rounds along the
+// emerging cluster labels). The split is pure environment — labels,
+// transcripts and deterministic metrics are bit-identical across every
+// mode and worker count; only the load placement changes.
+//
 // -parallel sizes the worker pool the hot paths partition over: the
 // sequential engine's seeding/matching/merges/query, the distributed
 // engine's phase workers, or the gossip engine's batch scheduler. "auto"
@@ -143,6 +151,8 @@ func registerRunFlags(fs *flag.FlagSet, o *runOpts) *string {
 	fs.BoolVar(&o.reliable, "reliable", false, "with -gossip: retransmit-on-timeout layer (conserves push mass exactly under loss)")
 	fs.IntVar(&o.mailboxCap, "mailbox-cap", 0, "bound every node's mailbox to this many messages (0 = unbounded; -distributed/-gossip only)")
 	fs.Float64Var(&o.dropProb, "drop-prob", 0, "substrate message loss probability (-distributed/-gossip only)")
+	fs.StringVar(&o.partition, "partition", "count",
+		"node split across workers: count, degree, or adaptive (label-driven re-splits; bit-identical labels in every mode)")
 	fs.StringVar(&o.stateBackend, "state-backend", "auto",
 		"node-state representation: auto, sparse, or dense (bit-identical results; dense packs seed weights in one contiguous block per node)")
 	fs.StringVar(&o.transport, "transport", "inprocess",
@@ -233,6 +243,7 @@ type runOpts struct {
 	reliable       bool
 	mailboxCap     int
 	dropProb       float64
+	partition      string
 	transport      string
 	transportAddrs string
 	stateBackend   string
@@ -288,6 +299,18 @@ func writeObsArtifacts(o runOpts, ob *obs.Observer) error {
 	return nil
 }
 
+// printBalance reports the final node split's load balance on stderr: the
+// max and mean per-shard cost under the active cost function and their
+// ratio (1.00 is a perfect split).
+func printBalance(pspec core.PartitionSpec, max int64, mean float64, shards int) {
+	ratio := 0.0
+	if mean > 0 {
+		ratio = float64(max) / mean
+	}
+	fmt.Fprintf(os.Stderr, "partition=%s shards=%d shard cost max=%d mean=%.1f imbalance=%.2f\n",
+		pspec, shards, max, mean, ratio)
+}
+
 func run(o runOpts) error {
 	if (o.mailboxCap != 0 || o.dropProb != 0) && !o.distributed && !o.gossip {
 		return fmt.Errorf("-mailbox-cap and -drop-prob need -distributed or -gossip (the sequential engine has no substrate)")
@@ -340,6 +363,10 @@ func run(o runOpts) error {
 			spec.Addrs = strings.Split(o.transportAddrs, ",")
 		}
 	}
+	pspec, err := core.ParsePartitionSpec(o.partition)
+	if err != nil {
+		return err
+	}
 	var model dist.DeliveryModel
 	if o.dropProb > 0 {
 		model = dist.LinkFaults{DropProb: o.dropProb, Seed: o.seed ^ 0x9e3779b97f4a7c15}
@@ -369,6 +396,7 @@ func run(o runOpts) error {
 			Reliable:   o.reliable,
 			Transport:  spec,
 			Parallel:   o.workers,
+			Partition:  pspec,
 			Obs:        ob,
 		})
 		if err != nil {
@@ -378,6 +406,7 @@ func run(o runOpts) error {
 		fmt.Fprintf(os.Stderr, "seeds=%d labels=%d mass deficit=%.3g network: %d messages, %d words, %d dropped, %d rejected\n",
 			len(res.Seeds), res.NumLabels, float64(len(res.Seeds))-res.TotalMass,
 			res.NetworkMessages, res.NetworkWords, res.DroppedMessages, res.RejectedMessages)
+		printBalance(pspec, res.ShardCostMax, res.ShardCostMean, len(res.PartitionBounds)-1)
 	case o.distributed:
 		// The phase pool needs at least one worker; -parallel off degrades
 		// to a single-worker (still deterministic) network.
@@ -390,6 +419,7 @@ func run(o runOpts) error {
 			Model:      model,
 			MailboxCap: o.mailboxCap,
 			Transport:  spec,
+			Partition:  pspec,
 			Obs:        ob,
 		})
 		if err != nil {
@@ -399,6 +429,7 @@ func run(o runOpts) error {
 		fmt.Fprintf(os.Stderr, "seeds=%d labels=%d rounds=%d network: %d messages, %d words, %d dropped, %d rejected\n",
 			len(res.Seeds), res.NumLabels, res.Stats.Rounds, res.NetworkMessages,
 			res.NetworkWords, res.DroppedMessages, res.RejectedMessages)
+		printBalance(pspec, res.ShardCostMax, res.ShardCostMean, len(res.PartitionBounds)-1)
 	default:
 		res, err := core.ClusterParallelWithObs(g, params, o.workers, ob)
 		if err != nil {

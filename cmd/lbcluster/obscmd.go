@@ -43,6 +43,10 @@ func runManifest(o runOpts, g *graph.Graph) record.Manifest {
 		workload = "distributed"
 	}
 	host := dist.CaptureHostEnv()
+	partition := o.partition
+	if partition == "" {
+		partition = "count"
+	}
 	return record.Manifest{
 		Workload: workload,
 		Run: []record.Field{
@@ -59,6 +63,7 @@ func runManifest(o runOpts, g *graph.Graph) record.Manifest {
 		Env: []record.Field{
 			record.FInt("workers", int64(o.workers)),
 			record.FStr("transport", o.transport),
+			record.FStr("partition", partition),
 			record.FStr("state_backend", o.stateBackend),
 			record.FStr("go", host.Go),
 			record.FStr("cpu", host.CPU),

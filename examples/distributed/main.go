@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -46,6 +47,8 @@ func main() {
 		"workers for the async batch scheduler: a count, \"auto\" (GOMAXPROCS), or \"off\"")
 	stateBackend := flag.String("state-backend", "auto",
 		"engine state representation: auto, sparse, or dense (bit-identical output)")
+	partition := flag.String("partition", "count",
+		"node split across workers: count, degree, or adaptive (bit-identical output)")
 	trace := flag.String("trace", "", "write a Chrome trace_event JSON file covering every scenario")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text dump of per-round metric snapshots")
 	flag.Parse()
@@ -57,7 +60,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("transport: %s, async parallel workers: %d\n", *transport, workers)
+	pspec, err := core.ParsePartitionSpec(*partition)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transport: %s, async parallel workers: %d, partition: %s\n", *transport, workers, pspec)
 	var ob *obs.Observer
 	if *trace != "" || *metricsOut != "" {
 		ob = obs.NewObserver(obs.Options{Trace: *trace != ""})
@@ -86,6 +93,7 @@ func main() {
 	}
 	run := func(name string, opt core.DistOptions) {
 		opt.Transport = spec
+		opt.Partition = pspec
 		opt.Obs = ob
 		res, err := core.ClusterDistributed(g, params, opt)
 		if err != nil {
@@ -117,7 +125,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dres, err := core.ClusterDistributed(g, params, core.DistOptions{Workers: 4, Transport: spec})
+	dres, err := core.ClusterDistributed(g, params, core.DistOptions{Workers: 4, Transport: spec, Partition: pspec})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -137,6 +145,7 @@ func main() {
 		Ticks:     2 * dres.Stats.Matches,
 		ClockSeed: 31,
 		Transport: spec,
+		Partition: pspec,
 		Obs:       ob,
 	})
 	if err != nil {
@@ -152,6 +161,7 @@ func main() {
 		ClockSeed: 31,
 		Transport: spec,
 		Parallel:  workers,
+		Partition: pspec,
 		Obs:       ob,
 	})
 	if err != nil {
@@ -166,6 +176,57 @@ func main() {
 		}
 	}
 	fmt.Printf("serial async == parallel async (workers=%d): %v\n", workers, same)
+
+	// Degree-aware partitioning on a hub-heavy graph: preferential
+	// attachment concentrates its hubs at low node IDs, so the count split
+	// hands shard 0 most of the edge work. The degree split balances the
+	// same run's per-shard cost, and — partitioning being load placement
+	// only — the labels come out bit-identical.
+	hub, err := gen.PreferentialAttachment(1200, 4, rng.New(41))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hubParams := core.Params{Beta: 0.25, Rounds: 24, Seed: 9, StateBackend: *stateBackend}
+	fmt.Printf("hub-heavy graph %v (preferential attachment)\n", hub)
+	// Judge both splits by the same yardstick — the degree cost each shard
+	// ends up owning — so the count row shows the hub pile-up directly.
+	degCosts := graph.DegreeCosts(hub)
+	var hubLabels [][]int
+	for _, mode := range []string{core.PartitionCount, core.PartitionDegree} {
+		res, err := core.ClusterDistributed(hub, hubParams, core.DistOptions{
+			Workers:   8,
+			Transport: spec,
+			Partition: core.PartitionSpec{Mode: mode},
+			Obs:       ob,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hubLabels = append(hubLabels, res.Labels)
+		var max, total int64
+		b := res.PartitionBounds
+		for s := 0; s+1 < len(b); s++ {
+			var c int64
+			for v := b[s]; v < b[s+1]; v++ {
+				c += degCosts[v]
+			}
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		mean := float64(total) / float64(len(b)-1)
+		fmt.Printf("partition=%-7s degree cost max=%6d mean=%8.1f imbalance=%.2f\n",
+			mode, max, mean, float64(max)/mean)
+	}
+	same = true
+	for v := range hubLabels[0] {
+		if hubLabels[0][v] != hubLabels[1][v] {
+			same = false
+			break
+		}
+	}
+	fmt.Printf("count labels == degree labels (workers=8): %v\n", same)
 
 	if ob != nil {
 		if *trace != "" {

@@ -91,11 +91,20 @@ type AsyncOptions struct {
 	// never acks — a crashed neighbour — costs logarithmically many
 	// retries, not one per firing. Only meaningful with Reliable.
 	RetransmitAfter int
+	// Partition selects the cost split for the engine-side parallel scans
+	// (seed query, label densify). The asynchronous network runs on a
+	// single delivery shard, so here the spec shapes scan placement on the
+	// batch scheduler's pool rather than network ownership: degree installs
+	// degree-weighted scan bounds up front, adaptive additionally re-splits
+	// along the final labels before the query. Pure environment — the
+	// transcript is bit-identical across all modes.
+	Partition PartitionSpec
 	// Obs, when non-nil, attaches the observability layer: a run_async span
 	// and batch-commit instants on the tick clock, per-logical-shard traffic
 	// metrics, and one end-of-run state snapshot. The deterministic
 	// registry's snapshot is bit-identical across Parallel, Transport, and
-	// batch schedules; observation never changes the run.
+	// batch schedules; observation never changes the run. Partition balance
+	// gauges go to the Env registry (worker-shard cells).
 	Obs *obs.Observer
 }
 
@@ -248,6 +257,24 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	}
 	p := eng.params
 	n := g.N()
+	// Partitioning in the async mode shapes the engine's scan placement (the
+	// network below is single-shard by construction): weighted bounds over
+	// the batch scheduler's pool, re-derived from the final labels in
+	// adaptive mode just before the query. Scan bounds are load placement
+	// only, so the transcript is unchanged by every mode.
+	if _, err := ParsePartitionSpec(opt.Partition.Mode); err != nil {
+		return nil, err
+	}
+	costs := opt.Partition.costs(g)
+	scanWorkers := 1
+	if sch.Pool != nil {
+		scanWorkers = sch.Pool.Size()
+	}
+	scanBounds := sched.PartitionWeighted(costs, scanWorkers)
+	if sch.Pool != nil {
+		eng.SetScanBounds(scanBounds)
+	}
+	publishSplit(opt.Obs, costs, scanBounds)
 	ticks := opt.Ticks
 	if ticks == 0 {
 		ticks = 2 * loadbalance.MatchingEventBudget(n, matching.DBar(p.DegreeBound), p.Rounds)
@@ -259,7 +286,7 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 	defer net.Close()
 	net.SetObserver(opt.Obs)
 	eng.SetObserver(opt.Obs)
-	transport, closeTransport, err := openTransport(opt.Transport, net.Workers(), GossipPayload, gossipCodec{}, opt.Obs)
+	transport, closeTransport, err := openTransport(opt.Transport, net.Workers(), net.Bounds(), GossipPayload, gossipCodec{}, opt.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -574,9 +601,18 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 			scaleNode(v, 1/weights[v])
 		}
 	}
+	if opt.Partition.Mode == PartitionAdaptive && sch.Pool != nil {
+		// Label-driven re-split for the final query scan: the raw threshold
+		// winners are committed state, so the bounds are schedule-independent.
+		thr := Threshold(p.Beta, n, p.ThresholdScale)
+		scanBounds = labelBounds(eng.rawLabelScan(thr), costs, scanWorkers)
+		eng.SetScanBounds(scanBounds)
+		publishSplit(opt.Obs, costs, scanBounds)
+	}
 	res := eng.Query()
 	res.Stats.ProtocolWords = 0 // network accounting below is authoritative
 	res.Stats.StateWords = 0
+	scMax, scMean := costStats(shardCosts(costs, scanBounds))
 	return &DistResult{
 		Result:           *res,
 		NetworkMessages:  net.Counter().Messages(),
@@ -584,5 +620,8 @@ func ClusterAsyncGossip(g *graph.Graph, params Params, opt AsyncOptions) (*DistR
 		DroppedMessages:  net.Counter().Dropped(),
 		RejectedMessages: net.Counter().Rejected(),
 		TotalMass:        total,
+		PartitionBounds:  scanBounds,
+		ShardCostMax:     scMax,
+		ShardCostMean:    scMean,
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // DistOptions configures the message-passing execution. Failure injection
@@ -56,11 +57,21 @@ type DistOptions struct {
 	// exactly the failure mode the reliable gossip layer exists to repair
 	// and F10 measures. 0 means unbounded.
 	MailboxCap int
+	// Partition selects how the node range splits across worker shards —
+	// count, degree-weighted, or adaptively re-split along the emerging
+	// cluster labels. Like Workers and Transport it is an environment
+	// choice: the transcript is bit-identical across all modes.
+	Partition PartitionSpec
+	// Repartition, when non-nil, replaces the spec's built-in between-round
+	// rebalancing with a custom hook. It must derive its decision only from
+	// transcript state; see Repartitioner.
+	Repartition Repartitioner
 	// Obs, when non-nil, attaches the observability layer: phase spans and
 	// per-round instants on the network's logical clocks, per-logical-shard
 	// traffic and state metrics, and one registry snapshot per round. The
 	// deterministic registry's snapshots are bit-identical across Workers,
 	// Transport, and batch schedules; observation never changes the run.
+	// Partition balance gauges go to the Env registry (worker-shard cells).
 	Obs *obs.Observer
 }
 
@@ -109,6 +120,16 @@ type DistResult struct {
 	// against. Pruning deliberately discards mass, so a positive
 	// PruneEpsilon leaves TotalMass below the seed count.
 	TotalMass float64
+	// PartitionBounds is the final contiguous ownership split the run ended
+	// on (len = shards+1); under the adaptive mode it reflects the last
+	// re-split. Purely environmental — never part of the transcript.
+	PartitionBounds []int
+	// ShardCostMax and ShardCostMean summarise the final split under the
+	// active cost function (degree+1 for the degree and adaptive modes,
+	// unit for count): the max-shard/mean-shard ratio is the balance figure
+	// recorded in BENCH_dist.json and asserted by the CI partition smoke.
+	ShardCostMax  int64
+	ShardCostMean float64
 }
 
 // ClusterDistributed executes the algorithm with one logical process per
@@ -162,7 +183,21 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 	defer net.Close()
 	net.SetObserver(opt.Obs)
 	eng.SetObserver(opt.Obs)
-	transport, closeTransport, err := openTransport(opt.Transport, net.Workers(), ProtoPayload, protoCodec{}, opt.Obs)
+
+	// Initial split: cost-weighted bounds under the spec's cost function,
+	// installed before the transport dials so a socket handshake announces
+	// the real node ranges. For the count mode this reproduces the network's
+	// default split, so the Repartition is a no-op. The split is pure
+	// environment — the transcript suites pin bit-equality across every mode
+	// and worker count.
+	if _, err := ParsePartitionSpec(opt.Partition.Mode); err != nil {
+		return nil, err
+	}
+	costs := opt.Partition.costs(g)
+	net.Repartition(sched.PartitionWeighted(costs, net.Workers()))
+	publishSplit(opt.Obs, costs, net.Bounds())
+
+	transport, closeTransport, err := openTransport(opt.Transport, net.Workers(), net.Bounds(), ProtoPayload, protoCodec{}, opt.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -188,6 +223,20 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 	for v, down := range opt.Crashed {
 		if down {
 			net.Crash(v)
+		}
+	}
+
+	rep := opt.Repartition
+	if rep == nil && opt.Partition.Mode == PartitionAdaptive {
+		every := opt.Partition.every()
+		thr := Threshold(p.Beta, n, p.ThresholdScale)
+		rep = func(round, workers int) []int {
+			if (round+1)%every != 0 {
+				return nil
+			}
+			// The raw threshold winners are committed transcript state, so
+			// the bounds derived here are identical for every worker count.
+			return labelBounds(eng.rawLabelScan(thr), costs, workers)
 		}
 	}
 
@@ -304,6 +353,12 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 				obs.I("dropped_matches", dropped.Total()))
 			o.Snap(int64(eng.round))
 		}
+		if rep != nil {
+			if nb := rep(round, net.Workers()); nb != nil {
+				net.Repartition(nb)
+				publishSplit(opt.Obs, costs, nb)
+			}
+		}
 	}
 	eng.stats.Matches = int(pairs.Total())
 	res := eng.Query()
@@ -312,6 +367,8 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 	// payloads are state words.
 	res.Stats.ProtocolWords = 0 // superseded by network accounting below
 	res.Stats.StateWords = 0
+	finalBounds := net.Bounds()
+	scMax, scMean := costStats(shardCosts(costs, finalBounds))
 	return &DistResult{
 		Result:           *res,
 		NetworkMessages:  net.Counter().Messages(),
@@ -320,5 +377,8 @@ func ClusterDistributed(g *graph.Graph, params Params, opt DistOptions) (*DistRe
 		RejectedMessages: net.Counter().Rejected(),
 		DroppedMatches:   int(dropped.Total()),
 		TotalMass:        eng.TotalMass(),
+		PartitionBounds:  finalBounds,
+		ShardCostMax:     scMax,
+		ShardCostMean:    scMean,
 	}, nil
 }

@@ -157,6 +157,10 @@ type Engine struct {
 	// pool, when non-nil, partitions Step's hot paths (matching generation
 	// and pair merges) across workers; see SetPool.
 	pool *sched.Pool
+	// scanBounds, when non-nil, are explicit contiguous per-worker bounds
+	// for the node-partitioned scans (SetScanBounds); nil means the balanced
+	// count split.
+	scanBounds []int
 	// arenas are the sparse path's per-worker append-only merge buffers
 	// (arena index = pool worker; index 0 serves the serial path). They
 	// amortise the per-merge allocation of mergeForStorage; see stateArena.
@@ -315,6 +319,26 @@ func (e *Engine) LoadVector(id uint64) []float64 {
 // states, so parallel execution changes the schedule, never the result. The
 // caller owns the pool's lifecycle (it may be shared across engines).
 func (e *Engine) SetPool(p *sched.Pool) { e.pool = p }
+
+// SetScanBounds installs explicit contiguous per-worker bounds for the
+// engine's node-partitioned scans (the Query threshold scan and
+// rawLabelScan); nil restores the balanced count split. Bounds must satisfy
+// sched.CheckBounds for (n, pool size) — cost-weighted splits from
+// sched.PartitionWeighted qualify, including ones with empty shards. The
+// scan result is bit-identical for any bounds: partitioning decides which
+// worker reads which node, never a value, so this is purely load placement
+// — the seam `-partition degree|adaptive` uses to keep hub-heavy scans off
+// one worker.
+func (e *Engine) SetScanBounds(bounds []int) {
+	if bounds != nil {
+		size := 1
+		if e.pool != nil {
+			size = e.pool.Size()
+		}
+		sched.CheckBounds(bounds, e.g.N(), size)
+	}
+	e.scanBounds = bounds
+}
 
 // SetObserver attaches an observability sink: every subsequent round ends
 // with a serial shard-by-shard state scan (observeRound) publishing mass and
@@ -578,8 +602,35 @@ func (e *Engine) Run(t int) {
 // reproduces the serial first-appearance numbering exactly — so the result
 // is bit-identical for any pool size.
 func (e *Engine) Query() *Result {
+	thr := Threshold(e.params.Beta, e.g.N(), e.params.ThresholdScale)
+	raw := e.rawLabelScan(thr)
+	var labels []int
+	var num int
+	if e.pool != nil && e.pool.Size() > 1 {
+		labels, num = densifyParallel(raw, e.pool)
+	} else {
+		labels, num = densify(raw)
+	}
+	seeds, seedIDs := e.Seeds()
+	return &Result{
+		Labels:    labels,
+		RawLabels: raw,
+		NumLabels: num,
+		Seeds:     seeds,
+		SeedIDs:   seedIDs,
+		Threshold: thr,
+		Stats:     e.stats,
+	}
+}
+
+// rawLabelScan computes the current threshold winner per node (0 = no entry
+// clears thr) — Query's scan without the densification, partitioned over
+// the pool (honouring SetScanBounds). Each node's winner is a pure function
+// of its own committed state, so the result is bit-identical for any pool
+// size and any bounds. The adaptive repartitioner reads the emerging labels
+// through this, which is what keeps its decisions transcript-derived.
+func (e *Engine) rawLabelScan(thr float64) []uint64 {
 	n := e.g.N()
-	thr := Threshold(e.params.Beta, n, e.params.ThresholdScale)
 	raw := make([]uint64, n)
 	var scan func(lo, hi int)
 	if d := e.dense; d != nil {
@@ -611,25 +662,15 @@ func (e *Engine) Query() *Result {
 			}
 		}
 	}
-	var labels []int
-	var num int
-	if e.pool != nil && e.pool.Size() > 1 {
+	switch {
+	case e.pool != nil && e.pool.Size() > 1 && e.scanBounds != nil:
+		e.pool.RunBounds(e.scanBounds, func(w, lo, hi int) { scan(lo, hi) })
+	case e.pool != nil && e.pool.Size() > 1:
 		e.pool.RunRange(n, func(w, lo, hi int) { scan(lo, hi) })
-		labels, num = densifyParallel(raw, e.pool)
-	} else {
+	default:
 		scan(0, n)
-		labels, num = densify(raw)
 	}
-	seeds, seedIDs := e.Seeds()
-	return &Result{
-		Labels:    labels,
-		RawLabels: raw,
-		NumLabels: num,
-		Seeds:     seeds,
-		SeedIDs:   seedIDs,
-		Threshold: thr,
-		Stats:     e.stats,
-	}
+	return raw
 }
 
 // densify maps raw labels to [0, k) in first-appearance order.

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// Partition modes accepted by the `-partition` flag and PartitionSpec.Mode.
+const (
+	// PartitionCount splits the node range by count — the classic balanced
+	// contiguous split (sched.Partition). On hub-heavy graphs one shard can
+	// own most of the edge work.
+	PartitionCount = "count"
+	// PartitionDegree splits by the degree+1 cost function
+	// (graph.DegreeCosts), balancing per-shard edge work up front.
+	PartitionDegree = "degree"
+	// PartitionAdaptive starts from the degree split and re-splits between
+	// rounds along the emerging cluster labels (label-volume atoms), so
+	// shard boundaries migrate toward cluster boundaries as the clustering
+	// converges.
+	PartitionAdaptive = "adaptive"
+)
+
+// PartitionSpec selects how the runtime splits the contiguous node range
+// across worker shards, and whether it re-splits as the run evolves. The
+// split never changes the transcript — mailboxes order by sender, counters
+// sum over shards, randomness lives in per-node streams — so the spec is an
+// environment choice, like the transport: record manifests file it under
+// Env, and the transcript/fingerprint suites pin bit-equality across modes
+// and worker counts.
+type PartitionSpec struct {
+	// Mode is "", PartitionCount, PartitionDegree, or PartitionAdaptive.
+	// Empty means count.
+	Mode string
+	// Cost, when non-nil, overrides the mode's cost function (unit for
+	// count, degree+1 otherwise). It must be a pure function of the graph.
+	Cost graph.CostFunc
+	// Every, for the adaptive mode, re-splits after every Every-th round;
+	// <= 0 means every round.
+	Every int
+}
+
+// ParsePartitionSpec parses the shared `-partition` flag syntax.
+func ParsePartitionSpec(s string) (PartitionSpec, error) {
+	switch s {
+	case "", PartitionCount, PartitionDegree, PartitionAdaptive:
+		return PartitionSpec{Mode: s}, nil
+	}
+	return PartitionSpec{}, fmt.Errorf("core: bad partition mode %q (want count, degree, or adaptive)", s)
+}
+
+// String returns the canonical flag value.
+func (spec PartitionSpec) String() string {
+	if spec.Mode == "" {
+		return PartitionCount
+	}
+	return spec.Mode
+}
+
+// costs resolves the spec's per-node cost vector.
+func (spec PartitionSpec) costs(g *graph.Graph) []int64 {
+	if spec.Cost != nil {
+		return spec.Cost(g)
+	}
+	switch spec.Mode {
+	case "", PartitionCount:
+		return graph.UnitCosts(g)
+	default:
+		return graph.DegreeCosts(g)
+	}
+}
+
+// every normalises the adaptive re-split period.
+func (spec PartitionSpec) every() int {
+	if spec.Every <= 0 {
+		return 1
+	}
+	return spec.Every
+}
+
+// Repartitioner decides new contiguous ownership bounds between rounds. The
+// runtime calls it on the driving goroutine after each round's commit
+// barrier, passing the round just completed and the worker count; it
+// returns bounds valid under sched.CheckBounds for (n, workers), or nil to
+// keep the current split. Implementations MUST derive the decision only
+// from transcript state — engine states, labels, the graph — never from
+// worker-local or wall-clock observations, so every worker count computes
+// the same bounds and transcripts stay bit-identical.
+type Repartitioner func(round, workers int) []int
+
+// shardCosts sums the cost owned by each shard under the given bounds.
+func shardCosts(costs []int64, bounds []int) []int64 {
+	out := make([]int64, len(bounds)-1)
+	for s := 0; s+1 < len(bounds); s++ {
+		var c int64
+		for v := bounds[s]; v < bounds[s+1]; v++ {
+			c += costs[v]
+		}
+		out[s] = c
+	}
+	return out
+}
+
+// costStats reduces per-shard costs to the max and mean recorded in
+// DistResult (and from there in BENCH_dist.json rows).
+func costStats(sc []int64) (max int64, mean float64) {
+	var total int64
+	for _, c := range sc {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if len(sc) > 0 {
+		mean = float64(total) / float64(len(sc))
+	}
+	return max, mean
+}
+
+// labelBounds re-splits [0, n) from the emerging cluster labels: maximal
+// runs of equal raw label collapse into atoms (an atom is capped at the
+// ideal per-shard cost, so one giant converged cluster still splits), and
+// the cost-weighted partition runs over atoms instead of nodes. Shard
+// boundaries then coincide with label-run boundaries wherever balance
+// permits — cluster-local traffic stays shard-local — at the price of a
+// bounded balance give-back (one atom, i.e. at most one ideal share, above
+// the weighted split's guarantee). Inputs are transcript state only, so
+// every worker count derives identical bounds.
+func labelBounds(raw []uint64, costs []int64, workers int) []int {
+	n := len(raw)
+	var total int64
+	for _, c := range costs {
+		total += c
+	}
+	if n == 0 || total == 0 || workers == 1 {
+		return sched.Partition(n, workers)
+	}
+	ideal := (total + int64(workers) - 1) / int64(workers)
+	var atomEnd []int
+	var atomCost []int64
+	v := 0
+	for v < n {
+		label := raw[v]
+		var c int64
+		u := v
+		for u < n && raw[u] == label && c < ideal {
+			c += costs[u]
+			u++
+		}
+		atomEnd = append(atomEnd, u)
+		atomCost = append(atomCost, c)
+		v = u
+	}
+	ab := sched.PartitionWeighted(atomCost, workers)
+	bounds := make([]int, workers+1)
+	bounds[workers] = n
+	for s := 1; s < workers; s++ {
+		if ab[s] > 0 {
+			bounds[s] = atomEnd[ab[s]-1]
+		}
+	}
+	return bounds
+}
+
+// publishSplit pushes one (re)partition into the Env-registry balance
+// gauges. Worker shards vary with the worker count, so the gauges live next
+// to the wire metrics and never touch the deterministic snapshot
+// fingerprint.
+func publishSplit(o *obs.Observer, costs []int64, bounds []int) {
+	if o == nil || o.Env == nil {
+		return
+	}
+	pm := obs.NewPartitionMetrics(o.Env, len(bounds)-1)
+	pm.SetSplit(shardCosts(costs, bounds))
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func TestParsePartitionSpec(t *testing.T) {
+	for _, good := range []string{"", "count", "degree", "adaptive"} {
+		if _, err := ParsePartitionSpec(good); err != nil {
+			t.Errorf("ParsePartitionSpec(%q): %v", good, err)
+		}
+	}
+	for _, bad := range []string{"random", "Degree", "count "} {
+		if _, err := ParsePartitionSpec(bad); err == nil {
+			t.Errorf("ParsePartitionSpec(%q) should fail", bad)
+		}
+	}
+	if s := (PartitionSpec{}).String(); s != "count" {
+		t.Errorf("zero spec prints %q, want count", s)
+	}
+}
+
+// TestLabelBoundsProperties: the adaptive re-split must cover [0, n) with
+// monotone bounds, align shard boundaries with label-run boundaries where
+// balance permits, and degenerate to the count split on trivial inputs.
+func TestLabelBoundsProperties(t *testing.T) {
+	// Three equal-cost label runs and three workers: bounds must land
+	// exactly on the run boundaries.
+	raw := []uint64{7, 7, 7, 7, 2, 2, 2, 2, 9, 9, 9, 9}
+	costs := make([]int64, len(raw))
+	for i := range costs {
+		costs[i] = 1
+	}
+	b := labelBounds(raw, costs, 3)
+	sched.CheckBounds(b, len(raw), 3)
+	if b[1] != 4 || b[2] != 8 {
+		t.Errorf("bounds %v not aligned to label runs (want cuts at 4 and 8)", b)
+	}
+	// One giant converged cluster still splits: the atom cap bounds each
+	// atom at the ideal share, so no shard is left owning everything.
+	same := make([]uint64, 64)
+	b = labelBounds(same, make([]int64, 64), 4) // zero total cost → count split
+	sched.CheckBounds(b, 64, 4)
+	costs64 := make([]int64, 64)
+	for i := range costs64 {
+		costs64[i] = 1
+	}
+	b = labelBounds(same, costs64, 4)
+	sched.CheckBounds(b, 64, 4)
+	for s := 0; s < 4; s++ {
+		if size := b[s+1] - b[s]; size > 32 {
+			t.Errorf("converged-cluster split %v leaves shard %d with %d/64 nodes", b, s, size)
+		}
+	}
+	// Degenerate inputs fall back to the count split.
+	for i, b := range [][]int{
+		labelBounds(nil, nil, 3),
+		labelBounds(same, costs64, 1),
+	} {
+		n := 0
+		if i == 1 {
+			n = 64
+		}
+		want := sched.Partition(n, []int{3, 1}[i])
+		for j := range want {
+			if b[j] != want[j] {
+				t.Fatalf("degenerate case %d: %v != %v", i, b, want)
+			}
+		}
+	}
+}
+
+// paGraph builds the hub-heavy preferential-attachment instance shared by
+// the balance tests: hubs concentrate at low node IDs, so the count split
+// overloads shard 0.
+func paGraph(t *testing.T, n, m int) *graph.Graph {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(n, m, rng.New(97))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// degreeImbalance evaluates a bounds split under the degree cost function:
+// max shard cost over mean shard cost.
+func degreeImbalance(g *graph.Graph, bounds []int) float64 {
+	costs := graph.DegreeCosts(g)
+	var max, total int64
+	for s := 0; s+1 < len(bounds); s++ {
+		var c int64
+		for v := bounds[s]; v < bounds[s+1]; v++ {
+			c += costs[v]
+		}
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	return float64(max) * float64(len(bounds)-1) / float64(total)
+}
+
+// TestPartitionDegreeBalancesPowerLaw is the ISSUE's acceptance number: on a
+// power-law (preferential-attachment) graph at 8 workers, the count split
+// must exhibit the hub pile-up (max/mean degree cost >= 2) and the degree
+// split must fix it (<= 1.15) — with bit-identical labels either way.
+func TestPartitionDegreeBalancesPowerLaw(t *testing.T) {
+	g := paGraph(t, 4000, 4)
+	params := Params{Beta: 0.25, Rounds: 12, Seed: 7}
+	byMode := map[string]*DistResult{}
+	for _, mode := range []string{PartitionCount, PartitionDegree} {
+		res, err := ClusterDistributed(g, params, DistOptions{
+			Workers:   8,
+			Partition: PartitionSpec{Mode: mode},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		byMode[mode] = res
+	}
+	countRatio := degreeImbalance(g, byMode[PartitionCount].PartitionBounds)
+	degreeRatio := degreeImbalance(g, byMode[PartitionDegree].PartitionBounds)
+	t.Logf("degree-cost imbalance at 8 workers: count=%.3f degree=%.3f", countRatio, degreeRatio)
+	if countRatio < 2 {
+		t.Errorf("count split imbalance %.3f < 2: instance is not hub-heavy enough to demonstrate the bug", countRatio)
+	}
+	if degreeRatio > 1.15 {
+		t.Errorf("degree split imbalance %.3f > 1.15: weighted partition failed to balance", degreeRatio)
+	}
+	// The split is load placement only: labels identical across modes.
+	for v := range byMode[PartitionCount].Labels {
+		if byMode[PartitionCount].Labels[v] != byMode[PartitionDegree].Labels[v] {
+			t.Fatalf("labels diverge between count and degree at node %d", v)
+		}
+	}
+	// The result carries the degree split's own cost stats for BENCH rows.
+	res := byMode[PartitionDegree]
+	if res.ShardCostMax <= 0 || res.ShardCostMean <= 0 {
+		t.Errorf("degree run missing shard cost stats: max=%d mean=%v", res.ShardCostMax, res.ShardCostMean)
+	}
+}
+
+// TestDistributedPartitionModesBitIdentical extends the worker-count
+// transcript-equality suite across every partition mode and the ring
+// transport: labels, traffic counters, and deterministic snapshots must all
+// equal the workers=1 count-mode reference.
+func TestDistributedPartitionModesBitIdentical(t *testing.T) {
+	p, err := gen.ClusteredRing(2, 50, 12, 1, rng.New(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Beta: 0.5, Rounds: 8, Seed: 11}
+	type outcome struct {
+		labels []int
+		words  int64
+		snaps  string
+	}
+	runOne := func(mode string, workers int, transport TransportSpec) outcome {
+		o := obs.NewObserver(obs.Options{})
+		res, err := ClusterDistributed(p.G, params, DistOptions{
+			Workers:   workers,
+			Transport: transport,
+			Partition: PartitionSpec{Mode: mode},
+			Obs:       o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{res.Labels, res.NetworkWords, obs.SnapshotsText(o.Snapshots())}
+	}
+	ref := runOne(PartitionCount, 1, TransportSpec{})
+	for _, mode := range []string{PartitionCount, PartitionDegree, PartitionAdaptive} {
+		for _, workers := range []int{1, 2, 8} {
+			for _, transport := range []TransportSpec{{}, {Kind: "ring"}} {
+				got := runOne(mode, workers, transport)
+				if got.words != ref.words {
+					t.Errorf("mode=%s workers=%d transport=%q: words %d != %d",
+						mode, workers, transport.Kind, got.words, ref.words)
+				}
+				for v := range ref.labels {
+					if got.labels[v] != ref.labels[v] {
+						t.Fatalf("mode=%s workers=%d transport=%q: label of node %d diverges",
+							mode, workers, transport.Kind, v)
+					}
+				}
+				if got.snaps != ref.snaps {
+					t.Errorf("mode=%s workers=%d transport=%q: deterministic snapshots diverge",
+						mode, workers, transport.Kind)
+				}
+			}
+		}
+	}
+}
+
+// TestDistributedRepartitionUnderFaults composes live rebalancing with
+// delayed delivery (multi-slot rings keep messages in flight across the
+// re-split) and an aggressive per-round Repartitioner: the transcript must
+// still be bit-identical to the fault-matched single-worker count run.
+func TestDistributedRepartitionUnderFaults(t *testing.T) {
+	p, err := gen.ClusteredRing(2, 50, 12, 1, rng.New(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Beta: 0.5, Rounds: 10, Seed: 11}
+	model := dist.LinkFaults{DropProb: 0.05, DelayProb: 0.3, MaxPhases: 2, Seed: 5}
+	ref, err := ClusterDistributed(p.G, params, DistOptions{Workers: 1, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.G.N()
+	for _, workers := range []int{2, 8} {
+		// Rotate a deliberately skewed split every round: shard 0's share
+		// grows with the round number, the rest split the remainder.
+		res, err := ClusterDistributed(p.G, params, DistOptions{
+			Workers: workers,
+			Model:   model,
+			Repartition: func(round, w int) []int {
+				head := (round*13)%n + 1
+				rest := sched.Partition(n-head, w-1)
+				bounds := make([]int, w+1)
+				for i, b := range rest {
+					bounds[i+1] = head + b
+				}
+				return bounds
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NetworkWords != ref.NetworkWords || res.DroppedMessages != ref.DroppedMessages {
+			t.Errorf("workers=%d: traffic (%d words, %d dropped) != (%d, %d)",
+				workers, res.NetworkWords, res.DroppedMessages, ref.NetworkWords, ref.DroppedMessages)
+		}
+		for v := range ref.Labels {
+			if res.Labels[v] != ref.Labels[v] {
+				t.Fatalf("workers=%d: label of node %d diverges under mid-run repartition", workers, v)
+			}
+		}
+	}
+}
+
+// TestDistributedWorkersExceedNodes pins the empty-shard regression: more
+// workers than nodes (the network clamps, the weighted split may still
+// produce empty shards) must reproduce the sequential labels.
+func TestDistributedWorkersExceedNodes(t *testing.T) {
+	g := gen.Cycle(6)
+	params := Params{Beta: 0.5, Rounds: 6, Seed: 3}
+	ref, err := Cluster(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{PartitionCount, PartitionDegree, PartitionAdaptive} {
+		res, err := ClusterDistributed(g, params, DistOptions{
+			Workers:   32,
+			Partition: PartitionSpec{Mode: mode},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range ref.Labels {
+			if res.Labels[v] != ref.Labels[v] {
+				t.Fatalf("mode=%s: label of node %d diverges with workers >> nodes", mode, v)
+			}
+		}
+	}
+}
+
+// TestAsyncGossipPartitionModes: the async engine's partition seam shapes
+// only the engine scan placement, so labels and traffic are identical for
+// every mode and parallelism.
+func TestAsyncGossipPartitionModes(t *testing.T) {
+	p, err := gen.ClusteredRing(2, 40, 10, 1, rng.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Beta: 0.5, Rounds: 10, Seed: 5}
+	ref, err := ClusterAsyncGossip(p.G, params, AsyncOptions{Ticks: 600, ClockSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{PartitionDegree, PartitionAdaptive} {
+		for _, parallel := range []int{0, 4} {
+			res, err := ClusterAsyncGossip(p.G, params, AsyncOptions{
+				Ticks:     600,
+				ClockSeed: 7,
+				Parallel:  parallel,
+				Partition: PartitionSpec{Mode: mode},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.NetworkWords != ref.NetworkWords {
+				t.Errorf("mode=%s parallel=%d: words %d != %d", mode, parallel, res.NetworkWords, ref.NetworkWords)
+			}
+			for v := range ref.Labels {
+				if res.Labels[v] != ref.Labels[v] {
+					t.Fatalf("mode=%s parallel=%d: label of node %d diverges", mode, parallel, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionRejectsBadMode: both engines validate the mode up front.
+func TestPartitionRejectsBadMode(t *testing.T) {
+	g := gen.Cycle(6)
+	params := Params{Beta: 0.5, Rounds: 2}
+	if _, err := ClusterDistributed(g, params, DistOptions{Partition: PartitionSpec{Mode: "bogus"}}); err == nil {
+		t.Error("distributed run with bogus partition mode should fail")
+	}
+	if _, err := ClusterAsyncGossip(g, params, AsyncOptions{Ticks: 10, Partition: PartitionSpec{Mode: "bogus"}}); err == nil {
+		t.Error("async run with bogus partition mode should fail")
+	}
+}
+
+// TestPartitionBalanceGauges: the Env registry carries the per-shard cost
+// gauges and imbalance ratio after a run (and they never appear in the
+// deterministic registry, whose fingerprint the snapshots pin).
+func TestPartitionBalanceGauges(t *testing.T) {
+	g := paGraph(t, 400, 4)
+	o := obs.NewObserver(obs.Options{})
+	if _, err := ClusterDistributed(g, Params{Beta: 0.25, Rounds: 4, Seed: 7}, DistOptions{
+		Workers:   4,
+		Partition: PartitionSpec{Mode: PartitionDegree},
+		Obs:       o,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, g := range o.Env.Snapshot(0).Gauges {
+		if g.Name == obs.MetricPartImbalance {
+			found = true
+			if v := g.Cells[0]; v < 1 || v > 1.2 {
+				t.Errorf("degree split imbalance gauge %v outside [1, 1.2]", v)
+			}
+		}
+	}
+	if !found {
+		t.Error("partition_imbalance gauge missing from Env registry")
+	}
+	for _, g := range o.Reg.Snapshot(0).Gauges {
+		if g.Name == obs.MetricPartImbalance || g.Name == obs.MetricPartCost {
+			t.Error("partition gauges leaked into the deterministic registry")
+		}
+	}
+}

@@ -228,8 +228,12 @@ func ParseTransportSpec(s string) (TransportSpec, error) {
 // in-process default (the network's own zero-copy path) and a cleanup that
 // tears down whatever was opened or spawned. A non-nil observer attaches
 // frame/byte counters to a socket transport's environment registry (the
-// other transports have no wire traffic to count).
-func openTransport[T any](spec TransportSpec, shards int, payload string, c wire.Codec[T], o *obs.Observer) (dist.Transport[T], func(), error) {
+// other transports have no wire traffic to count). bounds, when non-nil,
+// is the network's shards+1 node split at dial time; a socket transport
+// announces each shard's node range in its handshake (diagnostic — the
+// daemon relay is routing-agnostic, so later repartitions need no
+// re-handshake).
+func openTransport[T any](spec TransportSpec, shards int, bounds []int, payload string, c wire.Codec[T], o *obs.Observer) (dist.Transport[T], func(), error) {
 	noop := func() {}
 	switch spec.Kind {
 	case "", "inprocess":
@@ -257,7 +261,7 @@ func openTransport[T any](spec TransportSpec, shards int, payload string, c wire
 			}
 			addrs = cluster.Addrs()
 		}
-		sock, err := wire.DialSocket(c, payload, addrs, shards)
+		sock, err := wire.DialSocketBounds(c, payload, addrs, shards, bounds)
 		if err != nil {
 			if cluster != nil {
 				cluster.Close()

@@ -46,6 +46,7 @@ import (
 	"slices"
 
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // Envelope is one delivered message: the sender's node ID and the payload.
@@ -116,6 +117,9 @@ type Network[T any] struct {
 	specOwner   []int32
 	specBuf     [][]specSend[T]
 	pendingTo   []int32
+	// inPhase guards Repartition: ownership may only move at the commit
+	// barrier, never while Phase callbacks are running on the pool.
+	inPhase bool
 
 	// Observability (SetObserver): obsv drives phase/async trace events from
 	// the driving goroutine; metrics tallies per-logical-shard traffic. Both
@@ -207,6 +211,86 @@ func (net *Network[T]) ShardOf(v int) int { return int(net.shardOf[v]) }
 // Counter returns the network's traffic accounting. Totals are safe to read
 // at any time and deterministic once a phase has completed.
 func (net *Network[T]) Counter() *Counter { return net.counter }
+
+// Bounds returns a copy of the current contiguous ownership bounds: worker w
+// owns the node range [bounds[w], bounds[w+1]).
+func (net *Network[T]) Bounds() []int {
+	return append([]int(nil), net.bounds...)
+}
+
+// Repartition moves the network to new contiguous ownership bounds — worker
+// w owns [bounds[w], bounds[w+1]) from the next phase on. The worker count
+// never changes, only the split; bounds must satisfy sched.CheckBounds for
+// (n, workers), and empty shards are legal (a cost-weighted split produces
+// them whenever one node dominates). Call it from the driving goroutine
+// between phases (or before the first one, to install weighted initial
+// bounds); never from inside a Phase callback or a firing batch.
+//
+// Repartitioning never changes the transcript. Mailboxes are ordered by
+// sender ID — not by shard — counters are summed over all shards on read,
+// and delivery-model coins hash message coordinates, so which worker owns a
+// node is unobservable to the protocol. In-flight delayed messages (staged
+// in a multi-slot delivery ring for a later phase) are re-bucketed under
+// the new ownership: all messages from one sender to one destination node
+// travel in the same bucket before and after, so per-mailbox same-sender
+// order is preserved, and the multi-slot ring's stable re-sort by sender at
+// delivery restores the global mailbox order as usual. The transcript
+// equality suites pin this for repartitioned runs across worker counts and
+// transports.
+func (net *Network[T]) Repartition(bounds []int) {
+	if net.speculating || net.inPhase {
+		panic("dist: Repartition from inside a firing batch or phase")
+	}
+	sched.CheckBounds(bounds, net.n, net.workers)
+	same := true
+	for i, b := range bounds {
+		if net.bounds[i] != b {
+			same = false
+			break
+		}
+	}
+	if same {
+		return
+	}
+	copy(net.bounds, bounds)
+	for w := 0; w < net.workers; w++ {
+		for v := net.bounds[w]; v < net.bounds[w+1]; v++ {
+			net.shardOf[v] = int32(w)
+		}
+		width := net.bounds[w+1] - net.bounds[w]
+		if cap(net.counts[w]) < width {
+			net.counts[w] = make([]int32, width)
+		} else {
+			net.counts[w] = net.counts[w][:width]
+		}
+	}
+	if net.ringSize > 1 {
+		// Re-bucket in-flight delayed messages by their destination's new
+		// shard. With a single-slot ring every outbox is drained at each
+		// barrier, so there is nothing staged between phases.
+		var scratch []Staged[T]
+		for w := range net.out {
+			for _, shardBuckets := range net.out[w].slots {
+				scratch = scratch[:0]
+				staged := false
+				for d := range shardBuckets {
+					if len(shardBuckets[d]) > 0 {
+						staged = true
+					}
+					scratch = append(scratch, shardBuckets[d]...)
+					shardBuckets[d] = shardBuckets[d][:0]
+				}
+				if !staged {
+					continue
+				}
+				for _, m := range scratch {
+					d := net.shardOf[m.To]
+					shardBuckets[d] = append(shardBuckets[d], m)
+				}
+			}
+		}
+	}
+}
 
 // SetTransport replaces the delivery transport. It must be called before
 // the first Phase or RunAsync.
@@ -352,6 +436,7 @@ func (net *Network[T]) Phase(fn func(v int)) {
 		net.phaseBegin()
 	}
 	crashed := net.crashed
+	net.inPhase = true
 	net.pool.Run(func(w int) {
 		for v := net.bounds[w]; v < net.bounds[w+1]; v++ {
 			if crashed != nil && crashed[v] {
@@ -360,6 +445,7 @@ func (net *Network[T]) Phase(fn func(v int)) {
 			fn(v)
 		}
 	})
+	net.inPhase = false
 	net.deliver()
 	net.phase++
 	if net.obsv != nil {

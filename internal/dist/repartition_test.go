@@ -1,0 +1,204 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// repartitionTranscript mirrors faultTranscript but re-splits ownership
+// between phases with the given schedule: resplit(phase) returns the bounds
+// to install after that phase commits, or nil to keep the current split.
+func repartitionTranscript(workers int, configure func(net *Network[int]), resplit func(phase int) []int) ([]string, int64, int64, int64) {
+	const n = 257
+	net := NewNetwork[int](n, workers)
+	defer net.Close()
+	if configure != nil {
+		configure(net)
+	}
+	var log []string
+	record := func(v int) {
+		for _, e := range net.Recv(v) {
+			log = append(log, fmt.Sprintf("%d<-%d:%d", v, e.From, e.Body))
+		}
+	}
+	phase := 0
+	after := func() {
+		if nb := resplit(phase); nb != nil {
+			net.Repartition(nb)
+		}
+		phase++
+	}
+	net.Phase(func(v int) {
+		for k := 0; k < v%4; k++ {
+			net.Send(v, (v*7+k*13)%n, v*100+k, int64(k+1))
+		}
+	})
+	after()
+	for v := 0; v < n; v++ {
+		record(v)
+	}
+	net.Phase(func(v int) {
+		for _, e := range net.Recv(v) {
+			net.Send(v, e.From, e.Body+1, 2)
+		}
+	})
+	after()
+	for v := 0; v < n; v++ {
+		record(v)
+	}
+	for p := 0; p < 4; p++ {
+		net.Phase(func(v int) {})
+		after()
+		for v := 0; v < n; v++ {
+			record(v)
+		}
+	}
+	return log, net.Counter().Messages(), net.Counter().Words(), net.Counter().Dropped()
+}
+
+// skewedBounds builds a deliberately unbalanced split of [0, n): shard 0
+// takes phase+1 nodes, the rest split the remainder evenly (and with more
+// workers than remaining nodes, trailing shards go empty — also under test).
+func skewedBounds(n, workers, phase int) []int {
+	head := phase + 1
+	if head > n {
+		head = n
+	}
+	rest := sched.Partition(n-head, workers-1)
+	bounds := make([]int, workers+1)
+	for i, b := range rest {
+		bounds[i+1] = head + b
+	}
+	return bounds
+}
+
+// TestRepartitionTranscriptInvariant is the heart of the live-rebalancing
+// contract: re-splitting ownership between phases — every phase, to wildly
+// skewed bounds, under every worker count — must leave the delivery
+// transcript and the counter totals bit-identical to the never-repartitioned
+// single-worker reference. Mailboxes order by sender, counters sum over
+// shards, so ownership is unobservable to the protocol.
+func TestRepartitionTranscriptInvariant(t *testing.T) {
+	wantLog, wantMsgs, wantWords, _ := faultTranscript(1, nil)
+	if len(wantLog) == 0 {
+		t.Fatal("workload produced no traffic")
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		log, msgs, words, _ := repartitionTranscript(workers, nil, func(phase int) []int {
+			if workers == 1 {
+				return nil
+			}
+			return skewedBounds(257, workers, phase)
+		})
+		if msgs != wantMsgs || words != wantWords {
+			t.Errorf("workers=%d: counters (%d, %d) != (%d, %d)", workers, msgs, words, wantMsgs, wantWords)
+		}
+		if fmt.Sprint(log) != fmt.Sprint(wantLog) {
+			t.Errorf("workers=%d: repartitioned transcript diverges", workers)
+		}
+	}
+}
+
+// TestRepartitionWithDelayedInFlight pins the hard case: a delivery model
+// with multi-phase delays keeps messages staged in the outbox ring across
+// the repartition, so Repartition must re-bucket them under the new
+// ownership without disturbing the eventual delivery order.
+func TestRepartitionWithDelayedInFlight(t *testing.T) {
+	model := LinkFaults{DropProb: 0.1, DelayProb: 0.4, MaxPhases: 3, Seed: 17}
+	wantLog, wantMsgs, _, wantDropped := faultTranscript(1, func(net *Network[int]) {
+		net.SetDeliveryModel(model)
+	})
+	for _, workers := range []int{2, 5, 8} {
+		log, msgs, _, dropped := repartitionTranscript(workers, func(net *Network[int]) {
+			net.SetDeliveryModel(model)
+		}, func(phase int) []int {
+			return skewedBounds(257, workers, 3*phase)
+		})
+		if msgs != wantMsgs || dropped != wantDropped {
+			t.Errorf("workers=%d: counters (%d msgs, %d dropped) != (%d, %d)",
+				workers, msgs, dropped, wantMsgs, wantDropped)
+		}
+		if fmt.Sprint(log) != fmt.Sprint(wantLog) {
+			t.Errorf("workers=%d: delayed in-flight transcript diverges after repartition", workers)
+		}
+	}
+}
+
+// TestRepartitionWithRingTransport composes repartitioning with a real
+// transport: staged buckets cross the ring before and after each re-split.
+func TestRepartitionWithRingTransport(t *testing.T) {
+	model := LinkFaults{DelayProb: 0.3, MaxPhases: 2, Seed: 23}
+	wantLog, wantMsgs, wantWords, _ := faultTranscript(1, func(net *Network[int]) {
+		net.SetDeliveryModel(model)
+	})
+	log, msgs, words, _ := repartitionTranscript(4, func(net *Network[int]) {
+		net.SetDeliveryModel(model)
+		net.SetTransport(NewRing[int](net.Workers(), 7))
+	}, func(phase int) []int {
+		return skewedBounds(257, 4, 11*phase)
+	})
+	if msgs != wantMsgs || words != wantWords {
+		t.Errorf("counters (%d, %d) != (%d, %d)", msgs, words, wantMsgs, wantWords)
+	}
+	if fmt.Sprint(log) != fmt.Sprint(wantLog) {
+		t.Errorf("ring-transport transcript diverges after repartition")
+	}
+}
+
+// TestRepartitionEmptyShards: bounds that leave most shards empty (the
+// workers > nodes shape) must work mid-run — empty ranges simply fire no
+// callbacks for that shard.
+func TestRepartitionEmptyShards(t *testing.T) {
+	net := NewNetwork[int](3, 3)
+	defer net.Close()
+	net.Phase(func(v int) { net.Send(v, (v+1)%3, v, 1) })
+	// Shard 0 owns everything; shards 1 and 2 are empty.
+	net.Repartition([]int{0, 3, 3, 3})
+	got := 0
+	net.Phase(func(v int) { got += len(net.Recv(v)) })
+	if got != 3 {
+		t.Errorf("delivered %d messages after empty-shard repartition, want 3", got)
+	}
+	if net.Bounds()[1] != 3 {
+		t.Errorf("bounds not installed: %v", net.Bounds())
+	}
+}
+
+func TestRepartitionValidation(t *testing.T) {
+	net := NewNetwork[int](10, 3)
+	defer net.Close()
+	for name, bounds := range map[string][]int{
+		"wrong shard count": {0, 10},
+		"bad first":         {1, 4, 7, 10},
+		"bad last":          {0, 4, 7, 9},
+		"decreasing":        {0, 7, 5, 10},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Repartition(%s %v) should panic", name, bounds)
+				}
+			}()
+			net.Repartition(bounds)
+		}()
+	}
+}
+
+// TestRepartitionInsidePhasePanics: ownership may only move at the commit
+// barrier, never while a firing batch is speculating.
+func TestRepartitionInsidePhasePanics(t *testing.T) {
+	net := NewNetwork[int](4, 2)
+	defer net.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Repartition inside Phase should panic")
+		}
+	}()
+	net.Phase(func(v int) {
+		if v == 0 {
+			net.Repartition([]int{0, 1, 4})
+		}
+	})
+}

@@ -17,6 +17,17 @@ import (
 // parallel hot paths.
 func Partition(n, shards int) []int { return sched.Partition(n, shards) }
 
+// PartitionWeighted returns contiguous shard bounds balanced by per-node
+// cost rather than node count — the prefix-sum-of-cost split in
+// sched.PartitionWeighted. Bounds stay contiguous, so MachineMap grouping
+// and the wire handshake's shard routing remain valid; individual shards
+// may be empty when a single node's cost dominates. Partition is exactly
+// the unit-cost special case. Feed the result to Network.Repartition (or
+// use it as explicit engine scan bounds) to shift ownership.
+func PartitionWeighted(costs []int64, shards int) []int {
+	return sched.PartitionWeighted(costs, shards)
+}
+
 // MachineMap assigns the worker pool's delivery shards to machine shards:
 // the runtime's unit of parallel delivery is the destination worker shard
 // (Transport.Flush is called once per worker shard per barrier), while a

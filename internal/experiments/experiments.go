@@ -40,6 +40,11 @@ type Config struct {
 	// experiment. The backends are bit-identical, so like Transport and
 	// Parallel this changes throughput, never a table.
 	StateBackend string
+	// Partition selects the node split across workers for every experiment
+	// on the dist runtime (core.DistOptions/AsyncOptions.Partition: count,
+	// degree, or adaptive). Like Transport and Parallel, every table is
+	// bit-identical across modes — the split is load placement only.
+	Partition core.PartitionSpec
 	// Obs, when non-nil, attaches the observability layer to every run on
 	// the dist runtime (currently F9 and F10): events accumulate in its
 	// trace and the metric registries tally across the whole sweep

@@ -37,7 +37,7 @@ func F9AsyncGossip(cfg Config) (*Table, error) {
 
 	// Synchronous run on the message substrate (bit-identical to the
 	// sequential engine, with network accounting for free).
-	sync, err := core.ClusterDistributed(p.G, params, core.DistOptions{Transport: cfg.Transport, Obs: cfg.Obs})
+	sync, err := core.ClusterDistributed(p.G, params, core.DistOptions{Transport: cfg.Transport, Partition: cfg.Partition, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -61,6 +61,7 @@ func F9AsyncGossip(cfg Config) (*Table, error) {
 		ClockSeed: cfg.Seed + 9,
 		Transport: cfg.Transport,
 		Parallel:  cfg.Parallel,
+		Partition: cfg.Partition,
 		Obs:       cfg.Obs,
 	})
 	if err != nil {
@@ -133,6 +134,7 @@ func F10LossAblation(cfg Config) (*Table, error) {
 				Reliable:   reliable,
 				Transport:  cfg.Transport,
 				Parallel:   cfg.Parallel,
+				Partition:  cfg.Partition,
 				Obs:        cfg.Obs,
 			})
 			if err != nil {

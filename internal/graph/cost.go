@@ -1,0 +1,37 @@
+package graph
+
+// CostFunc assigns a non-negative partitioning cost to every node of a
+// graph. It is the pluggable seam between graph structure and the
+// prefix-sum-of-cost split in sched.PartitionWeighted: the runtime asks the
+// cost function for per-node weights and splits the contiguous ID range so
+// every shard carries roughly equal total cost. Implementations must be
+// pure functions of the graph so that the resulting bounds are identical on
+// every worker and every run.
+type CostFunc func(g *Graph) []int64
+
+// UnitCosts charges every node 1, making PartitionWeighted reproduce the
+// count-based Partition split exactly. It is the identity cost function
+// used by `-partition count`.
+func UnitCosts(g *Graph) []int64 {
+	costs := make([]int64, g.n)
+	for i := range costs {
+		costs[i] = 1
+	}
+	return costs
+}
+
+// DegreeCosts charges every node deg(v)+1: the degree term models the
+// per-neighbour work of a diffusion phase (sends, matching probes, gossip
+// pushes all scale with degree) and the +1 the fixed per-node overhead
+// (state touch, seeding, query scan), so an all-isolated graph still splits
+// evenly. The costs are read straight off the CSR view — the offsets array
+// is already the exclusive degree prefix sum, so cost prefix sums over a
+// node range are offsets[hi]-offsets[lo] + (hi-lo) with no recomputation.
+// This is the default cost function of `-partition degree`.
+func DegreeCosts(g *Graph) []int64 {
+	costs := make([]int64, g.n)
+	for v := 0; v < g.n; v++ {
+		costs[v] = int64(g.offsets[v+1]-g.offsets[v]) + 1
+	}
+	return costs
+}

@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// PreferentialAttachment returns a Barabási–Albert graph on n nodes: nodes
+// arrive one at a time and each attaches m edges to distinct earlier nodes
+// chosen with probability proportional to their current degree (the
+// repeated-targets sampling trick). The first m+1 nodes form the seed: each
+// arriving seed node connects to all of its predecessors.
+//
+// The result is a heavy-tailed hub graph whose high-degree nodes concentrate
+// at the low IDs (the oldest nodes accumulate degree ~ m*sqrt(n/i)), which
+// makes the count-based contiguous split systematically imbalanced — the
+// adversarial input for degree-aware partitioning. Requires n >= m+1, m >= 1.
+func PreferentialAttachment(n, m int, r *rng.RNG) (*graph.Graph, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("gen: PreferentialAttachment needs m >= 1 (got %d)", m)
+	}
+	if n < m+1 {
+		return nil, fmt.Errorf("gen: PreferentialAttachment needs n >= m+1 (n=%d m=%d)", n, m)
+	}
+	b := graph.NewBuilder(n)
+	// repeats lists every node once per incident edge, so a uniform draw from
+	// it is a degree-proportional draw.
+	repeats := make([]int32, 0, 2*m*n)
+	picks := make([]int32, 0, m)
+	for v := 1; v < n; v++ {
+		if v <= m {
+			for u := 0; u < v; u++ {
+				b.AddEdge(u, v)
+				repeats = append(repeats, int32(u), int32(v))
+			}
+			continue
+		}
+		// Sample m distinct degree-proportional targets, rejecting
+		// duplicates. m is tiny, so the linear dedup scan is cheaper than a
+		// set — and it keeps iteration order deterministic.
+		picks = picks[:0]
+		for len(picks) < m {
+			u := repeats[r.Intn(len(repeats))]
+			dup := false
+			for _, p := range picks {
+				if p == u {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picks = append(picks, u)
+			}
+		}
+		for _, u := range picks {
+			b.AddEdge(int(u), v)
+			repeats = append(repeats, u, int32(v))
+		}
+	}
+	return b.Build()
+}

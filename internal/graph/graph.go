@@ -12,6 +12,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -73,11 +74,16 @@ func (g *Graph) HasEdge(u, v int) bool {
 // IsRegular reports whether every node has the same degree.
 func (g *Graph) IsRegular() bool { return g.n == 0 || g.maxDeg == g.minDeg }
 
-// DegreeRatio returns maxDeg/minDeg; it returns +Inf-like behaviour as 0
-// denominator is mapped to 0 to keep callers simple on degenerate graphs.
+// DegreeRatio returns maxDeg/minDeg, the regularity measure behind the
+// almost-regular reductions (§4.5). A graph containing an isolated node has
+// minDeg == 0 and is infinitely far from regular, so the ratio is +Inf;
+// only the empty graph (no nodes at all) returns 0.
 func (g *Graph) DegreeRatio() float64 {
-	if g.minDeg == 0 {
+	if g.n == 0 {
 		return 0
+	}
+	if g.minDeg == 0 {
+		return math.Inf(1)
 	}
 	return float64(g.maxDeg) / float64(g.minDeg)
 }

@@ -3,6 +3,7 @@ package graph
 import (
 	"bytes"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -209,6 +210,27 @@ func TestDegreeRatio(t *testing.T) {
 	g := path(t, 4) // degrees 1,2,2,1
 	if r := g.DegreeRatio(); r != 2 {
 		t.Errorf("ratio = %v", r)
+	}
+
+	// An isolated node means minDeg == 0: infinitely far from regular,
+	// so +Inf — not 0, which used to conflate this with the empty graph.
+	b := NewBuilder(3)
+	b.AddEdge(0, 1) // node 2 isolated
+	iso, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := iso.DegreeRatio(); !math.IsInf(r, 1) {
+		t.Errorf("isolated-node ratio = %v, want +Inf", r)
+	}
+
+	// Only the empty graph is 0.
+	empty, err := NewBuilder(0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := empty.DegreeRatio(); r != 0 {
+		t.Errorf("empty-graph ratio = %v, want 0", r)
 	}
 }
 

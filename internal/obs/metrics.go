@@ -21,6 +21,12 @@ const (
 	// deterministic snapshot fingerprint.
 	MetricWireFrames = "wire_frames_total"
 	MetricWireBytes  = "wire_bytes_total"
+
+	// Partition balance (Env registry): the per-worker-shard cost of the
+	// active node split and its max/mean imbalance ratio. Worker shards vary
+	// with the worker count, so these live next to the wire metrics.
+	MetricPartCost      = "partition_shard_cost"
+	MetricPartImbalance = "partition_imbalance"
 )
 
 // NetMetrics is the dist.Network hook bundle: per-logical-shard traffic
@@ -151,4 +157,44 @@ func NewWireMetrics(r *Registry, shards int) *WireMetrics {
 func (wm *WireMetrics) OnFlush(shard int, bytes int64) {
 	wm.frames.Add(shard, 1)
 	wm.bytes.Add(shard, bytes)
+}
+
+// PartitionMetrics is the partition balance hook bundle: one gauge cell per
+// worker shard holding that shard's cost under the active cost function,
+// plus the max/mean imbalance ratio the split achieves. Cells are worker
+// shards — they vary with the worker count — so like WireMetrics the bundle
+// registers into an Observer's Env registry, never Reg: the deterministic
+// snapshot fingerprint stays invariant across partition modes and worker
+// counts, while the balance a run achieved remains inspectable.
+type PartitionMetrics struct {
+	cost      *Gauge
+	imbalance *Gauge
+}
+
+// NewPartitionMetrics registers (or reuses) the partition balance gauges
+// with one cost cell per worker shard.
+func NewPartitionMetrics(r *Registry, shards int) *PartitionMetrics {
+	return &PartitionMetrics{
+		cost:      r.Gauge(MetricPartCost, shards),
+		imbalance: r.Gauge(MetricPartImbalance, 1),
+	}
+}
+
+// SetSplit publishes one (re)partition: the cost owned by each worker shard
+// and the implied max-shard/mean-shard ratio (1.0 is a perfect split; 0
+// when the total cost is zero).
+func (pm *PartitionMetrics) SetSplit(shardCosts []int64) {
+	var max, total int64
+	for s, c := range shardCosts {
+		pm.cost.Set(s, float64(c))
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(max) * float64(len(shardCosts)) / float64(total)
+	}
+	pm.imbalance.Set(0, ratio)
 }

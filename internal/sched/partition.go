@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PartitionWeighted returns contiguous shard bounds over [0, len(costs))
+// balanced by per-index cost rather than by count: shard s owns
+// [bounds[s], bounds[s+1]) and its total cost is within one maximal single
+// cost of the ideal total/shards. The split rule is the prefix-sum-of-cost
+// scheme: with prefix[i] the exclusive prefix sum of costs, bounds[s] is the
+// largest i such that prefix[i]*shards <= s*total (found by binary search,
+// exact integer arithmetic — no division rounding). Under unit costs this
+// reduces to bounds[s] == s*n/shards, i.e. Partition is exactly the
+// unit-cost special case.
+//
+// Bounds are monotone non-decreasing and cover [0, n); individual shards may
+// be empty — necessarily so when a single index's cost exceeds the ideal
+// share, and always possible when shards > n. Costs must be non-negative and
+// total*shards must fit in int64 (degrees of any in-memory graph do). A zero
+// total (all costs zero, or no indices) falls back to Partition so the
+// "no shard empty when shards <= n" property of the count split is kept.
+func PartitionWeighted(costs []int64, shards int) []int {
+	if shards < 1 {
+		panic(fmt.Sprintf("sched: PartitionWeighted(n=%d, %d)", len(costs), shards))
+	}
+	n := len(costs)
+	prefix := make([]int64, n+1)
+	for i, c := range costs {
+		if c < 0 {
+			panic(fmt.Sprintf("sched: PartitionWeighted: negative cost %d at index %d", c, i))
+		}
+		prefix[i+1] = prefix[i] + c
+	}
+	return partitionPrefix(prefix, shards)
+}
+
+// partitionPrefix is PartitionWeighted on a precomputed exclusive prefix-sum
+// slice (len n+1, prefix[0] == 0, non-decreasing).
+func partitionPrefix(prefix []int64, shards int) []int {
+	n := len(prefix) - 1
+	total := prefix[n]
+	if total == 0 {
+		return Partition(n, shards)
+	}
+	bounds := make([]int, shards+1)
+	bounds[shards] = n
+	for s := 1; s < shards; s++ {
+		// Largest i with prefix[i]*shards <= s*total, via the smallest i
+		// where the product first exceeds the target. prefix[0] == 0 never
+		// exceeds, so the search result is always >= 1.
+		target := int64(s) * total
+		bounds[s] = sort.Search(n+1, func(i int) bool {
+			return prefix[i]*int64(shards) > target
+		}) - 1
+	}
+	return bounds
+}
+
+// CheckBounds panics unless bounds is a valid contiguous cover of [0, n) by
+// the given shard count: len(bounds) == shards+1, bounds[0] == 0,
+// bounds[shards] == n, and non-decreasing. Empty shards (bounds[s] ==
+// bounds[s+1]) are valid — weighted splits produce them whenever one index
+// dominates the cost, and count splits whenever shards > n. Every structure
+// that accepts caller-supplied bounds (pools, networks, shard maps) shares
+// this contract.
+func CheckBounds(bounds []int, n, shards int) {
+	if len(bounds) != shards+1 {
+		panic(fmt.Sprintf("sched: bounds len %d, want shards+1 = %d", len(bounds), shards+1))
+	}
+	if bounds[0] != 0 || bounds[shards] != n {
+		panic(fmt.Sprintf("sched: bounds [%d..%d] do not cover [0,%d)", bounds[0], bounds[shards], n))
+	}
+	for s := 0; s < shards; s++ {
+		if bounds[s] > bounds[s+1] {
+			panic(fmt.Sprintf("sched: bounds not monotone at shard %d: %d > %d", s, bounds[s], bounds[s+1]))
+		}
+	}
+}
+
+// RunBounds is RunRange with caller-supplied contiguous bounds (typically
+// from PartitionWeighted): task(w, bounds[w], bounds[w+1]) runs on every
+// worker w. Workers with an empty range still run, exactly as in RunRange.
+func (p *Pool) RunBounds(bounds []int, task func(w, lo, hi int)) {
+	n := 0
+	if len(bounds) > 0 {
+		n = bounds[len(bounds)-1]
+	}
+	CheckBounds(bounds, n, p.size)
+	p.Run(func(w int) { task(w, bounds[w], bounds[w+1]) })
+}

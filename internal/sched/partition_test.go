@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"testing"
+)
+
+// costRNG is a tiny deterministic generator for cost vectors (xorshift64*);
+// tests must not depend on iteration order or global randomness.
+type costRNG uint64
+
+func (r *costRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = costRNG(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+// checkWeighted asserts the PartitionWeighted contract on one instance:
+// bounds monotone covering [0, n), every shard's cost below the ideal share
+// plus one maximal item, and exact degeneration to Partition for unit costs.
+func checkWeighted(t *testing.T, costs []int64, shards int) {
+	t.Helper()
+	n := len(costs)
+	b := PartitionWeighted(costs, shards)
+	CheckBounds(b, n, shards)
+	var total, maxCost int64
+	for _, c := range costs {
+		total += c
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	for s := 0; s < shards; s++ {
+		var sc int64
+		for v := b[s]; v < b[s+1]; v++ {
+			sc += costs[v]
+		}
+		if total > 0 && sc >= total/int64(shards)+maxCost+1 {
+			t.Errorf("shard %d cost %d exceeds ideal %d + max item %d (n=%d shards=%d)",
+				s, sc, total/int64(shards), maxCost, n, shards)
+		}
+	}
+}
+
+func TestPartitionWeightedProperties(t *testing.T) {
+	r := costRNG(12345)
+	for _, n := range []int{0, 1, 2, 7, 100, 257} {
+		for _, shards := range []int{1, 2, 3, 8, 16} {
+			// Uniform-ish, skewed (hub at the front), and sparse (mostly
+			// zeros) cost shapes.
+			shapes := map[string]func(i int) int64{
+				"uniform": func(i int) int64 { return int64(r.next()%7) + 1 },
+				"hubs":    func(i int) int64 { return int64(n-i) * int64(n-i) },
+				"sparse": func(i int) int64 {
+					if r.next()%5 == 0 {
+						return int64(r.next() % 100)
+					}
+					return 0
+				},
+			}
+			for name, f := range shapes {
+				costs := make([]int64, n)
+				for i := range costs {
+					costs[i] = f(i)
+				}
+				t.Run("", func(t *testing.T) {
+					_ = name
+					checkWeighted(t, costs, shards)
+				})
+			}
+		}
+	}
+}
+
+// TestPartitionWeightedUnitCostsDegenerate pins the exact-degeneration
+// contract: under unit costs, PartitionWeighted IS Partition, bound for
+// bound — so every consumer written against Partition's split keeps its
+// behaviour when the cost seam is introduced.
+func TestPartitionWeightedUnitCostsDegenerate(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 10, 257, 1000} {
+		for _, shards := range []int{1, 2, 3, 7, 16} {
+			costs := make([]int64, n)
+			for i := range costs {
+				costs[i] = 1
+			}
+			got := PartitionWeighted(costs, shards)
+			want := Partition(n, shards)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d shards=%d: weighted %v != Partition %v", n, shards, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionWeightedZeroTotal: an all-zero cost vector falls back to the
+// count split instead of putting every node in shard 0.
+func TestPartitionWeightedZeroTotal(t *testing.T) {
+	got := PartitionWeighted(make([]int64, 12), 4)
+	want := Partition(12, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zero costs: %v != %v", got, want)
+		}
+	}
+}
+
+// TestPartitionWeightedEmptyShards: more shards than (weighted) nodes is
+// legal and yields empty trailing ranges, exactly like Partition with
+// shards > n — the regression the ISSUE pins for workers > nodes runs.
+func TestPartitionWeightedEmptyShards(t *testing.T) {
+	b := PartitionWeighted([]int64{5, 5}, 7)
+	CheckBounds(b, 2, 7)
+	empty := 0
+	for s := 0; s < 7; s++ {
+		if b[s] == b[s+1] {
+			empty++
+		}
+	}
+	if empty < 5 {
+		t.Errorf("expected >= 5 empty shards, got %d (%v)", empty, b)
+	}
+	// One giant item: everything lands in one shard, the rest stay empty.
+	b = PartitionWeighted([]int64{0, 1000, 0}, 4)
+	CheckBounds(b, 3, 4)
+}
+
+func TestPartitionWeightedPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative cost": func() { PartitionWeighted([]int64{1, -1}, 2) },
+		"zero shards":   func() { PartitionWeighted([]int64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCheckBounds(t *testing.T) {
+	CheckBounds([]int{0, 2, 2, 5}, 5, 3) // empty middle shard is legal
+	for name, f := range map[string]func(){
+		"wrong len":  func() { CheckBounds([]int{0, 5}, 5, 3) },
+		"bad first":  func() { CheckBounds([]int{1, 3, 5}, 5, 2) },
+		"bad last":   func() { CheckBounds([]int{0, 3, 4}, 5, 2) },
+		"decreasing": func() { CheckBounds([]int{0, 3, 2, 5}, 5, 3) },
+		"empty":      func() { CheckBounds(nil, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestRunBoundsCoversOnce: RunBounds visits exactly the [lo, hi) ranges the
+// bounds describe, including empty shards, and covers every index once.
+func TestRunBoundsCoversOnce(t *testing.T) {
+	for _, tc := range []struct {
+		size   int
+		bounds []int
+	}{
+		{3, []int{0, 5, 5, 12}}, // empty middle shard
+		{4, []int{0, 1, 1, 1, 1}},
+		{2, []int{0, 0, 0}}, // n == 0
+	} {
+		p := NewPool(tc.size)
+		n := tc.bounds[len(tc.bounds)-1]
+		seen := make([]int32, n)
+		p.RunBounds(tc.bounds, func(w, lo, hi int) {
+			if lo != tc.bounds[w] || hi != tc.bounds[w+1] {
+				t.Errorf("worker %d got [%d,%d), want [%d,%d)", w, lo, hi, tc.bounds[w], tc.bounds[w+1])
+			}
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Errorf("bounds %v: index %d visited %d times", tc.bounds, i, c)
+			}
+		}
+	}
+}
+
+func TestRunBoundsValidates(t *testing.T) {
+	p := NewPool(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("RunBounds with wrong shard count should panic")
+		}
+	}()
+	p.RunBounds([]int{0, 5}, func(w, lo, hi int) {})
+}
+
+// FuzzPartitionWeighted drives the property checks from fuzzed shapes: the
+// seed byte stream becomes the cost vector, the first byte the shard count.
+func FuzzPartitionWeighted(f *testing.F) {
+	f.Add([]byte{4, 1, 2, 3, 4, 5})
+	f.Add([]byte{1})
+	f.Add([]byte{16, 0, 0, 0, 255})
+	f.Add([]byte{8, 200, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		shards := int(data[0])%16 + 1
+		costs := make([]int64, len(data)-1)
+		for i, b := range data[1:] {
+			costs[i] = int64(b)
+		}
+		checkWeighted(t, costs, shards)
+		// Weighted bounds must be reusable verbatim by every bounds consumer.
+		CheckBounds(PartitionWeighted(costs, shards), len(costs), shards)
+	})
+}

@@ -24,8 +24,11 @@ import (
 // structure in the repo: shard i owns the index range [bounds[i],
 // bounds[i+1]), with len(bounds) == shards+1, bounds[0] == 0 and
 // bounds[shards] == n. Sizes differ by at most one, and no shard is empty
-// when shards <= n. dist.Partition re-exports this rule, so shardings built
-// here line up with the network's ownership map.
+// when shards <= n; when shards > n some shards necessarily get an empty
+// range (lo == hi), which every consumer must — and does — tolerate.
+// dist.Partition re-exports this rule, so shardings built here line up with
+// the network's ownership map. Partition is exactly the unit-cost special
+// case of PartitionWeighted, which balances by an arbitrary per-index cost.
 func Partition(n, shards int) []int {
 	if n < 0 || shards < 1 {
 		panic(fmt.Sprintf("sched: Partition(%d, %d)", n, shards))

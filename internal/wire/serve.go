@@ -67,13 +67,18 @@ func emitServe(name string, tick int64, args ...obs.Arg) {
 // Connection handshake: the dialer's first frame identifies what the
 // connection will carry —
 //
-//	uvarint shard | payload name (rest of the frame)
+//	uvarint shard | uvarint lo | uvarint hi | payload name (rest of the frame)
 //
 // — and the server answers one status frame: 0x00 for accepted, or 0x01
 // followed by an error message (unknown payload name, i.e. the worker
-// binary never registered it). The shard index is diagnostic: it names the
-// destination worker shard this connection serves, which makes one-shard-
-// per-connection the unit of concurrency on both sides.
+// binary never registered it; or a malformed node range with lo > hi). The
+// shard index and its [lo, hi) node range are diagnostic: they name the
+// destination worker shard this connection serves and the slice of the node
+// range it owned at dial time (lo == hi when the dialer announced none).
+// The daemon is a routing-agnostic relay, so the range never steers
+// delivery and a mid-run repartition needs no re-handshake — it only labels
+// the daemon's trace. One shard per connection stays the unit of
+// concurrency on both sides.
 const (
 	handshakeOK  = 0x00
 	handshakeErr = 0x01
@@ -140,12 +145,13 @@ func Serve(ln net.Listener) error {
 func serveConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
-	relay, shard, err := acceptHandshake(conn, br)
+	relay, shard, lo, hi, err := acceptHandshake(conn, br)
 	if err != nil {
 		return
 	}
 	conns := serverStats.conns.Add(1)
-	emitServe("conn", conns, obs.I("shard", int64(shard)))
+	emitServe("conn", conns,
+		obs.I("shard", int64(shard)), obs.I("lo", int64(lo)), obs.I("hi", int64(hi)))
 	var in, out, frame []byte
 	for {
 		in, err = readFrame(br, in)
@@ -168,36 +174,53 @@ func serveConn(conn net.Conn) {
 }
 
 // acceptHandshake validates the dialer's opening frame and answers it,
-// returning the relay for the connection's payload type and the worker
-// shard the connection serves (diagnostic: it labels the daemon's trace
-// events, never routing).
-func acceptHandshake(conn net.Conn, br *bufio.Reader) (RelayFunc, uint64, error) {
+// returning the relay for the connection's payload type, the worker shard
+// the connection serves, and the [lo, hi) node range the shard announced
+// (diagnostic: they label the daemon's trace events, never routing).
+func acceptHandshake(conn net.Conn, br *bufio.Reader) (RelayFunc, uint64, uint64, uint64, error) {
 	//lintdet:allow wallclock(socket handshake deadline; fail-loudly I/O timeout, not transcript state)
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	defer conn.SetDeadline(time.Time{})
 	body, err := readFrame(br, nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, 0, err
 	}
 	shard, k := binary.Uvarint(body)
 	if k <= 0 {
-		return nil, 0, fmt.Errorf("wire: malformed handshake")
+		return nil, 0, 0, 0, fmt.Errorf("wire: malformed handshake")
 	}
-	name := string(body[k:])
+	body = body[k:]
+	lo, k := binary.Uvarint(body)
+	if k <= 0 {
+		return nil, 0, 0, 0, fmt.Errorf("wire: malformed handshake")
+	}
+	body = body[k:]
+	hi, k := binary.Uvarint(body)
+	if k <= 0 {
+		return nil, 0, 0, 0, fmt.Errorf("wire: malformed handshake")
+	}
+	body = body[k:]
+	name := string(body)
 	relay, ok := NewRelay(name)
 	var status []byte
-	if ok {
+	var reject string
+	switch {
+	case lo > hi:
+		reject = fmt.Sprintf("bad node range [%d, %d) for shard %d", lo, hi, shard)
+	case !ok:
+		reject = fmt.Sprintf("payload %q not registered in worker (known: %s)",
+			name, strings.Join(Payloads(), ", "))
+	}
+	if reject == "" {
 		status = []byte{handshakeOK}
 	} else {
-		status = append([]byte{handshakeErr},
-			fmt.Sprintf("payload %q not registered in worker (known: %s)",
-				name, strings.Join(Payloads(), ", "))...)
+		status = append([]byte{handshakeErr}, reject...)
 	}
 	if _, err := writeFrame(conn, nil, status); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, 0, err
 	}
-	if !ok {
-		return nil, 0, fmt.Errorf("wire: unknown payload %q", name)
+	if reject != "" {
+		return nil, 0, 0, 0, fmt.Errorf("wire: %s", reject)
 	}
-	return relay, shard, nil
+	return relay, shard, lo, hi, nil
 }

@@ -55,18 +55,42 @@ type socketShard[T any] struct {
 // scheme convention), worker shards are assigned to machines by
 // dist.NewMachineMap, and every shard dials its machine once. payload
 // names the registered codec on both sides of the handshake. On error,
-// any connections already made are closed.
+// any connections already made are closed. Shards dialed this way announce
+// an empty [0, 0) node range; callers that know their node split should
+// prefer DialSocketBounds.
 func DialSocket[T any](codec Codec[T], payload string, addrs []string, shards int) (*Socket[T], error) {
+	return DialSocketBounds(codec, payload, addrs, shards, nil)
+}
+
+// DialSocketBounds is DialSocket with the dialer's node split: bounds, when
+// non-nil, must have shards+1 monotone entries, and each shard's handshake
+// then announces its node range [bounds[shard], bounds[shard+1]) to the
+// worker daemon. The announcement is purely diagnostic — the daemon is a
+// routing-agnostic relay, so a mid-run Repartition needs no re-handshake —
+// but it lets the daemon's trace narrate which slice of the node range each
+// connection was opened for.
+func DialSocketBounds[T any](codec Codec[T], payload string, addrs []string, shards int, bounds []int) (*Socket[T], error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("wire: DialSocket with no machine addresses")
 	}
 	if shards < 1 {
 		return nil, fmt.Errorf("wire: DialSocket with %d shards", shards)
 	}
+	if bounds != nil && len(bounds) != shards+1 {
+		return nil, fmt.Errorf("wire: DialSocketBounds with %d bounds for %d shards", len(bounds), shards)
+	}
 	mm := dist.NewMachineMap(len(addrs), shards)
 	s := &Socket[T]{codec: codec, shards: make([]socketShard[T], shards)}
 	for shard := 0; shard < shards; shard++ {
-		conn, err := dialShard(addrs[mm.MachineOf(shard)], payload, shard)
+		lo, hi := 0, 0
+		if bounds != nil {
+			lo, hi = bounds[shard], bounds[shard+1]
+		}
+		if lo > hi || lo < 0 {
+			s.Close()
+			return nil, fmt.Errorf("wire: DialSocketBounds shard %d has bad range [%d, %d)", shard, lo, hi)
+		}
+		conn, err := dialShard(addrs[mm.MachineOf(shard)], payload, shard, lo, hi)
 		if err != nil {
 			s.Close()
 			return nil, err
@@ -78,7 +102,7 @@ func DialSocket[T any](codec Codec[T], payload string, addrs []string, shards in
 
 // dialShard opens and handshakes one shard connection, retrying the dial
 // briefly so externally started daemons may still be coming up.
-func dialShard(addr, payload string, shard int) (net.Conn, error) {
+func dialShard(addr, payload string, shard, lo, hi int) (net.Conn, error) {
 	network, target, err := splitAddr(addr)
 	if err != nil {
 		return nil, err
@@ -98,19 +122,23 @@ func dialShard(addr, payload string, shard int) (net.Conn, error) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if err := handshake(conn, payload, shard); err != nil {
+	if err := handshake(conn, payload, shard, lo, hi); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("wire: handshake with %s for shard %d: %w", addr, shard, err)
 	}
 	return conn, nil
 }
 
-// handshake performs the dialer's side of the connection handshake.
-func handshake(conn net.Conn, payload string, shard int) error {
+// handshake performs the dialer's side of the connection handshake,
+// announcing the shard index and the node range the shard owns at dial time
+// (see the frame layout at the handshake constants in serve.go).
+func handshake(conn net.Conn, payload string, shard, lo, hi int) error {
 	//lintdet:allow wallclock(socket handshake deadline; fail-loudly I/O timeout, not transcript state)
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	defer conn.SetDeadline(time.Time{})
 	body := binary.AppendUvarint(nil, uint64(shard))
+	body = binary.AppendUvarint(body, uint64(lo))
+	body = binary.AppendUvarint(body, uint64(hi))
 	body = append(body, payload...)
 	if _, err := writeFrame(conn, nil, body); err != nil {
 		return err

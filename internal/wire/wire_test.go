@@ -7,8 +7,11 @@ package wire_test
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
+	"net"
 	"os"
 	"strings"
 	"syscall"
@@ -223,6 +226,45 @@ func TestSocketSBMClusterMatchesInProcess(t *testing.T) {
 	}
 }
 
+// TestSocketPartitionModesMatchInProcess covers the socket leg of the
+// partition-mode matrix: degree and adaptive splits ride the announced
+// bounds through real worker processes, and the transcript still matches
+// the in-process count-mode baseline bit for bit — ownership placement is
+// unobservable to the protocol regardless of transport.
+func TestSocketPartitionModesMatchInProcess(t *testing.T) {
+	g, err := gen.PreferentialAttachment(600, 4, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{Beta: 0.25, Rounds: 12, Seed: 9}
+	baseline, err := core.ClusterDistributed(g, params, core.DistOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := wire.Spawn(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	spec := core.TransportSpec{Kind: "socket", Addrs: cluster.Addrs()}
+	for _, mode := range []string{core.PartitionDegree, core.PartitionAdaptive} {
+		for _, workers := range []int{2, 4} {
+			res, err := core.ClusterDistributed(g, params, core.DistOptions{
+				Workers:   workers,
+				Transport: spec,
+				Partition: core.PartitionSpec{Mode: mode},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := runHash(res), runHash(baseline); got != want {
+				t.Errorf("partition=%s workers=%d over sockets: transcript hash %s != in-process count %s",
+					mode, workers, got, want)
+			}
+		}
+	}
+}
+
 // TestSocketSpawnThroughSpec exercises the spawn-on-demand path: a
 // TransportSpec with no Addrs makes core spawn its own cluster (and tear it
 // down), and the run still matches in-process bit for bit.
@@ -333,6 +375,89 @@ func TestServeRejectsUnknownPayload(t *testing.T) {
 	}
 	if want := "not registered"; !strings.Contains(err.Error(), want) {
 		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+// TestDialSocketBounds: the bounds-announcing dial path — connections carry
+// each shard's node range in the handshake (including empty shards, which a
+// weighted split legitimately produces) and the transport works as usual.
+func TestDialSocketBounds(t *testing.T) {
+	dir := t.TempDir()
+	addr := "unix:" + dir + "/w.sock"
+	ln, err := wire.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go wire.Serve(ln)
+	wantLog, wantMsgs, wantWords, _ := transcript(3, nil)
+	log, msgs, words, _ := transcript(3, func(net *dist.Network[int]) {
+		sock, err := wire.DialSocketBounds(wire.IntCodec{}, "wire.int",
+			[]string{addr}, net.Workers(), net.Bounds())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(sock.Close)
+		net.SetTransport(sock)
+	})
+	if msgs != wantMsgs || words != wantWords {
+		t.Errorf("counters (%d, %d) != (%d, %d)", msgs, words, wantMsgs, wantWords)
+	}
+	if fmt.Sprint(log) != fmt.Sprint(wantLog) {
+		t.Error("bounds-announced socket transcript diverges from in-process")
+	}
+	// Empty shards announce lo == hi and still handshake fine.
+	sock, err := wire.DialSocketBounds(wire.IntCodec{}, "wire.int", []string{addr}, 3, []int{0, 9, 9, 9})
+	if err != nil {
+		t.Fatalf("empty-shard bounds rejected: %v", err)
+	}
+	sock.Close()
+	// Malformed bounds fail before any connection survives.
+	if _, err := wire.DialSocketBounds(wire.IntCodec{}, "wire.int", []string{addr}, 3, []int{0, 9}); err == nil {
+		t.Error("bounds length mismatch should fail")
+	}
+	if _, err := wire.DialSocketBounds(wire.IntCodec{}, "wire.int", []string{addr}, 3, []int{0, 5, 3, 9}); err == nil {
+		t.Error("decreasing bounds (lo > hi) should fail")
+	}
+}
+
+// TestServeRejectsBadRange drives the daemon-side validation with a raw
+// handshake frame whose node range is decreasing — something the dialer
+// helpers refuse to send, so the frame is crafted by hand.
+func TestServeRejectsBadRange(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := wire.Listen("unix:" + dir + "/w.sock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go wire.Serve(ln)
+	conn, err := net.Dial("unix", dir+"/w.sock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	body := binary.AppendUvarint(nil, 0) // shard
+	body = binary.AppendUvarint(body, 7) // lo
+	body = binary.AppendUvarint(body, 3) // hi < lo
+	body = append(body, "wire.int"...)
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+	if _, err := conn.Write(append(frame, body...)); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	status := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(conn, status); err != nil {
+		t.Fatal(err)
+	}
+	if len(status) < 1 || status[0] != 0x01 {
+		t.Fatalf("decreasing node range accepted: status % x", status)
+	}
+	if !strings.Contains(string(status[1:]), "bad node range") {
+		t.Errorf("rejection %q does not mention the node range", status[1:])
 	}
 }
 
